@@ -1,0 +1,408 @@
+package powerperf
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation, one testing.B target per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// All targets share one Study, as the paper's analyses share one
+// dataset; each iteration replays the artifact's full generation (the
+// underlying measurements are cached after the first pass, so later
+// iterations measure the analysis pipeline itself).
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+	benchErr   error
+)
+
+func study(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() { benchStudy, benchErr = NewStudy(42) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// BenchmarkTable2 regenerates Table 2: aggregate 95% confidence
+// intervals for time and power over the eight stock configurations.
+func BenchmarkTable2(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Table.Overall.TimeAvg*100, "timeCI%")
+		b.ReportMetric(res.Table.Overall.PowerAvg*100, "powerCI%")
+	}
+}
+
+// BenchmarkTable3 regenerates the processor-specification table.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := study(b).Table3(); len(rows) != 8 {
+			b.Fatal("bad fleet")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: performance and power per stock
+// processor over all 61 benchmarks.
+func BenchmarkTable4(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Result.CP.Proc.Name == I7 {
+				b.ReportMetric(r.Result.PerfW, "i7-perf")
+				b.ReportMetric(r.Result.WattsW, "i7-watts")
+			}
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the Pareto-efficiency table over the 29
+// 45nm configurations.
+func BenchmarkTable5(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Efficient["Average"])), "efficient")
+	}
+}
+
+// BenchmarkFigure1 regenerates the Java multithreaded scalability figure.
+func BenchmarkFigure1(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range res.Points[:5] { // the Java Scalable five
+			sum += p.Speedup
+		}
+		b.ReportMetric(sum/5, "scalable-avg")
+	}
+}
+
+// BenchmarkFigure2 regenerates the measured-power-versus-TDP scatter.
+func BenchmarkFigure2(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 488 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the i7 power/performance distribution.
+func BenchmarkFigure3(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the CMP feature analysis.
+func BenchmarkFigure4(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratios[0].Energy, "i7-energy")
+		b.ReportMetric(res.Ratios[1].Energy, "i5-energy")
+	}
+}
+
+// BenchmarkFigure5 regenerates the SMT feature analysis.
+func BenchmarkFigure5(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratios[2].Perf, "atom-smt-perf")
+	}
+}
+
+// BenchmarkFigure6 regenerates the single-threaded Java CMP figure.
+func BenchmarkFigure6(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range res.Points {
+			sum += p.Speedup
+		}
+		b.ReportMetric(sum/float64(len(res.Points)), "avg-speedup")
+	}
+}
+
+// BenchmarkFigure7 regenerates the clock-scaling sweeps.
+func BenchmarkFigure7(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, srs := range res.Series {
+			if srs.Proc == I5 {
+				b.ReportMetric(srs.PerDoublingEnergy*100, "i5-energy/doubling%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the die-shrink comparisons.
+func BenchmarkFigure8(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Matched[0].Power, "core-shrink-power")
+	}
+}
+
+// BenchmarkFigure9 regenerates the gross-microarchitecture comparisons.
+func BenchmarkFigure9(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratios[1].Energy, "i7/p4-energy")
+	}
+}
+
+// BenchmarkFigure10 regenerates the Turbo Boost analysis.
+func BenchmarkFigure10(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratios[1].Power, "i7-1c1t-power")
+	}
+}
+
+// BenchmarkFigure11 regenerates the historical overview.
+func BenchmarkFigure11(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates the Pareto frontier curves.
+func BenchmarkFigure12(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Curves) != 5 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+// BenchmarkMeasureNative measures one SPEC benchmark end to end on a
+// fresh study (no cache), quantifying the cost of the three-run native
+// methodology including sensor logging.
+func BenchmarkMeasureNative(b *testing.B) {
+	bench, err := BenchmarkByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	i7, err := ProcessorByName(I7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp := ConfiguredProcessor{Proc: i7, Config: i7.Stock()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := harness.New(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Measure(bench, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureManaged measures one Java benchmark end to end on a
+// fresh study, quantifying the twenty-invocation, five-iteration
+// methodology.
+func BenchmarkMeasureManaged(b *testing.B) {
+	bench, err := BenchmarkByName("lusearch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	i5, err := ProcessorByName(I5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp := ConfiguredProcessor{Proc: i5, Config: i5.Stock()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := harness.New(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Measure(bench, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection31 regenerates the counter drill-down behind Workload
+// Finding 1.
+func BenchmarkSection31(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Section31()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Bench == "db" {
+				b.ReportMetric(row.DTLBRatio, "db-dtlb-ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkJVMComparison regenerates the Section 2.2 JVM cross-check.
+func BenchmarkJVMComparison(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.JVMComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.VM == "JRockit" {
+				b.ReportMetric(row.PowerVsHotSpot, "jrockit-power")
+			}
+		}
+	}
+}
+
+// BenchmarkMeterComparison regenerates the chip-vs-wall methodology
+// comparison.
+func BenchmarkMeterComparison(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MeterComparison(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelBug regenerates the Section 2.8 OS-offlining ablation.
+func BenchmarkKernelBug(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.KernelBug()
+		if err != nil {
+			b.Fatal(err)
+		}
+		anomalies := 0
+		for _, r := range res.Reports {
+			if r.Anomalous() {
+				anomalies++
+			}
+		}
+		b.ReportMetric(float64(anomalies), "anomalies")
+	}
+}
+
+// BenchmarkHeapSweep regenerates the heap-size methodology ablation.
+func BenchmarkHeapSweep(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.HeapSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalingAnalysis regenerates the Dennard/ITRS scaling
+// comparison and the Section 4.1 Pentium 4 projection.
+func BenchmarkScalingAnalysis(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.ScalingAnalysis()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.P4Projected.Power, "p4-projected-power")
+	}
+}
+
+// BenchmarkPowerBreakdown regenerates the per-structure power view.
+func BenchmarkPowerBreakdown(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PowerBreakdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindings regenerates the full reproduction report: all
+// thirteen named findings checked against the measured dataset.
+func BenchmarkFindings(b *testing.B) {
+	s := study(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Findings()
+		if err != nil {
+			b.Fatal(err)
+		}
+		held := 0
+		for _, f := range res.Findings {
+			if f.Holds {
+				held++
+			}
+		}
+		b.ReportMetric(float64(held), "findings-held")
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+// printFigures prints every feature-analysis figure next to the paper's
+// published values, for model calibration.
+func printFigures(ctx *experiments.Context) {
+	fmt.Println("\n== Figure 1: Java MT scalability on i7 (4C2T/1C1T) ==")
+	fmt.Println("paper:  sunflow~4.2 xalan~4.1 tomcat~3.6 lusearch~3.1 eclipse~2.4 | scalable avg 3.4; native scalable avg 3.8")
+	f1, err := experiments.Figure1(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range f1.Points {
+		fmt.Printf("  %-12s %.2f\n", p.Bench, p.Speedup)
+	}
+
+	fmt.Println("\n== Figure 4: CMP 2C/1C (perf, power, energy) ==")
+	fmt.Println("paper: i7 1.32/1.57/1.19(~+12%)  i5 1.34/1.29(?)/0.91")
+	f4, err := experiments.Figure4(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range f4.Ratios {
+		fmt.Printf("  %-10s perf %.2f power %.2f energy %.2f  groupE %v\n",
+			r.Label, r.Perf, r.Power, r.Energy, fmtGroups(f4.Groups[i].Energy))
+	}
+	fmt.Println("  paper groupE i7: [1.13 1.09 1.19 1.08]  i5: [1.04 0.81 1.00 0.82]")
+
+	fmt.Println("\n== Figure 5: SMT 1C2T/1C1T ==")
+	fmt.Println("paper: P4 1.06/1.06/0.98  i7 1.14/1.15/0.97  Atom 1.24/1.10/0.86  i5 1.17/1.10/0.89")
+	f5, err := experiments.Figure5(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range f5.Ratios {
+		fmt.Printf("  %-14s perf %.2f power %.2f energy %.2f  groupE %v\n",
+			r.Label, r.Perf, r.Power, r.Energy, fmtGroups(f5.Groups[i].Energy))
+	}
+	fmt.Println("  paper groupE P4: [1.01 0.87 1.11 0.95]  i7: [1.01 0.93 1.03 0.95]  Atom: [1.05 0.75 0.91 0.78]  i5: [1.00 0.83 0.96 0.82]")
+
+	fmt.Println("\n== Figure 6: single-threaded Java CMP (2C1T/1C1T on i7) ==")
+	fmt.Println("paper: avg ~1.10, antlr highest (~1.5), db ~1.3, mpegaudio ~1.0")
+	f6, err := experiments.Figure6(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range f6.Points {
+		fmt.Printf("  %-10s %.2f\n", p.Bench, p.Speedup)
+		sum += p.Speedup
+	}
+	fmt.Printf("  avg %.3f\n", sum/float64(len(f6.Points)))
+
+	fmt.Println("\n== Figure 7: clock scaling per doubling (perf/power/energy %) ==")
+	fmt.Println("paper: i7 +83/+180/+60  C2D45 +73/+159/+56  i5 +78/+73/-4")
+	f7, err := experiments.Figure7(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, srs := range f7.Series {
+		fmt.Printf("  %-12s perf %+.0f%% power %+.0f%% energy %+.0f%%  groupE/doubling %v\n",
+			srs.Proc, srs.PerDoublingPerf*100, srs.PerDoublingPower*100, srs.PerDoublingEnergy*100,
+			fmtGroups(srs.GroupEnergyPerDoubling))
+	}
+	fmt.Println("  paper groupE i7: [63 68 50 62]%  C2D45: [57 46 45 78]%  i5: [-10 1 -5 0]%")
+
+	fmt.Println("\n== Figure 8: die shrink new/old ==")
+	fmt.Println("paper native: Core 1.25/0.79/0.65  Nehalem 1.14/0.77/0.69")
+	fmt.Println("paper matched: Core 1.01/0.55/0.54  Nehalem 0.90/0.53/0.60")
+	f8, err := experiments.Figure8(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range f8.Native {
+		fmt.Printf("  native  %-20s perf %.2f power %.2f energy %.2f\n", r.Label, r.Perf, r.Power, r.Energy)
+	}
+	for i, r := range f8.Matched {
+		fmt.Printf("  matched %-20s perf %.2f power %.2f energy %.2f  groupE %v\n",
+			r.Label, r.Perf, r.Power, r.Energy, fmtGroups(f8.Groups[i].Energy))
+	}
+	fmt.Println("  paper matched groupE Core: [0.54 0.52 0.54 0.57]  Nehalem: [0.64 0.57 0.60 0.57]")
+
+	fmt.Println("\n== Figure 9: gross uarch, Nehalem/other ==")
+	fmt.Println("paper: Bonnell 2.70/2.38/0.85  NetBurst 2.60/0.33/0.13  Core45 1.14/1.14/1.00  Core65 1.14/0.55/0.48")
+	f9, err := experiments.Figure9(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range f9.Ratios {
+		fmt.Printf("  %-22s perf %.2f power %.2f energy %.2f  groupE %v\n",
+			r.Label, r.Perf, r.Power, r.Energy, fmtGroups(f9.Groups[i].Energy))
+	}
+	fmt.Println("  paper groupE Bonnell: [0.65 1.04 0.84 0.95]  NetBurst: [0.12 0.14 0.13 0.13]  Core45: [0.87 1.14 0.99 1.04]  Core65: [0.45 0.52 0.50 0.47]")
+
+	fmt.Println("\n== Figure 10: Turbo Boost on/off ==")
+	fmt.Println("paper: i7 4C2T 1.05/1.19/1.19(eff~1.13)  i7 1C1T 1.07/1.49/1.39  i5 2C2T 1.03/1.07/1.04  i5 1C1T 1.05/1.05/1.00")
+	f10, err := experiments.Figure10(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range f10.Ratios {
+		fmt.Printf("  %-14s perf %.2f power %.2f energy %.2f  groupE %v\n",
+			r.Label, r.Perf, r.Power, r.Energy, fmtGroups(f10.Groups[i].Energy))
+	}
+	fmt.Println("  paper groupE i7 4C2T: [1.38 1.08 1.21 1.12]  i7 1C1T: [1.37 1.45 1.37 1.36]  i5 2C2T: [1.04 1.03 1.04 1.06]  i5 1C1T: [1.00 0.99 1.03 1.00]")
+
+	fmt.Println("\n== Table 5: Pareto-efficient 45nm configurations ==")
+	fmt.Println("paper: NN all-i7 only; Atom 1C2T on Average/NS/JN/JS frontiers; no AtomD")
+	t5, err := experiments.Table5(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sel := range []string{"Average", "Native Non-scalable", "Native Scalable", "Java Non-scalable", "Java Scalable"} {
+		fmt.Printf("  %-20s %v\n", sel, t5.Efficient[sel])
+	}
+}
+
+func fmtGroups(g [4]float64) string {
+	return fmt.Sprintf("[%.2f %.2f %.2f %.2f]", g[0], g[1], g[2], g[3])
+}
+
+// printPareto dumps the Average tradeoff points for Pareto debugging.
+func printPareto(ctx *experiments.Context) {
+	t5, err := experiments.Table5(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== 45nm Average (perf, energy) points ==")
+	for _, p := range t5.Points["Average"] {
+		fmt.Printf("  %-28s perf %5.2f energy %5.3f\n", p.Label, p.Perf, p.Energy)
+	}
+}

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	powerperf "repro"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// renderer turns each experiment result into a report table.
+type renderer struct {
+	study  *powerperf.Study
+	csvDir string
+	fullT2 bool
+}
+
+// generator produces one artifact's table and title.
+type generator func() (*report.Table, string, error)
+
+func (r *renderer) generators() map[string]generator {
+	gens := map[string]generator{
+		"table2": r.table2, "table3": r.table3, "table4": r.table4, "table5": r.table5,
+		"fig1": r.fig1, "fig2": r.fig2, "fig3": r.fig3, "fig4": r.fig4,
+		"fig5": r.fig5, "fig6": r.fig6, "fig7": r.fig7, "fig8": r.fig8,
+		"fig9": r.fig9, "fig10": r.fig10, "fig11": r.fig11, "fig12": r.fig12,
+	}
+	for name, g := range r.extraGenerators() {
+		gens[name] = g
+	}
+	return gens
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func (r *renderer) table2() (*report.Table, string, error) {
+	var cps []powerperf.ConfiguredProcessor
+	if r.fullT2 {
+		cps = powerperf.ConfigSpace()
+	}
+	res, err := r.study.Table2(cps)
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Group", "Time avg", "Time max", "Power avg", "Power max")
+	tbl.AddRow("Average", pct(res.Table.Overall.TimeAvg), pct(res.Table.Overall.TimeMax),
+		pct(res.Table.Overall.PowerAvg), pct(res.Table.Overall.PowerMax))
+	for _, g := range workload.Groups() {
+		row := res.Table.Groups[int(g)]
+		tbl.AddRow(g.String(), pct(row.TimeAvg), pct(row.TimeMax), pct(row.PowerAvg), pct(row.PowerMax))
+	}
+	title := fmt.Sprintf("Table 2: aggregate 95%% confidence intervals (%d configurations)", res.Configs)
+	return tbl, title, nil
+}
+
+func (r *renderer) table3() (*report.Table, string, error) {
+	tbl := report.NewTable("Processor", "uArch", "Codename", "sSpec", "Release",
+		"CMP/SMT", "LLC", "GHz", "nm", "MTrans", "mm2", "TDP W", "DRAM")
+	for _, row := range r.study.Table3() {
+		p := row.Proc
+		tbl.AddRow(p.LongName, string(p.Arch), p.Codename, p.Spec.SSpec, p.Spec.Release,
+			fmt.Sprintf("%dC%dT", p.Spec.Cores, p.Spec.SMTWays),
+			fmt.Sprintf("%dK", p.Spec.LLCBytes>>10),
+			fmt.Sprintf("%.2f", p.Spec.ClockGHz),
+			fmt.Sprintf("%d", p.Spec.NodeNM),
+			fmt.Sprintf("%.0f", p.Spec.TransistorsM),
+			fmt.Sprintf("%.0f", p.Spec.DieMM2),
+			fmt.Sprintf("%.0f", p.Spec.TDPWatts),
+			p.Spec.DRAM)
+	}
+	return tbl, "Table 3: the eight experimental processors", nil
+}
+
+func (r *renderer) table4() (*report.Table, string, error) {
+	rows, err := r.study.Table4()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Processor",
+		"Perf NN", "NS", "JN", "JS", "AvgW", "rank",
+		"Power NN", "NS", "JN", "JS", "AvgW", "rank")
+	for _, row := range rows {
+		res := row.Result
+		tbl.AddRowf(res.CP.Proc.Name,
+			res.Groups[0].Perf, res.Groups[1].Perf, res.Groups[2].Perf, res.Groups[3].Perf,
+			res.PerfW, row.PerfRank,
+			fmt.Sprintf("%.1f", res.Groups[0].Watts), fmt.Sprintf("%.1f", res.Groups[1].Watts),
+			fmt.Sprintf("%.1f", res.Groups[2].Watts), fmt.Sprintf("%.1f", res.Groups[3].Watts),
+			fmt.Sprintf("%.1f", res.WattsW), row.PowerRank)
+	}
+	return tbl, "Table 4: average performance (over reference) and power (W)", nil
+}
+
+func (r *renderer) table5() (*report.Table, string, error) {
+	res, err := r.study.Table5()
+	if err != nil {
+		return nil, "", err
+	}
+	selectors := []string{"Average"}
+	for _, g := range workload.Groups() {
+		selectors = append(selectors, g.String())
+	}
+	tbl := report.NewTable("Configuration", "Avg", "NN", "NS", "JN", "JS")
+	for _, cfg := range res.All {
+		marks := make([]string, len(selectors))
+		any := false
+		for i, sel := range selectors {
+			for _, eff := range res.Efficient[sel] {
+				if eff == cfg {
+					marks[i] = "x"
+					any = true
+					break
+				}
+			}
+		}
+		if any {
+			tbl.AddRow(append([]string{cfg}, marks...)...)
+		}
+	}
+	return tbl, "Table 5: Pareto-efficient 45nm configurations per workload group", nil
+}
+
+func (r *renderer) fig1() (*report.Table, string, error) {
+	res, err := r.study.Figure1()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Benchmark", "4C2T / 1C1T")
+	for _, p := range res.Points {
+		tbl.AddRowf(p.Bench, p.Speedup)
+	}
+	return tbl, "Figure 1: scalability of multithreaded Java on the i7 (45)", nil
+}
+
+func (r *renderer) fig2() (*report.Table, string, error) {
+	res, err := r.study.Figure2()
+	if err != nil {
+		return nil, "", err
+	}
+	// Summarize per processor: TDP versus measured min/avg/max.
+	type agg struct {
+		tdp, min, max, sum float64
+		n                  int
+	}
+	per := map[string]*agg{}
+	var order []string
+	for _, p := range res.Points {
+		a, ok := per[p.Proc]
+		if !ok {
+			a = &agg{tdp: p.TDP, min: p.Watts, max: p.Watts}
+			per[p.Proc] = a
+			order = append(order, p.Proc)
+		}
+		if p.Watts < a.min {
+			a.min = p.Watts
+		}
+		if p.Watts > a.max {
+			a.max = p.Watts
+		}
+		a.sum += p.Watts
+		a.n++
+	}
+	tbl := report.NewTable("Processor", "TDP W", "Min W", "Avg W", "Max W", "Max/TDP")
+	for _, name := range order {
+		a := per[name]
+		tbl.AddRowf(name, a.tdp, a.min, a.sum/float64(a.n), a.max, a.max/a.tdp)
+	}
+	return tbl, "Figure 2: measured benchmark power vs TDP (all below TDP)", nil
+}
+
+func (r *renderer) fig3() (*report.Table, string, error) {
+	res, err := r.study.Figure3()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Benchmark", "Group", "Perf/ref", "Watts")
+	for _, p := range res.Points {
+		tbl.AddRowf(p.Bench, p.Group.String(), p.Perf, p.Watts)
+	}
+	return tbl, "Figure 3: benchmark power and performance on the i7 (45)", nil
+}
+
+func featureTable(ratios []powerperf.FeatureRatio, groups []powerperf.FeatureGroupEnergy) *report.Table {
+	tbl := report.NewTable("Comparison", "Perf", "Power", "Energy",
+		"E NN", "E NS", "E JN", "E JS")
+	for i, rt := range ratios {
+		g := groups[i]
+		tbl.AddRowf(rt.Label, rt.Perf, rt.Power, rt.Energy,
+			g.Energy[0], g.Energy[1], g.Energy[2], g.Energy[3])
+	}
+	return tbl
+}
+
+func (r *renderer) fig4() (*report.Table, string, error) {
+	res, err := r.study.Figure4()
+	if err != nil {
+		return nil, "", err
+	}
+	return featureTable(res.Ratios, res.Groups),
+		"Figure 4: two cores over one (no SMT, no Turbo Boost)", nil
+}
+
+func (r *renderer) fig5() (*report.Table, string, error) {
+	res, err := r.study.Figure5()
+	if err != nil {
+		return nil, "", err
+	}
+	return featureTable(res.Ratios, res.Groups),
+		"Figure 5: two-way SMT over a single context (one core)", nil
+}
+
+func (r *renderer) fig6() (*report.Table, string, error) {
+	res, err := r.study.Figure6()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Benchmark", "2C1T / 1C1T")
+	for _, p := range res.Points {
+		tbl.AddRowf(p.Bench, p.Speedup)
+	}
+	return tbl, "Figure 6: CMP effect on single-threaded Java (i7)", nil
+}
+
+func (r *renderer) fig7() (*report.Table, string, error) {
+	res, err := r.study.Figure7()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Processor", "Clock GHz", "Perf/ref", "Watts", "Energy/ref",
+		"per-doubling perf", "power", "energy")
+	for _, s := range res.Series {
+		for i, p := range s.Points {
+			d1, d2, d3 := "", "", ""
+			if i == len(s.Points)-1 {
+				d1, d2, d3 = pct(s.PerDoublingPerf), pct(s.PerDoublingPower), pct(s.PerDoublingEnergy)
+			}
+			tbl.AddRow(s.Proc, fmt.Sprintf("%.2f", p.ClockGHz),
+				fmt.Sprintf("%.2f", p.Perf), fmt.Sprintf("%.1f", p.Watts),
+				fmt.Sprintf("%.3f", p.Energy), d1, d2, d3)
+		}
+	}
+	return tbl, "Figure 7: clock scaling (Turbo Boost disabled)", nil
+}
+
+func (r *renderer) fig8() (*report.Table, string, error) {
+	res, err := r.study.Figure8()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Comparison", "Clocks", "Perf", "Power", "Energy",
+		"E NN", "E NS", "E JN", "E JS")
+	for _, rt := range res.Native {
+		tbl.AddRowf(rt.Label, "native", rt.Perf, rt.Power, rt.Energy, "", "", "", "")
+	}
+	for i, rt := range res.Matched {
+		g := res.Groups[i]
+		tbl.AddRowf(rt.Label, "matched", rt.Perf, rt.Power, rt.Energy,
+			g.Energy[0], g.Energy[1], g.Energy[2], g.Energy[3])
+	}
+	return tbl, "Figure 8: die shrink, new over old (Core 65->45nm, Nehalem 45->32nm)", nil
+}
+
+func (r *renderer) fig9() (*report.Table, string, error) {
+	res, err := r.study.Figure9()
+	if err != nil {
+		return nil, "", err
+	}
+	return featureTable(res.Ratios, res.Groups),
+		"Figure 9: gross microarchitecture change, Nehalem over other (matched config)", nil
+}
+
+func (r *renderer) fig10() (*report.Table, string, error) {
+	res, err := r.study.Figure10()
+	if err != nil {
+		return nil, "", err
+	}
+	return featureTable(res.Ratios, res.Groups),
+		"Figure 10: Turbo Boost enabled over disabled", nil
+}
+
+func (r *renderer) fig11() (*report.Table, string, error) {
+	res, err := r.study.Figure11()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Processor", "Perf/ref", "Watts", "Perf/MTrans", "Watts/MTrans")
+	for _, p := range res.Points {
+		tbl.AddRow(p.Proc, fmt.Sprintf("%.2f", p.Perf), fmt.Sprintf("%.1f", p.Watts),
+			fmt.Sprintf("%.4f", p.PerfPerMTrans), fmt.Sprintf("%.4f", p.WattsPerMTrans))
+	}
+	return tbl, "Figure 11: historical overview and per-transistor tradeoffs", nil
+}
+
+func (r *renderer) fig12() (*report.Table, string, error) {
+	res, err := r.study.Figure12()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Frontier", "Points", "Perf range", "Fit R2", "Members")
+	selectors := []string{"Average"}
+	for _, g := range workload.Groups() {
+		selectors = append(selectors, g.String())
+	}
+	for _, sel := range selectors {
+		curve := res.Curves[sel]
+		tbl.AddRow(sel, fmt.Sprintf("%d", len(curve.Points)),
+			fmt.Sprintf("%.2f..%.2f", curve.MinX, curve.MaxX),
+			fmt.Sprintf("%.3f", curve.Fit.R2),
+			strings.Join(curve.Labels(), "; "))
+	}
+	return tbl, "Figure 12: energy/performance Pareto frontiers at 45nm", nil
+}

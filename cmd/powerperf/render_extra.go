@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Renderers for the extended analyses beyond the paper's numbered
+// artifacts: section31, jvms, meters, kernelbug, heapsweep.
+
+func (r *renderer) extraGenerators() map[string]generator {
+	return map[string]generator{
+		"section31": r.section31,
+		"jvms":      r.jvms,
+		"meters":    r.meters,
+		"kernelbug": r.kernelbug,
+		"heapsweep": r.heapsweep,
+		"scaling":   r.scaling,
+		"breakdown": r.breakdown,
+		"findings":  r.findings,
+	}
+}
+
+func (r *renderer) section31() (*report.Table, string, error) {
+	res, err := r.study.Section31()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Benchmark", "Speedup 2C/1C", "JVM instr frac",
+		"DTLB MPKI 1C/2C", "CPI 1C", "CPI 2C")
+	for _, row := range res.Rows {
+		tbl.AddRow(row.Bench,
+			fmt.Sprintf("%.2f", row.Speedup),
+			fmt.Sprintf("%.3f", row.ServiceFraction),
+			fmt.Sprintf("%.2f", row.DTLBRatio),
+			fmt.Sprintf("%.2f", row.CPIOneCore),
+			fmt.Sprintf("%.2f", row.CPITwoCores))
+	}
+	return tbl, "Section 3.1: counter drill-down of JVM-induced parallelism (i7)", nil
+}
+
+func (r *renderer) jvms() (*report.Table, string, error) {
+	res, err := r.study.JVMComparison()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("JVM", "Perf vs HotSpot", "Power vs HotSpot", "Max benchmark deviation")
+	for _, row := range res.Rows {
+		tbl.AddRow(row.VM,
+			fmt.Sprintf("%.3f", row.PerfVsHotSpot),
+			fmt.Sprintf("%.3f", row.PowerVsHotSpot),
+			fmt.Sprintf("%.1f%%", row.MaxBenchDeviation*100))
+	}
+	return tbl, "Section 2.2: JVM cross-check on the stock i7 (Java workloads)", nil
+}
+
+func (r *renderer) meters() (*report.Table, string, error) {
+	res, err := r.study.MeterComparison()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Processor", "Chip W", "Wall W", "Chip frac",
+		"Chip spread", "Wall spread")
+	for _, row := range res.Rows {
+		tbl.AddRow(row.Proc,
+			fmt.Sprintf("%.1f", row.ChipWatts),
+			fmt.Sprintf("%.1f", row.WallWatts),
+			fmt.Sprintf("%.2f", row.ChipFraction),
+			fmt.Sprintf("%.0f%%", row.ChipSpread*100),
+			fmt.Sprintf("%.0f%%", row.WallSpread*100))
+	}
+	return tbl, "Methodology: on-chip rail vs whole-system clamp ammeter", nil
+}
+
+func (r *renderer) kernelbug() (*report.Table, string, error) {
+	res, err := r.study.KernelBug()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Processor", "Active cores", "BIOS disable W", "OS offline W", "Anomaly")
+	for _, rep := range res.Reports {
+		for i := range rep.BIOSWatts {
+			mark := ""
+			if i+1 < len(rep.OSWatts) && rep.OSWatts[i] >= rep.OSWatts[i+1] {
+				mark = "x"
+			}
+			tbl.AddRow(rep.Proc, fmt.Sprintf("%d", i+1),
+				fmt.Sprintf("%.1f", rep.BIOSWatts[i]),
+				fmt.Sprintf("%.1f", rep.OSWatts[i]), mark)
+		}
+	}
+	return tbl, "Section 2.8: BIOS core disabling vs the buggy OS hotplug path", nil
+}
+
+func (r *renderer) heapsweep() (*report.Table, string, error) {
+	res, err := r.study.HeapSweep()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Benchmark", "Heap x min", "Seconds", "Watts", "Energy J", "GC work")
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			tbl.AddRow(s.Bench,
+				fmt.Sprintf("%.1f", p.HeapFactor),
+				fmt.Sprintf("%.2f", p.Seconds),
+				fmt.Sprintf("%.1f", p.Watts),
+				fmt.Sprintf("%.0f", p.EnergyJ),
+				fmt.Sprintf("%.3f", p.GCWork))
+		}
+	}
+	return tbl, "Section 2.2: heap-size sensitivity behind the 3x-minimum methodology", nil
+}
+
+func (r *renderer) scaling() (*report.Table, string, error) {
+	res, err := r.study.ScalingAnalysis()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Transition", "Freq x", "Power x", "Perf x",
+		"vs Dennard (f/P)", "vs post-Dennard (f/P)", "vs ITRS (f/P)")
+	for _, row := range res.Rows {
+		m := row.Measured
+		tbl.AddRow(m.Label,
+			fmt.Sprintf("%.2f", m.Frequency), fmt.Sprintf("%.2f", m.Power),
+			fmt.Sprintf("%.2f", m.Perf),
+			fmt.Sprintf("%.2f / %.2f", row.VsDennard.FreqError, row.VsDennard.PowError),
+			fmt.Sprintf("%.2f / %.2f", row.VsPostDennard.FreqError, row.VsPostDennard.PowError),
+			fmt.Sprintf("%.2f / %.2f", row.VsITRS.FreqError, row.VsITRS.PowError))
+	}
+	p4 := res.P4Projected
+	tbl.AddRow(p4.Label,
+		fmt.Sprintf("%.2f", p4.Frequency), fmt.Sprintf("%.2f", p4.Power),
+		fmt.Sprintf("%.2f", p4.Perf), "", "", "")
+	return tbl, "Technology scaling: measured shrinks vs Dennard / post-Dennard / ITRS (Findings 4-5, Section 4.1)", nil
+}
+
+func (r *renderer) breakdown() (*report.Table, string, error) {
+	res, err := r.study.PowerBreakdown()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Benchmark", "Group", "Total W",
+		"Uncore", "Core dyn", "Core static", "Gated/idle")
+	for _, row := range res.Rows {
+		tbl.AddRow(row.Bench, row.Group.String(),
+			fmt.Sprintf("%.1f", row.Breakdown.TotalWatts),
+			fmt.Sprintf("%.0f%%", row.UncoreFrac*100),
+			fmt.Sprintf("%.0f%%", row.DynFrac*100),
+			fmt.Sprintf("%.0f%%", row.StaticFrac*100),
+			fmt.Sprintf("%.0f%%", row.GatedFrac*100))
+	}
+	return tbl, "Per-structure power on the stock i7 (the meters the paper asks vendors to expose)", nil
+}
+
+func (r *renderer) findings() (*report.Table, string, error) {
+	res, err := r.study.Findings()
+	if err != nil {
+		return nil, "", err
+	}
+	tbl := report.NewTable("Finding", "Holds", "Statement", "Measured")
+	for _, f := range res.Findings {
+		mark := "yes"
+		if !f.Holds {
+			mark = "NO"
+		}
+		tbl.AddRow(f.ID, mark, f.Statement, f.Detail)
+	}
+	title := "Reproduction report: the paper's thirteen named findings"
+	if res.AllHold() {
+		title += " (all hold)"
+	}
+	return tbl, title, nil
+}

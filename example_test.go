@@ -1,0 +1,83 @@
+package powerperf_test
+
+import (
+	"fmt"
+	"log"
+
+	powerperf "repro"
+)
+
+// ExampleFleet lists the experimental processors of Table 3.
+func ExampleFleet() {
+	for _, p := range powerperf.Fleet() {
+		fmt.Printf("%-16s %-8s %3dnm %dC%dT\n",
+			p.Name, p.Arch, p.Spec.NodeNM, p.Spec.Cores, p.Spec.SMTWays)
+	}
+	// Output:
+	// Pentium4 (130)   NetBurst 130nm 1C2T
+	// Core2D (65)      Core      65nm 2C1T
+	// Core2Q (65)      Core      65nm 4C1T
+	// i7 (45)          Nehalem   45nm 4C2T
+	// Atom (45)        Bonnell   45nm 1C2T
+	// Core2D (45)      Core      45nm 2C1T
+	// AtomD (45)       Bonnell   45nm 2C2T
+	// i5 (32)          Nehalem   32nm 2C2T
+}
+
+// ExampleBenchmarksByGroup shows the equally weighted workload groups.
+func ExampleBenchmarksByGroup() {
+	for _, g := range powerperf.Groups() {
+		fmt.Printf("%s: %d benchmarks\n", g, len(powerperf.BenchmarksByGroup(g)))
+	}
+	// Output:
+	// Native Non-scalable: 27 benchmarks
+	// Native Scalable: 11 benchmarks
+	// Java Non-scalable: 18 benchmarks
+	// Java Scalable: 5 benchmarks
+}
+
+// ExampleProcessor_Stock shows a processor's stock configuration in the
+// paper's notation.
+func ExampleProcessor_Stock() {
+	i7, err := powerperf.ProcessorByName(powerperf.I7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(i7.Stock())
+	// Output:
+	// 4C2T@2.7GHz TB
+}
+
+// ExampleStudy_Measure runs the full methodology for one benchmark.
+// Measurement values depend on the study seed, so this example checks
+// structure rather than numbers.
+func ExampleStudy_Measure() {
+	study, err := powerperf.NewStudy(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcf, err := powerperf.BenchmarkByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	i7, err := powerperf.ProcessorByName(powerperf.I7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := study.Measure(mcf, powerperf.ConfiguredProcessor{Proc: i7, Config: i7.Stock()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d runs, power below TDP: %v\n",
+		len(m.Runs), m.Watts < i7.Spec.TDPWatts)
+	// Output:
+	// 3 runs, power below TDP: true
+}
+
+// ExampleConfigSpace shows the size of the paper's configuration space.
+func ExampleConfigSpace() {
+	fmt.Printf("%d configurations, %d at 45nm\n",
+		len(powerperf.ConfigSpace()), len(powerperf.ConfigSpace45nm()))
+	// Output:
+	// 45 configurations, 29 at 45nm
+}

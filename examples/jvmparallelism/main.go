@@ -1,0 +1,108 @@
+// JVM-induced parallelism: reproduce Workload Finding 1 interactively.
+//
+// The paper's most surprising workload result is that *single-threaded*
+// Java programs speed up on a second core: the JVM's compiler, collector,
+// and profiler threads move off the application's core, and their cache
+// and TLB displacement goes with them. This example measures that effect
+// across the fleet and shows where it comes from by toggling the runtime
+// demands of a synthetic benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	powerperf "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	study, err := powerperf.NewStudy(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: the paper's Figure 6 benchmarks on every multi-core
+	// processor: one core versus two, SMT and Turbo off.
+	fmt.Println("Single-threaded Java, second-core speedup (2C1T / 1C1T):")
+	procs := []string{powerperf.Core2D65, powerperf.I7, powerperf.I5, powerperf.AtomD45}
+	benchNames := []string{"antlr", "db", "luindex", "compress"}
+	fmt.Printf("%-12s", "")
+	for _, pn := range procs {
+		fmt.Printf("%16s", pn)
+	}
+	fmt.Println()
+	for _, bn := range benchNames {
+		b, err := powerperf.BenchmarkByName(bn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s", bn)
+		for _, pn := range procs {
+			p, err := powerperf.ProcessorByName(pn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			speedup, err := secondCoreSpeedup(study, b, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%15.2fx", speedup)
+		}
+		fmt.Println()
+	}
+
+	// Part 2: where the speedup comes from. A synthetic single-threaded
+	// managed workload with the runtime demands dialed up and down.
+	fmt.Println("\nSynthetic single-threaded managed workload on the i7 (45):")
+	i7, err := powerperf.ProcessorByName(powerperf.I7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cases := []struct {
+		name          string
+		service, disp float64
+	}{
+		{"no runtime services (native-like)", 0.001, 0},
+		{"compiler+profiler only", 0.15, 0},
+		{"collector displacement only", 0.001, 0.20},
+		{"full managed runtime", 0.15, 0.20},
+	}
+	for i, c := range cases {
+		// Distinct names per variant: the study caches measurements by
+		// benchmark name and configuration.
+		b := workload.Benchmark{
+			Name: fmt.Sprintf("synthetic-%d", i), Description: "synthetic managed workload",
+			Suite: workload.DaCapo9, Group: workload.JavaNonScalable,
+			RefSeconds: 5, Threads: 1, ILP: 1.3, MPKI: 4, WorkingSetKB: 16 << 10,
+			MLPFactor: 0.55, Activity: 0.8, BranchWeight: 0.75,
+			ServiceFrac: c.service, AllocMBps: 300, Displacement: c.disp,
+		}
+		speedup, err := secondCoreSpeedup(study, &b, i7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-36s %.2fx\n", c.name, speedup)
+	}
+	fmt.Println("\nThe speedup needs both ingredients: concurrent service work to")
+	fmt.Println("offload, and displacement relief when it leaves the app's caches.")
+}
+
+// secondCoreSpeedup measures a benchmark at one and two cores (single
+// thread per core, no turbo) and returns t1/t2.
+func secondCoreSpeedup(study *powerperf.Study, b *powerperf.Benchmark, p *powerperf.Processor) (float64, error) {
+	clock := p.MaxClock()
+	one := powerperf.ConfiguredProcessor{Proc: p, Config: powerperf.Config{Cores: 1, SMTWays: 1, ClockGHz: clock}}
+	two := powerperf.ConfiguredProcessor{Proc: p, Config: powerperf.Config{Cores: 2, SMTWays: 1, ClockGHz: clock}}
+	m1, err := study.Measure(b, one)
+	if err != nil {
+		return 0, err
+	}
+	m2, err := study.Measure(b, two)
+	if err != nil {
+		return 0, err
+	}
+	return m1.Seconds / m2.Seconds, nil
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a study, measure one benchmark on one processor with
+// the paper's full methodology, and aggregate a whole configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	powerperf "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A Study owns the calibrated sensor rig, the normalization
+	// reference, and the measurement cache. Seed 42 makes every number
+	// below reproducible.
+	study, err := powerperf.NewStudy(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure a single benchmark on the stock i7 (45): for a SPEC
+	// benchmark the harness performs the prescribed three executions,
+	// logging chip power through the Hall-effect sensor at 50 Hz.
+	bench, err := powerperf.BenchmarkByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	i7, err := powerperf.ProcessorByName(powerperf.I7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp := powerperf.ConfiguredProcessor{Proc: i7, Config: i7.Stock()}
+	m, err := study.Measure(bench, cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s:\n", bench.Name, cp)
+	fmt.Printf("  %d runs, %.1f s, %.1f W, %.0f J\n",
+		len(m.Runs), m.Seconds, m.Watts, m.EnergyJ)
+	fmt.Printf("  95%% CIs: time ±%.2f%%, power ±%.2f%%\n",
+		m.TimeCI.Relative()*100, m.PowerCI.Relative()*100)
+
+	// Aggregate the full 61-benchmark workload on that configuration,
+	// normalized to the four-processor reference and equally weighting
+	// the four workload groups (Section 2.6 of the paper).
+	res, err := study.MeasureConfig(cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s across all 61 benchmarks:\n", cp)
+	for _, g := range powerperf.Groups() {
+		gr := res.Groups[int(g)]
+		fmt.Printf("  %-22s perf %.2fx ref, %.1f W\n", g, gr.Perf, gr.Watts)
+	}
+	fmt.Printf("  weighted average: perf %.2fx, %.1f W, energy %.3fx ref\n",
+		res.PerfW, res.WattsW, res.EnergyW)
+}

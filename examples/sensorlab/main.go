@@ -1,0 +1,89 @@
+// Sensor lab: exercise the power-measurement apparatus on its own.
+//
+// The paper's methodological contribution starts at the bench: a Hall-
+// effect current sensor per machine on the isolated 12 V processor rail,
+// calibrated against 28 reference currents, validated to R^2 >= 0.999,
+// and logged at 50 Hz. This example walks that procedure end to end and
+// then shows why calibration matters, by reading a synthetic power trace
+// through a calibrated and an uncalibrated meter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/sensor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Fabricate and calibrate one meter per machine, as the rig does.
+	machines := []string{"Pentium4 (130)", "Core2D (65)", "i7 (45)", "Atom (45)"}
+	rig, err := sensor.NewRig(machines, map[string]float64{"i7 (45)": 30}, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Calibration (28 reference currents, 300 mA .. 3 A):")
+	reports, err := rig.Validate([]float64{0.4, 0.9, 1.5, 2.2, 2.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("  %-16s R2 %.5f   worst error %.2f%%   mean error %.2f%%\n",
+			r.Machine, r.R2, r.MaxRelErr*100, r.MeanRelErr*100)
+	}
+
+	// Log a synthetic benchmark: 30 seconds of power that ramps and
+	// oscillates like a phase-heavy workload, sampled at the logger's
+	// 50 Hz through the i7's 30 A sensor.
+	meter, err := rig.Meter("i7 (45)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lg, err := meter.NewLogger()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const dt = 1.0 / sensor.SampleHz
+	trueAvg := 0.0
+	n := 0
+	for ts := 0.0; ts < 30; ts += dt {
+		watts := 28 + 6*math.Sin(2*math.Pi*ts/5) // phase oscillation
+		if ts > 20 {
+			watts += 10 // a hot final phase
+		}
+		lg.Sample(watts, dt)
+		trueAvg += watts
+		n++
+	}
+	trueAvg /= float64(n)
+	trace, err := lg.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLogged synthetic benchmark on the i7 meter (%d samples @ %.0f Hz):\n",
+		trace.Samples, sensor.SampleHz)
+	fmt.Printf("  true average      %6.2f W\n", trueAvg)
+	fmt.Printf("  measured average  %6.2f W  (error %.2f%%)\n",
+		trace.AvgWatts, math.Abs(trace.AvgWatts-trueAvg)/trueAvg*100)
+	fmt.Printf("  min / max         %6.2f / %.2f W\n", trace.MinWatts, trace.MaxWatts)
+
+	// Why calibrate: raw ADC codes through the *nominal* transfer
+	// function instead of the fitted one.
+	raw := sensor.New(30, 777)
+	code := raw.ReadRaw(2.0) // a 24 W load
+	adc := sensor.ADC{Bits: 10, VRef: 5.0}
+	nominalAmps := (float64(code)*adc.VoltsPerCode() - sensor.OffsetVolts) / sensor.SensitivityVoltsPerAmp
+	cal, err := raw.Calibrate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nA 24.0 W load read through one sensor:\n")
+	fmt.Printf("  nominal transfer function: %.2f W\n", nominalAmps*sensor.SupplyVolts)
+	fmt.Printf("  calibrated:                %.2f W\n", cal.Watts(code))
+	fmt.Println("\nPer-part gain and offset tolerances are why the paper fits every")
+	fmt.Println("sensor individually before trusting a single measurement.")
+}

@@ -1,0 +1,91 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Counters {
+	return Counters{
+		Cycles:              2e9,
+		Instructions:        1e9,
+		AppInstructions:     9e8,
+		ServiceInstructions: 1e8,
+		LLCMisses:           2e6,
+		DTLBMisses:          5e5,
+		BranchInstructions:  1.5e8,
+	}
+}
+
+func TestDerivedRates(t *testing.T) {
+	c := sample()
+	if got := c.CPI(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("CPI = %v, want 2", got)
+	}
+	if got := c.LLCMPKI(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("LLCMPKI = %v, want 2", got)
+	}
+	if got := c.DTLBMPKI(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("DTLBMPKI = %v, want 0.5", got)
+	}
+	if got := c.ServiceFraction(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("ServiceFraction = %v, want 0.1", got)
+	}
+}
+
+func TestZeroInstructionsSafe(t *testing.T) {
+	var c Counters
+	if c.CPI() != 0 || c.LLCMPKI() != 0 || c.DTLBMPKI() != 0 || c.ServiceFraction() != 0 {
+		t.Fatal("zero counters must yield zero rates, not NaN")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := sample()
+	b := sample()
+	a.Add(b)
+	if a.Instructions != 2e9 || a.DTLBMisses != 1e6 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	a.Scale(0.5)
+	if a.Instructions != 1e9 || a.Cycles != 2e9 {
+		t.Fatalf("Scale wrong: %+v", a)
+	}
+	// Rates are invariant under scaling.
+	if math.Abs(a.CPI()-sample().CPI()) > 1e-12 {
+		t.Fatal("CPI changed under scaling")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sample()
+	bad.Cycles = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative cycles accepted")
+	}
+	bad = sample()
+	bad.ServiceInstructions = 2e9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("service > total accepted")
+	}
+}
+
+// Property: Add is commutative and rates stay finite and non-negative
+// for non-negative inputs.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint32) bool {
+		a := Counters{Cycles: float64(a1), Instructions: float64(a2) + 1}
+		b := Counters{Cycles: float64(b1), Instructions: float64(b2) + 1}
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x == y && x.CPI() >= 0 && !math.IsNaN(x.CPI())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

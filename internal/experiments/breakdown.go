@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"repro/internal/jvm"
+	"repro/internal/native"
+	"repro/internal/power"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BreakdownRow is one benchmark's per-structure power decomposition on
+// the stock i7 — the view the paper's conclusion asks hardware vendors
+// to expose ("structure specific power meters for cores, caches, and
+// other structures").
+type BreakdownRow struct {
+	Bench     string
+	Group     workload.Group
+	Breakdown power.Breakdown
+	// Fractions of total power.
+	UncoreFrac float64
+	DynFrac    float64
+	StaticFrac float64
+	GatedFrac  float64
+}
+
+// BreakdownResult is the per-structure power view of the i7's workload.
+type BreakdownResult struct {
+	Rows []BreakdownRow
+}
+
+// PowerBreakdown decomposes chip power by structure for a representative
+// subset of every workload group on the stock i7.
+func PowerBreakdown(c *Context) (*BreakdownResult, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.NewMachine(p, p.Stock())
+	if err != nil {
+		return nil, err
+	}
+	names := []string{
+		// One memory-bound and one compute-bound member per group.
+		"mcf", "povray", // Native Non-scalable
+		"canneal", "swaptions", // Native Scalable
+		"db", "mpegaudio", // Java Non-scalable
+		"lusearch", "sunflow", // Java Scalable
+	}
+	res := &BreakdownResult{}
+	for _, name := range names {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var r sim.Result
+		if b.Managed() {
+			plan, err := jvm.NewPlan(b, machine.Cfg.Contexts())
+			if err != nil {
+				return nil, err
+			}
+			r, err = machine.Run(plan.Specs[plan.MeasuredIndex()], 3, nil)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			spec, err := native.Spec(b, machine.Cfg.Contexts())
+			if err != nil {
+				return nil, err
+			}
+			r, err = machine.Run(spec, 3, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		bd := r.Breakdown
+		row := BreakdownRow{Bench: name, Group: b.Group, Breakdown: bd}
+		if bd.TotalWatts > 0 {
+			row.UncoreFrac = bd.UncoreWatts / bd.TotalWatts
+			row.DynFrac = bd.CoreDynWatts / bd.TotalWatts
+			row.StaticFrac = bd.CoreStaticWatts / bd.TotalWatts
+			row.GatedFrac = bd.GatedWatts / bd.TotalWatts
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,841 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/workload"
+)
+
+var (
+	once     sync.Once
+	shared   *Context
+	setupErr error
+)
+
+func ctx(t *testing.T) *Context {
+	t.Helper()
+	once.Do(func() { shared, setupErr = NewContext(42) })
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return shared
+}
+
+func TestNilContextRejected(t *testing.T) {
+	var c *Context
+	if err := c.check(); err == nil {
+		t.Fatal("nil context accepted")
+	}
+	if _, err := Figure1(&Context{}); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestTable2ConfidenceIntervals(t *testing.T) {
+	res, err := Table2(ctx(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs != 8 {
+		t.Fatalf("default Table 2 over %d configs, want the 8 stocks", res.Configs)
+	}
+	if res.Table.Overall.TimeAvg <= 0 {
+		t.Fatal("degenerate CI table")
+	}
+}
+
+func TestTable3MatchesFleet(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	if rows[0].Proc.Name != proc.Pentium4Name {
+		t.Fatalf("first row %s, want Pentium 4", rows[0].Proc.Name)
+	}
+}
+
+func TestTable4RanksAndShape(t *testing.T) {
+	rows, err := Table4(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	perfRanks := map[int]bool{}
+	for _, r := range rows {
+		byName[r.Result.CP.Proc.Name] = r
+		if perfRanks[r.PerfRank] {
+			t.Fatalf("duplicate perf rank %d", r.PerfRank)
+		}
+		perfRanks[r.PerfRank] = true
+	}
+	// Table 4's headline ordering: the i7 is the fastest processor and
+	// the Atom the slowest; the Atom draws the least power.
+	if byName[proc.I7Name].PerfRank != 1 {
+		t.Errorf("i7 perf rank = %d, want 1", byName[proc.I7Name].PerfRank)
+	}
+	if byName[proc.Atom45Name].PerfRank != 8 {
+		t.Errorf("Atom perf rank = %d, want 8", byName[proc.Atom45Name].PerfRank)
+	}
+	if byName[proc.Atom45Name].PowerRank != 8 {
+		t.Errorf("Atom power rank = %d, want 8 (least power)", byName[proc.Atom45Name].PowerRank)
+	}
+	// The i5 is the second-fastest.
+	if byName[proc.I5Name].PerfRank != 2 {
+		t.Errorf("i5 perf rank = %d, want 2", byName[proc.I5Name].PerfRank)
+	}
+	// SPEC CPU2006 draws the least power of the four groups on the
+	// Nehalems (Workload Finding 3 / Figure 2's outlier observation).
+	for _, name := range []string{proc.I7Name, proc.I5Name} {
+		r := byName[name].Result
+		nn := r.Groups[int(workload.NativeNonScalable)].Watts
+		for _, g := range []workload.Group{workload.NativeScalable, workload.JavaNonScalable, workload.JavaScalable} {
+			if nn >= r.Groups[int(g)].Watts {
+				t.Errorf("%s: Native Non-scalable power %v not below %s %v",
+					name, nn, g, r.Groups[int(g)].Watts)
+			}
+		}
+	}
+}
+
+func TestTable5ParetoFindings(t *testing.T) {
+	res, err := Table5(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != 29 {
+		t.Fatalf("%d configurations, want 29", len(res.All))
+	}
+	// The paper's strongest Pareto finding: every efficient point for
+	// Native Non-scalable is an i7 configuration (contradicting Azizi
+	// et al.'s in-order prediction).
+	for _, label := range res.Efficient["Native Non-scalable"] {
+		if !strings.HasPrefix(label, "i7") {
+			t.Errorf("non-i7 config on the Native Non-scalable frontier: %s", label)
+		}
+	}
+	// No AtomD (45) configuration is efficient for any grouping.
+	for sel, labels := range res.Efficient {
+		for _, label := range labels {
+			if strings.HasPrefix(label, "AtomD") {
+				t.Errorf("%s frontier contains AtomD config %s", sel, label)
+			}
+		}
+	}
+	// Every frontier is non-empty.
+	for _, sel := range []string{"Average", "Native Scalable", "Java Non-scalable", "Java Scalable"} {
+		if len(res.Efficient[sel]) == 0 {
+			t.Errorf("%s frontier empty", sel)
+		}
+	}
+}
+
+func TestFigure1JavaScalability(t *testing.T) {
+	res, err := Figure1(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 13 {
+		t.Fatalf("%d points, want 13", len(res.Points))
+	}
+	byName := map[string]float64{}
+	for _, p := range res.Points {
+		byName[p.Bench] = p.Speedup
+		if p.Speedup < 1 {
+			t.Errorf("%s: speedup %v below 1", p.Bench, p.Speedup)
+		}
+	}
+	// The five Java Scalable members speed up by ~3.4x on average and
+	// each beats every Java Non-scalable multithreaded benchmark except
+	// near the boundary.
+	scalableAvg := (byName["sunflow"] + byName["xalan"] + byName["tomcat"] +
+		byName["lusearch"] + byName["eclipse"]) / 5
+	if scalableAvg < 3.0 || scalableAvg > 4.0 {
+		t.Errorf("Java Scalable average speedup = %v, want ~3.4", scalableAvg)
+	}
+	if byName["sunflow"] < 3.5 {
+		t.Errorf("sunflow speedup = %v, want ~4", byName["sunflow"])
+	}
+	if byName["h2"] > 1.6 {
+		t.Errorf("h2 speedup = %v, want poor scaling", byName["h2"])
+	}
+}
+
+func TestFigure2TDPAboveMeasured(t *testing.T) {
+	res, err := Figure2(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8*61 {
+		t.Fatalf("%d points, want 488", len(res.Points))
+	}
+	spread := map[string][2]float64{} // proc -> min,max
+	for _, p := range res.Points {
+		// Figure 2: TDP is strictly above measured power everywhere.
+		if p.Watts >= p.TDP {
+			t.Errorf("%s/%s: measured %vW >= TDP %vW", p.Proc, p.Bench, p.Watts, p.TDP)
+		}
+		mm, ok := spread[p.Proc]
+		if !ok {
+			mm = [2]float64{p.Watts, p.Watts}
+		}
+		if p.Watts < mm[0] {
+			mm[0] = p.Watts
+		}
+		if p.Watts > mm[1] {
+			mm[1] = p.Watts
+		}
+		spread[p.Proc] = mm
+	}
+	// Even the Atom's spread is around 30%; the i7's is the widest.
+	for name, mm := range spread {
+		rel := (mm[1] - mm[0]) / mm[0]
+		if rel < 0.2 {
+			t.Errorf("%s: benchmark power spread %.0f%%, want >= 20%%", name, rel*100)
+		}
+	}
+	i7 := spread[proc.I7Name]
+	if (i7[1]-i7[0])/i7[0] < 1.0 {
+		t.Errorf("i7 spread = %v, want the widest (23W..89W in the paper)", i7)
+	}
+}
+
+func TestFigure3Distribution(t *testing.T) {
+	res, err := Figure3(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 61 {
+		t.Fatalf("%d points, want 61", len(res.Points))
+	}
+	// Scalable benchmarks dominate the top-right: their mean perf and
+	// power exceed the non-scalable means (Section 2.7).
+	var scalPerf, scalW, nonPerf, nonW float64
+	var nScal, nNon int
+	for _, p := range res.Points {
+		if p.Group.Scalable() {
+			scalPerf += p.Perf
+			scalW += p.Watts
+			nScal++
+		} else {
+			nonPerf += p.Perf
+			nonW += p.Watts
+			nNon++
+		}
+	}
+	if scalPerf/float64(nScal) <= nonPerf/float64(nNon) {
+		t.Error("scalable benchmarks not faster on the 8-context i7")
+	}
+	if scalW/float64(nScal) <= nonW/float64(nNon) {
+		t.Error("scalable benchmarks not more power-hungry on the i7")
+	}
+}
+
+func TestFigure4CMPContrast(t *testing.T) {
+	res, err := Figure4(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ratios) != 2 {
+		t.Fatalf("%d comparisons, want i7 and i5", len(res.Ratios))
+	}
+	i7, i5 := res.Ratios[0], res.Ratios[1]
+	// Architecture Finding 1: enabling a core is not consistently
+	// energy efficient — the i7 pays more energy than the i5.
+	if i7.Energy <= i5.Energy {
+		t.Errorf("i7 CMP energy %v not above i5 %v", i7.Energy, i5.Energy)
+	}
+	for _, r := range res.Ratios {
+		if r.Perf <= 1.2 || r.Perf > 1.6 {
+			t.Errorf("%s: CMP perf ratio %v outside plausible range", r.Label, r.Perf)
+		}
+		if r.Power <= 1.1 {
+			t.Errorf("%s: second core power %v too cheap", r.Label, r.Power)
+		}
+	}
+	// Native Non-scalable gains no performance, so its energy rises on
+	// both chips (the paper: +4% i5, +14% i7 power).
+	for i, g := range res.Groups {
+		nn := g.Energy[int(workload.NativeNonScalable)]
+		if nn < 1.0 {
+			t.Errorf("%s: Native Non-scalable CMP energy %v, want >= 1", res.Ratios[i].Label, nn)
+		}
+	}
+}
+
+func TestFigure5SMTFindings(t *testing.T) {
+	res, err := Figure5(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ratios) != 4 {
+		t.Fatalf("%d comparisons, want 4", len(res.Ratios))
+	}
+	byLabel := map[string]int{}
+	for i, r := range res.Ratios {
+		byLabel[r.Label] = i
+	}
+	p4 := res.Ratios[byLabel[proc.Pentium4Name]]
+	atom := res.Ratios[byLabel[proc.Atom45Name]]
+	i5 := res.Ratios[byLabel[proc.I5Name]]
+	// Architecture Finding 2: SMT delivers substantial energy savings
+	// on the i5 and Atom; the Atom benefits most in performance.
+	if atom.Energy >= 0.95 || i5.Energy >= 0.95 {
+		t.Errorf("SMT energy: atom %v, i5 %v; want clear savings", atom.Energy, i5.Energy)
+	}
+	if atom.Perf <= i5.Perf {
+		t.Errorf("Atom SMT perf %v not above i5 %v", atom.Perf, i5.Perf)
+	}
+	// The Pentium 4's first-generation SMT yields the smallest gain.
+	for _, r := range res.Ratios {
+		if r.Label == proc.Pentium4Name {
+			continue
+		}
+		if p4.Perf >= r.Perf {
+			t.Errorf("P4 SMT perf %v not below %s %v", p4.Perf, r.Label, r.Perf)
+		}
+	}
+	// Workload Finding 2: Java Non-scalable suffers energy overhead
+	// from SMT on the Pentium 4.
+	p4JN := res.Groups[byLabel[proc.Pentium4Name]].Energy[int(workload.JavaNonScalable)]
+	if p4JN <= 1.0 {
+		t.Errorf("P4 Java Non-scalable SMT energy %v, want overhead (> 1)", p4JN)
+	}
+}
+
+func TestFigure6JVMInducedParallelism(t *testing.T) {
+	res, err := Figure6(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 10 {
+		t.Fatalf("%d points, want 10", len(res.Points))
+	}
+	sum := 0.0
+	byName := map[string]float64{}
+	for _, p := range res.Points {
+		sum += p.Speedup
+		byName[p.Bench] = p.Speedup
+	}
+	avg := sum / float64(len(res.Points))
+	// Workload Finding 1: ~10% average speedup, up to ~50-60%.
+	if avg < 1.05 || avg > 1.25 {
+		t.Errorf("average single-threaded Java CMP speedup = %v, want ~1.10", avg)
+	}
+	if byName["antlr"] < 1.3 {
+		t.Errorf("antlr speedup = %v, want the largest (~1.5)", byName["antlr"])
+	}
+	if byName["db"] < 1.2 {
+		t.Errorf("db speedup = %v, want ~1.3 (DTLB displacement relief)", byName["db"])
+	}
+	if byName["mpegaudio"] > 1.1 {
+		t.Errorf("mpegaudio speedup = %v, want ~1.0", byName["mpegaudio"])
+	}
+}
+
+func TestFigure7ClockScaling(t *testing.T) {
+	res, err := Figure7(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(res.Series))
+	}
+	for _, s := range res.Series {
+		// Performance per doubling is large but sub-linear (~+70-85%).
+		if s.PerDoublingPerf < 0.5 || s.PerDoublingPerf > 1.0 {
+			t.Errorf("%s: perf per doubling %v", s.Proc, s.PerDoublingPerf)
+		}
+		// Points are monotone in clock for perf and power.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Perf <= s.Points[i-1].Perf {
+				t.Errorf("%s: perf not increasing with clock", s.Proc)
+			}
+			if s.Points[i].Watts <= s.Points[i-1].Watts {
+				t.Errorf("%s: power not increasing with clock", s.Proc)
+			}
+		}
+	}
+	var i7, c2d, i5 Figure7Series
+	for _, s := range res.Series {
+		switch s.Proc {
+		case proc.I7Name:
+			i7 = s
+		case proc.Core2D45Name:
+			c2d = s
+		case proc.I5Name:
+			i5 = s
+		}
+	}
+	// Architecture Finding 3: the i5's energy is nearly flat across its
+	// clock range while the i7 and Core 2D pay ~50-70% more energy per
+	// doubling.
+	if i5.PerDoublingEnergy > 0.08 || i5.PerDoublingEnergy < -0.15 {
+		t.Errorf("i5 energy per doubling = %v, want ~0", i5.PerDoublingEnergy)
+	}
+	if i7.PerDoublingEnergy < 0.35 {
+		t.Errorf("i7 energy per doubling = %v, want large", i7.PerDoublingEnergy)
+	}
+	if c2d.PerDoublingEnergy < 0.3 {
+		t.Errorf("C2D(45) energy per doubling = %v, want large", c2d.PerDoublingEnergy)
+	}
+}
+
+func TestFigure8DieShrink(t *testing.T) {
+	res, err := Figure8(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Native) != 2 || len(res.Matched) != 2 {
+		t.Fatal("want two family comparisons at native and matched clocks")
+	}
+	// Architecture Finding 4: die shrinks cut power dramatically even
+	// at matched clocks, with near-equal performance.
+	for _, r := range res.Matched {
+		if r.Power > 0.75 {
+			t.Errorf("%s: matched-clock power ratio %v, want deep savings", r.Label, r.Power)
+		}
+		if r.Perf < 0.85 || r.Perf > 1.15 {
+			t.Errorf("%s: matched-clock perf ratio %v, want ~1", r.Label, r.Perf)
+		}
+		if r.Energy > 0.8 {
+			t.Errorf("%s: matched-clock energy ratio %v", r.Label, r.Energy)
+		}
+	}
+	// Architecture Finding 5: the 45->32nm shrink repeats the 65->45nm
+	// energy gains (both land in the same band).
+	coreE := res.Matched[0].Energy
+	nehalemE := res.Matched[1].Energy
+	if nehalemE/coreE > 1.6 || coreE/nehalemE > 1.6 {
+		t.Errorf("die-shrink generations diverge: Core %v vs Nehalem %v", coreE, nehalemE)
+	}
+	// At native clocks the newer parts are also faster.
+	for _, r := range res.Native {
+		if r.Perf <= 1.0 {
+			t.Errorf("%s: native-clock perf ratio %v, want > 1", r.Label, r.Perf)
+		}
+	}
+}
+
+func TestFigure9GrossMicroarchitecture(t *testing.T) {
+	res, err := Figure9(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ratios) != 4 {
+		t.Fatalf("%d comparisons, want 4", len(res.Ratios))
+	}
+	byLabel := map[string]Ratio{}
+	for _, r := range res.Ratios {
+		byLabel[r.Label] = r
+	}
+	// The i7 is ~2.6x the Pentium 4 at a third the power (huge energy
+	// win) when matched for clock and contexts.
+	nb := byLabel["NetBurst: i7/Pentium4"]
+	if nb.Perf < 2.0 {
+		t.Errorf("i7/P4 perf = %v, want >= 2", nb.Perf)
+	}
+	if nb.Power > 0.5 {
+		t.Errorf("i7/P4 power = %v, want about a third", nb.Power)
+	}
+	if nb.Energy > 0.2 {
+		t.Errorf("i7/P4 energy = %v, want ~0.13", nb.Energy)
+	}
+	// Architecture Finding 6: Nehalem is a modest ~15-25% faster than
+	// Core at matched configuration.
+	c45 := byLabel["Core: i7/C2D(45)"]
+	if c45.Perf < 1.05 || c45.Perf > 1.4 {
+		t.Errorf("Nehalem/Core perf = %v, want ~1.14", c45.Perf)
+	}
+	// Architecture Finding 7: at the same 45nm node, energy is similar.
+	if c45.Energy < 0.7 || c45.Energy > 1.3 {
+		t.Errorf("same-node energy ratio = %v, want ~1", c45.Energy)
+	}
+	// Across two nodes (i5 vs Conroe) energy halves.
+	c65 := byLabel["Core: i5/C2D(65)"]
+	if c65.Energy > 0.65 {
+		t.Errorf("two-node energy ratio = %v, want ~0.5", c65.Energy)
+	}
+}
+
+func TestFigure10TurboBoost(t *testing.T) {
+	res, err := Figure10(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ratios) != 4 {
+		t.Fatalf("%d comparisons, want 4", len(res.Ratios))
+	}
+	byLabel := map[string]Ratio{}
+	for _, r := range res.Ratios {
+		byLabel[r.Label] = r
+	}
+	// Architecture Finding 8: Turbo Boost is not energy efficient on
+	// the i7; the i5 stays near energy-neutral. Performance changes
+	// track the clock-step increases (~3-10%).
+	for _, r := range res.Ratios {
+		if r.Perf < 1.0 || r.Perf > 1.15 {
+			t.Errorf("%s: turbo perf ratio %v", r.Label, r.Perf)
+		}
+	}
+	i7Single := byLabel["i7 (45) 1C1T"]
+	if i7Single.Power < 1.25 {
+		t.Errorf("i7 1C1T turbo power = %v, want the paper's big jump (~1.49)", i7Single.Power)
+	}
+	if i7Single.Energy < 1.1 {
+		t.Errorf("i7 1C1T turbo energy = %v, want clearly inefficient", i7Single.Energy)
+	}
+	for _, label := range []string{"i5 (32) 2C2T", "i5 (32) 1C1T"} {
+		if e := byLabel[label].Energy; e > 1.12 {
+			t.Errorf("%s turbo energy = %v, want near-neutral", label, e)
+		}
+	}
+	if byLabel["i7 (45) 4C2T"].Energy <= byLabel["i5 (32) 2C2T"].Energy {
+		t.Error("i7 turbo energy overhead not above i5's")
+	}
+}
+
+func TestFigure11Historical(t *testing.T) {
+	res, err := Figure11(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("%d points, want 8", len(res.Points))
+	}
+	byName := map[string]Figure11Point{}
+	for _, p := range res.Points {
+		byName[p.Proc] = p
+	}
+	// The Atoms draw the least power; the Pentium 4 yields the most
+	// performance AND power per transistor (Architecture Finding 9).
+	p4 := byName[proc.Pentium4Name]
+	for name, p := range byName {
+		if name == proc.Pentium4Name {
+			continue
+		}
+		if p.PerfPerMTrans >= p4.PerfPerMTrans {
+			t.Errorf("%s perf/transistor %v >= P4 %v", name, p.PerfPerMTrans, p4.PerfPerMTrans)
+		}
+		if p.WattsPerMTrans >= p4.WattsPerMTrans {
+			t.Errorf("%s power/transistor %v >= P4 %v", name, p.WattsPerMTrans, p4.WattsPerMTrans)
+		}
+	}
+	// Power per transistor is consistent within a family: the two
+	// Nehalems sit within 2x of each other, as do the three Cores.
+	i7, i5 := byName[proc.I7Name], byName[proc.I5Name]
+	if r := i7.WattsPerMTrans / i5.WattsPerMTrans; r > 2 || r < 0.5 {
+		t.Errorf("Nehalem power/transistor inconsistent: %v", r)
+	}
+}
+
+func TestFigure12Curves(t *testing.T) {
+	res, err := Figure12(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []string{"Average", "Native Non-scalable", "Native Scalable", "Java Non-scalable", "Java Scalable"} {
+		curve, ok := res.Curves[sel]
+		if !ok {
+			t.Errorf("missing curve for %s", sel)
+			continue
+		}
+		if len(curve.Points) < 2 {
+			t.Errorf("%s: frontier has %d points", sel, len(curve.Points))
+		}
+	}
+	// Workload Finding 4: the frontiers differ by group — the scalable
+	// groups reach much higher performance than the non-scalable ones.
+	scal := res.Curves["Native Scalable"]
+	non := res.Curves["Native Non-scalable"]
+	if scal.MaxX <= non.MaxX {
+		t.Errorf("scalable frontier max perf %v not beyond non-scalable %v", scal.MaxX, non.MaxX)
+	}
+}
+
+func TestSection31Drilldown(t *testing.T) {
+	res, err := Section31(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(res.Rows))
+	}
+	byName := map[string]Section31Row{}
+	for _, r := range res.Rows {
+		byName[r.Bench] = r
+		if r.CPIOneCore <= 0 || r.CPITwoCores <= 0 {
+			t.Errorf("%s: degenerate CPI", r.Bench)
+		}
+		if r.DTLBRatio < 1 {
+			t.Errorf("%s: DTLB ratio %v below 1 — offloading must not add misses", r.Bench, r.DTLBRatio)
+		}
+	}
+	// The paper: db spends ~95% of instructions in application code yet
+	// speeds up ~30% because the collector's displacement goes away —
+	// DTLB misses drop by ~2.5x with the second core.
+	db := byName["db"]
+	if db.DTLBRatio < 2 || db.DTLBRatio > 4 {
+		t.Errorf("db DTLB ratio = %v, want ~2.5-3", db.DTLBRatio)
+	}
+	if db.ServiceFraction > 0.10 {
+		t.Errorf("db service fraction = %v, want small (~0.05)", db.ServiceFraction)
+	}
+	// antlr spends the most time in the JVM (paper: up to ~50%).
+	antlr := byName["antlr"]
+	for name, r := range byName {
+		if name == "antlr" {
+			continue
+		}
+		if r.ServiceFraction >= antlr.ServiceFraction {
+			t.Errorf("%s service fraction %v >= antlr %v", name, r.ServiceFraction, antlr.ServiceFraction)
+		}
+	}
+	if antlr.ServiceFraction < 0.2 {
+		t.Errorf("antlr service fraction = %v, want large", antlr.ServiceFraction)
+	}
+	// Most benchmarks spend 90-99% of instructions in the application.
+	typical := 0
+	for _, r := range byName {
+		if r.ServiceFraction <= 0.12 {
+			typical++
+		}
+	}
+	if typical < 6 {
+		t.Errorf("only %d/10 benchmarks have small service fractions", typical)
+	}
+}
+
+func TestJVMComparison(t *testing.T) {
+	res, err := JVMComparison(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 JVMs", len(res.Rows))
+	}
+	byName := map[string]JVMRow{}
+	for _, r := range res.Rows {
+		byName[r.VM] = r
+	}
+	hs := byName["HotSpot"]
+	if hs.PerfVsHotSpot != 1 || hs.PowerVsHotSpot != 1 || hs.MaxBenchDeviation != 0 {
+		t.Fatalf("HotSpot not its own baseline: %+v", hs)
+	}
+	for _, name := range []string{"JRockit", "J9"} {
+		r := byName[name]
+		// Section 2.2: average performance similar to HotSpot...
+		if r.PerfVsHotSpot < 0.92 || r.PerfVsHotSpot > 1.08 {
+			t.Errorf("%s aggregate perf = %v, want within ~8%% of HotSpot", name, r.PerfVsHotSpot)
+		}
+		// ...aggregate power differences of up to 10%...
+		if r.PowerVsHotSpot < 0.88 || r.PowerVsHotSpot > 1.12 {
+			t.Errorf("%s aggregate power = %v, want within ~10%%", name, r.PowerVsHotSpot)
+		}
+		// ...but individual benchmarks vary substantially.
+		if r.MaxBenchDeviation < 0.05 {
+			t.Errorf("%s max benchmark deviation = %v, want substantial", name, r.MaxBenchDeviation)
+		}
+	}
+	// The two alternative VMs sit on opposite sides of HotSpot in power.
+	if (byName["JRockit"].PowerVsHotSpot-1)*(byName["J9"].PowerVsHotSpot-1) >= 0 {
+		t.Error("JRockit and J9 power biases do not bracket HotSpot")
+	}
+}
+
+func TestMeterComparison(t *testing.T) {
+	res, err := MeterComparison(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.WallWatts <= r.ChipWatts {
+			t.Errorf("%s: wall %v not above chip %v", r.Proc, r.WallWatts, r.ChipWatts)
+		}
+		if r.ChipFraction <= 0 || r.ChipFraction >= 1 {
+			t.Errorf("%s: chip fraction %v", r.Proc, r.ChipFraction)
+		}
+		// The methodological point: benchmark sensitivity is diluted at
+		// the wall — chip spread always exceeds wall spread.
+		if r.WallSpread >= r.ChipSpread {
+			t.Errorf("%s: wall spread %v not below chip spread %v",
+				r.Proc, r.WallSpread, r.ChipSpread)
+		}
+	}
+	// The Atoms vanish into the system floor.
+	for _, r := range res.Rows {
+		if r.Proc == proc.Atom45Name && r.ChipFraction > 0.08 {
+			t.Errorf("Atom chip fraction %v, want tiny", r.ChipFraction)
+		}
+	}
+}
+
+func TestKernelBugAblation(t *testing.T) {
+	res, err := KernelBug(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every multicore fleet member (6 of 8; the Pentium 4 and Atom 230 are single-core).
+	if len(res.Reports) != 6 {
+		t.Fatalf("%d reports, want 6 multicore parts", len(res.Reports))
+	}
+	for _, r := range res.Reports {
+		if !r.Anomalous() {
+			t.Errorf("%s: no power anomaly under buggy OS offlining", r.Proc)
+		}
+	}
+}
+
+func TestHeapSweep(t *testing.T) {
+	res, err := HeapSweep(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("%d series, want 4", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("%s: %d points, want 5", s.Bench, len(s.Points))
+		}
+		// GC work falls monotonically as the heap grows.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].GCWork > s.Points[i-1].GCWork {
+				t.Errorf("%s: GC work rose with heap size", s.Bench)
+			}
+		}
+	}
+	// The allocation-heavy benchmark pays heavily for a tight heap; the
+	// low-allocation one barely notices — and at the methodology's 3x
+	// the sensitivity has flattened out (the paper's rationale).
+	byName := map[string]HeapSweepSeries{}
+	for _, s := range res.Series {
+		byName[s.Bench] = s
+	}
+	slowdown := func(s HeapSweepSeries) float64 {
+		return s.Points[0].Seconds / s.Points[len(s.Points)-1].Seconds
+	}
+	if slowdown(byName["lusearch"]) < 1.05 {
+		t.Errorf("lusearch tight-heap slowdown = %v, want significant", slowdown(byName["lusearch"]))
+	}
+	if slowdown(byName["compress"]) > 1.03 {
+		t.Errorf("compress tight-heap slowdown = %v, want negligible", slowdown(byName["compress"]))
+	}
+	lu := byName["lusearch"].Points
+	tightStep := lu[0].Seconds / lu[1].Seconds // 1.5x -> 2x
+	threeStep := lu[2].Seconds / lu[3].Seconds // 3x -> 4.5x
+	if threeStep >= tightStep {
+		t.Errorf("heap sensitivity not flattening: 1.5->2 gain %v vs 3->4.5 gain %v",
+			tightStep, threeStep)
+	}
+}
+
+func TestScalingAnalysis(t *testing.T) {
+	res, err := ScalingAnalysis(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want Core and Nehalem shrinks", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		m := r.Measured
+		// Both measured shrinks raise frequency and cut power.
+		if m.Frequency <= 1 {
+			t.Errorf("%s: frequency ratio %v", m.Label, m.Frequency)
+		}
+		if m.Power >= 1 {
+			t.Errorf("%s: power ratio %v", m.Label, m.Power)
+		}
+		// The decade's reality: both land far from Dennard-ideal
+		// frequency scaling but beat the conservative ITRS numbers
+		// (Architecture Finding 5's "more encouraging" observation).
+		if r.VsDennard.FreqError > 0.95 {
+			t.Errorf("%s: frequency at %v of Dennard — too good to be true",
+				m.Label, r.VsDennard.FreqError)
+		}
+		if r.VsITRS.FreqError < 1.0 {
+			t.Errorf("%s: frequency below the ITRS prediction (%v)",
+				m.Label, r.VsITRS.FreqError)
+		}
+	}
+	// Architecture Finding 5: the two generations deliver similar energy
+	// reductions — their power ratios sit within ~30% of each other.
+	p0, p1 := res.Rows[0].Measured.Power, res.Rows[1].Measured.Power
+	if p0/p1 > 1.3 || p1/p0 > 1.3 {
+		t.Errorf("generations diverge: %v vs %v", p0, p1)
+	}
+	// Section 4.1's projection: the shrunk P4 cuts power several-fold
+	// (the paper says ~4x using its matched-clock factors; our native-
+	// clock factors land nearer 2-3x) and gains well over 1.5x
+	// performance.
+	if res.P4Projected.Power > 0.55 || res.P4Projected.Power < 0.15 {
+		t.Errorf("P4 projected power = %v, want ~four-fold reduction", res.P4Projected.Power)
+	}
+	if res.P4Projected.Perf < 1.5 {
+		t.Errorf("P4 projected perf = %v, want ~two-fold gain", res.P4Projected.Perf)
+	}
+}
+
+func TestPowerBreakdown(t *testing.T) {
+	res, err := PowerBreakdown(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(res.Rows))
+	}
+	byName := map[string]BreakdownRow{}
+	for _, r := range res.Rows {
+		byName[r.Bench] = r
+		sum := r.UncoreFrac + r.DynFrac + r.StaticFrac + r.GatedFrac
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: fractions sum to %v", r.Bench, sum)
+		}
+		if r.Breakdown.TotalWatts <= 0 {
+			t.Errorf("%s: degenerate breakdown", r.Bench)
+		}
+	}
+	// Single-threaded benchmarks leave most cores idle: their gated
+	// share is visible while the scalable ones drive dynamic power.
+	if byName["povray"].DynFrac >= byName["swaptions"].DynFrac {
+		t.Error("single-threaded dynamic share not below fully-loaded")
+	}
+	if byName["swaptions"].GatedFrac >= byName["povray"].GatedFrac {
+		t.Error("fully-loaded gated share not below single-threaded")
+	}
+	// Memory-bound mcf burns relatively less core dynamic power than
+	// compute-bound povray at the same thread count.
+	if byName["mcf"].Breakdown.CoreDynWatts >= byName["povray"].Breakdown.CoreDynWatts {
+		t.Error("memory-bound dynamic power not below compute-bound")
+	}
+}
+
+func TestFindingsAllHold(t *testing.T) {
+	res, err := Findings(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 13 {
+		t.Fatalf("%d findings, want the paper's 13", len(res.Findings))
+	}
+	for _, f := range res.Findings {
+		if !f.Holds {
+			t.Errorf("%s does not hold: %s (%s)", f.ID, f.Statement, f.Detail)
+		}
+		if f.Detail == "" {
+			t.Errorf("%s: missing detail", f.ID)
+		}
+	}
+	if !res.AllHold() {
+		t.Error("AllHold inconsistent with per-finding state")
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/workload"
+)
+
+// Finding is one of the paper's thirteen named findings, evaluated
+// against this study's measurements.
+type Finding struct {
+	// ID is the paper's label, e.g. "Architecture 3" or "Workload 1".
+	ID string
+	// Statement paraphrases the finding.
+	Statement string
+	// Holds reports whether the measured data supports it.
+	Holds bool
+	// Detail quantifies the check.
+	Detail string
+}
+
+// FindingsResult is the reproduction report: every named finding checked
+// against the measured dataset.
+type FindingsResult struct {
+	Findings []Finding
+}
+
+// AllHold reports whether every finding reproduced.
+func (r *FindingsResult) AllHold() bool {
+	for _, f := range r.Findings {
+		if !f.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// Findings evaluates all four workload and nine architecture findings.
+func Findings(c *Context) (*FindingsResult, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	res := &FindingsResult{}
+	add := func(id, statement string, holds bool, detail string) {
+		res.Findings = append(res.Findings, Finding{
+			ID: id, Statement: statement, Holds: holds, Detail: detail,
+		})
+	}
+
+	// --- Workload findings -------------------------------------------
+	f6, err := Figure6(c)
+	if err != nil {
+		return nil, err
+	}
+	sum, min := 0.0, 10.0
+	for _, p := range f6.Points {
+		sum += p.Speedup
+		if p.Speedup < min {
+			min = p.Speedup
+		}
+	}
+	avg := sum / float64(len(f6.Points))
+	add("Workload 1",
+		"the JVM induces parallelism into single-threaded Java execution",
+		avg > 1.05 && min > 0.95,
+		fmt.Sprintf("single-threaded Java gains %.0f%% on average from a 2nd core", (avg-1)*100))
+
+	f5, err := Figure5(c)
+	if err != nil {
+		return nil, err
+	}
+	var p4JN float64
+	for i, r := range f5.Ratios {
+		if r.Label == proc.Pentium4Name {
+			p4JN = f5.Groups[i].Energy[int(workload.JavaNonScalable)]
+		}
+	}
+	add("Workload 2",
+		"SMT degrades Java Non-scalable on the Pentium 4",
+		p4JN > 1.0,
+		fmt.Sprintf("P4 Java Non-scalable SMT energy ratio %.2f", p4JN))
+
+	t4, err := Table4(c)
+	if err != nil {
+		return nil, err
+	}
+	nnOutlier := true
+	detail3 := ""
+	for _, row := range t4 {
+		r := row.Result
+		name := r.CP.Proc.Name
+		if name != proc.I7Name && name != proc.I5Name {
+			continue
+		}
+		nn := r.Groups[int(workload.NativeNonScalable)].Watts
+		for _, g := range workload.Groups() {
+			if g == workload.NativeNonScalable {
+				continue
+			}
+			if nn >= r.Groups[int(g)].Watts {
+				nnOutlier = false
+			}
+		}
+		detail3 += fmt.Sprintf("%s NN %.1fW vs others %.1f-%.1fW; ", name, nn,
+			minGroupWatts(r, workload.NativeNonScalable), r.WattsMax)
+	}
+	add("Workload 3",
+		"Native Non-scalable's power/performance behaviour differs from the other groups (the SPEC outlier)",
+		nnOutlier, strings.TrimSuffix(detail3, "; "))
+
+	t5, err := Table5(c)
+	if err != nil {
+		return nil, err
+	}
+	sharedAll := 0
+	for _, l := range t5.Efficient["Native Non-scalable"] {
+		for _, sel := range []string{"Native Scalable", "Java Scalable"} {
+			for _, o := range t5.Efficient[sel] {
+				if l == o {
+					sharedAll++
+				}
+			}
+		}
+	}
+	add("Workload 4",
+		"Pareto-efficient design is very sensitive to workload",
+		sharedAll <= 2,
+		fmt.Sprintf("Native Non-scalable shares only %d frontier points with the scalable groups", sharedAll))
+
+	// --- Architecture findings ---------------------------------------
+	f4, err := Figure4(c)
+	if err != nil {
+		return nil, err
+	}
+	add("Architecture 1",
+		"enabling a core is not consistently energy efficient",
+		f4.Ratios[0].Energy > f4.Ratios[1].Energy &&
+			f4.Groups[0].Energy[int(workload.NativeNonScalable)] >= 1.0,
+		fmt.Sprintf("CMP energy i7 %.2f vs i5 %.2f", f4.Ratios[0].Energy, f4.Ratios[1].Energy))
+
+	var atomE, i5E float64
+	for _, r := range f5.Ratios {
+		switch r.Label {
+		case proc.Atom45Name:
+			atomE = r.Energy
+		case proc.I5Name:
+			i5E = r.Energy
+		}
+	}
+	add("Architecture 2",
+		"SMT delivers substantial energy savings on the i5 and Atom",
+		atomE < 0.95 && i5E < 0.95,
+		fmt.Sprintf("SMT energy ratios: Atom %.2f, i5 %.2f", atomE, i5E))
+
+	f7, err := Figure7(c)
+	if err != nil {
+		return nil, err
+	}
+	var i5D, i7D, c2dD float64
+	for _, srs := range f7.Series {
+		switch srs.Proc {
+		case proc.I5Name:
+			i5D = srs.PerDoublingEnergy
+		case proc.I7Name:
+			i7D = srs.PerDoublingEnergy
+		case proc.Core2D45Name:
+			c2dD = srs.PerDoublingEnergy
+		}
+	}
+	add("Architecture 3",
+		"the i5's energy is flat across its clock range; the i7 and Core 2D pay heavily",
+		i5D < 0.1 && i7D > 0.35 && c2dD > 0.3,
+		fmt.Sprintf("energy per clock doubling: i5 %+.0f%%, i7 %+.0f%%, C2D45 %+.0f%%",
+			i5D*100, i7D*100, c2dD*100))
+
+	f8, err := Figure8(c)
+	if err != nil {
+		return nil, err
+	}
+	add("Architecture 4",
+		"a die shrink cuts power deeply even at matched clocks",
+		f8.Matched[0].Power < 0.75 && f8.Matched[1].Power < 0.85,
+		fmt.Sprintf("matched-clock power ratios: Core %.2f, Nehalem %.2f",
+			f8.Matched[0].Power, f8.Matched[1].Power))
+	add("Architecture 5",
+		"the 45->32nm shrink repeats the previous generation's energy gains",
+		f8.Matched[1].Energy/f8.Matched[0].Energy < 1.7,
+		fmt.Sprintf("matched-clock energy ratios: Core %.2f vs Nehalem %.2f",
+			f8.Matched[0].Energy, f8.Matched[1].Energy))
+
+	f9, err := Figure9(c)
+	if err != nil {
+		return nil, err
+	}
+	byLabel := map[string]Ratio{}
+	for _, r := range f9.Ratios {
+		byLabel[r.Label] = r
+	}
+	c45 := byLabel["Core: i7/C2D(45)"]
+	add("Architecture 6",
+		"Nehalem performs modestly better than Core at matched configuration",
+		c45.Perf > 1.05 && c45.Perf < 1.4,
+		fmt.Sprintf("i7/C2D(45) matched perf ratio %.2f", c45.Perf))
+	add("Architecture 7",
+		"at the same node, Nehalem's energy efficiency is similar to Core and Bonnell",
+		c45.Energy > 0.7 && c45.Energy < 1.3 &&
+			byLabel["Bonnell: i7/AtomD"].Energy > 0.5 && byLabel["Bonnell: i7/AtomD"].Energy < 1.3,
+		fmt.Sprintf("same-node energy ratios: vs Core %.2f, vs Bonnell %.2f",
+			c45.Energy, byLabel["Bonnell: i7/AtomD"].Energy))
+
+	f10, err := Figure10(c)
+	if err != nil {
+		return nil, err
+	}
+	i7Turbo, i5Turbo := f10.Ratios[0].Energy, f10.Ratios[2].Energy
+	add("Architecture 8",
+		"Turbo Boost is not energy efficient on the i7 (the i5 stays near neutral)",
+		i7Turbo > 1.1 && i5Turbo < 1.1,
+		fmt.Sprintf("turbo energy ratios: i7 %.2f, i5 %.2f", i7Turbo, i5Turbo))
+
+	f11, err := Figure11(c)
+	if err != nil {
+		return nil, err
+	}
+	perTrans := map[string]float64{}
+	for _, p := range f11.Points {
+		perTrans[p.Proc] = p.WattsPerMTrans
+	}
+	nehalemRatio := ratioOf(perTrans[proc.I7Name], perTrans[proc.I5Name])
+	coreRatio := ratioOf(perTrans[proc.Core2D65Name], perTrans[proc.Core2D45Name])
+	crossRatio := ratioOf(perTrans[proc.Pentium4Name], perTrans[proc.I5Name])
+	add("Architecture 9",
+		"power per transistor is consistent within a microarchitecture family, not across them",
+		nehalemRatio < 2 && coreRatio < 2 && crossRatio > 3,
+		fmt.Sprintf("within-family spreads %.1fx/%.1fx vs cross-family %.1fx",
+			nehalemRatio, coreRatio, crossRatio))
+
+	return res, nil
+}
+
+func minGroupWatts(r *harness.ConfigResult, skip workload.Group) float64 {
+	min := 1e18
+	for _, g := range workload.Groups() {
+		if g == skip {
+			continue
+		}
+		if w := r.Groups[int(g)].Watts; w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+func ratioOf(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"repro/internal/jvm"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// HeapPoint is one heap size's steady-state behaviour for a benchmark.
+type HeapPoint struct {
+	HeapFactor float64
+	Seconds    float64
+	Watts      float64
+	EnergyJ    float64
+	// GCWork is the collector's share of total work at this heap size.
+	GCWork float64
+}
+
+// HeapSweepSeries is one benchmark's sensitivity to heap size.
+type HeapSweepSeries struct {
+	Bench  string
+	Points []HeapPoint // ascending heap factor
+}
+
+// HeapSweepResult is the methodology ablation behind the paper's "3x the
+// minimum heap" choice (Section 2.2): a generous heap keeps collector
+// work from polluting the measurement, while a tight heap would have
+// measured the collector as much as the application.
+type HeapSweepResult struct {
+	Series []HeapSweepSeries
+}
+
+// heapFactors is the swept range, bracketing the methodology's 3x.
+var heapFactors = []float64{1.5, 2, 3, 4.5, 6}
+
+// HeapSweep measures allocation-heavy Java benchmarks on the stock i7
+// across heap sizes.
+func HeapSweep(c *Context) (*HeapSweepResult, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.NewMachine(p, p.Stock())
+	if err != nil {
+		return nil, err
+	}
+	res := &HeapSweepResult{}
+	for _, name := range []string{"lusearch", "xalan", "pjbb2005", "compress"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		series := HeapSweepSeries{Bench: name}
+		for _, hf := range heapFactors {
+			plan, err := jvm.NewPlanHeap(b, machine.Cfg.Contexts(), hf)
+			if err != nil {
+				return nil, err
+			}
+			spec := plan.Specs[plan.MeasuredIndex()]
+			r, err := machine.Run(spec, 7, nil)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, HeapPoint{
+				HeapFactor: hf,
+				Seconds:    r.Seconds,
+				Watts:      r.AvgWatts,
+				EnergyJ:    r.EnergyJ,
+				GCWork:     spec.ServiceWork,
+			})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}

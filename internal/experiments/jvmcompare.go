@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"repro/internal/jvm"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// JVMRow is one virtual machine's aggregate behaviour relative to
+// HotSpot over the Java workloads on the stock i7 — the Section 2.2
+// cross-check ("average performance is similar to HotSpot, but
+// individual benchmarks vary substantially; we observe aggregate power
+// differences of up to 10% between JVMs").
+type JVMRow struct {
+	VM string
+	// PerfVsHotSpot is mean relative performance (1 = HotSpot).
+	PerfVsHotSpot float64
+	// PowerVsHotSpot is mean relative average power.
+	PowerVsHotSpot float64
+	// MaxBenchDeviation is the largest per-benchmark performance
+	// deviation from HotSpot in either direction.
+	MaxBenchDeviation float64
+}
+
+// JVMComparisonResult is the Section 2.2 JVM cross-check.
+type JVMComparisonResult struct {
+	Rows []JVMRow
+}
+
+// JVMComparison measures every Java benchmark under the three JVMs on
+// the stock i7 and aggregates relative performance and power.
+func JVMComparison(c *Context) (*JVMComparisonResult, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.NewMachine(p, p.Stock())
+	if err != nil {
+		return nil, err
+	}
+	javaBenches := append(workload.ByGroup(workload.JavaNonScalable),
+		workload.ByGroup(workload.JavaScalable)...)
+
+	// Baseline: HotSpot steady-state results per benchmark.
+	type pair struct{ seconds, watts float64 }
+	base := make(map[string]pair, len(javaBenches))
+	for _, b := range javaBenches {
+		res, err := jvm.RunVM(jvm.HotSpot(), b, machine, 1)
+		if err != nil {
+			return nil, err
+		}
+		base[b.Name] = pair{res.Seconds, res.AvgWatts}
+	}
+
+	out := &JVMComparisonResult{}
+	for _, vm := range jvm.VMs() {
+		var perfs, watts []float64
+		maxDev := 0.0
+		for _, b := range javaBenches {
+			res, err := jvm.RunVM(vm, b, machine, 1)
+			if err != nil {
+				return nil, err
+			}
+			bl := base[b.Name]
+			rel := bl.seconds / res.Seconds
+			perfs = append(perfs, rel)
+			watts = append(watts, res.AvgWatts/bl.watts)
+			dev := rel - 1
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > maxDev {
+				maxDev = dev
+			}
+		}
+		out.Rows = append(out.Rows, JVMRow{
+			VM:                vm.Name,
+			PerfVsHotSpot:     stats.Mean(perfs),
+			PowerVsHotSpot:    stats.Mean(watts),
+			MaxBenchDeviation: maxDev,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+// Package governor models operating-system DVFS governors and the OS
+// context-scaling bug that drove the paper to configure its hardware
+// through the BIOS instead.
+//
+// Section 2.8: "We experimented with operating system configuration,
+// which is far more convenient, but it was not sufficiently reliable.
+// For example, operating system scaling of hardware contexts often
+// caused power consumption to increase as hardware resources were
+// decreased! Extensive investigation revealed a bug in the Linux
+// kernel." This package reproduces both halves: the classic cpufreq
+// governors (performance, powersave, ondemand, userspace) over a
+// processor's DVFS table, and the buggy OS core-offlining path whose
+// power goes the wrong way.
+package governor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/proc"
+)
+
+// Policy names a cpufreq governor.
+type Policy int
+
+// The governors of the paper's 2.6.31-era cpufreq subsystem.
+const (
+	// Performance pins the maximum frequency.
+	Performance Policy = iota
+	// Powersave pins the minimum frequency.
+	Powersave
+	// Ondemand jumps to maximum when utilization crosses its up
+	// threshold and steps down gradually when load falls (Pallipadi &
+	// Starikovskiy, cited as [26] in the paper).
+	Ondemand
+	// Userspace holds whatever frequency was last requested.
+	Userspace
+)
+
+// String returns the sysfs name.
+func (p Policy) String() string {
+	switch p {
+	case Performance:
+		return "performance"
+	case Powersave:
+		return "powersave"
+	case Ondemand:
+		return "ondemand"
+	case Userspace:
+		return "userspace"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Governor drives one processor's frequency from observed utilization.
+type Governor struct {
+	Policy Policy
+	// UpThreshold is ondemand's trigger utilization (default 0.80, the
+	// kernel's historical default).
+	UpThreshold float64
+
+	proc *proc.Processor
+	freq float64
+}
+
+// New builds a governor for the processor, starting at the policy's
+// natural frequency.
+func New(p *proc.Processor, policy Policy) (*Governor, error) {
+	if p == nil {
+		return nil, errors.New("governor: nil processor")
+	}
+	g := &Governor{Policy: policy, UpThreshold: 0.80, proc: p}
+	switch policy {
+	case Performance:
+		g.freq = p.MaxClock()
+	case Powersave:
+		g.freq = p.MinClock()
+	case Ondemand, Userspace:
+		g.freq = p.MinClock()
+	default:
+		return nil, fmt.Errorf("governor: unknown policy %v", policy)
+	}
+	return g, nil
+}
+
+// Freq returns the currently selected frequency.
+func (g *Governor) Freq() float64 { return g.freq }
+
+// SetFreq services a userspace request, clamped to the DVFS range.
+func (g *Governor) SetFreq(ghz float64) error {
+	if g.Policy != Userspace {
+		return fmt.Errorf("governor: SetFreq under %v policy", g.Policy)
+	}
+	if ghz < g.proc.MinClock() {
+		ghz = g.proc.MinClock()
+	}
+	if ghz > g.proc.MaxClock() {
+		ghz = g.proc.MaxClock()
+	}
+	g.freq = ghz
+	return nil
+}
+
+// Tick advances the governor by one sampling interval with the observed
+// utilization in [0,1] and returns the frequency for the next interval.
+func (g *Governor) Tick(utilization float64) (float64, error) {
+	if utilization < 0 || utilization > 1 {
+		return 0, fmt.Errorf("governor: utilization %v outside [0,1]", utilization)
+	}
+	switch g.Policy {
+	case Performance, Powersave, Userspace:
+		return g.freq, nil
+	case Ondemand:
+		if utilization >= g.UpThreshold {
+			// Jump straight to the maximum, the ondemand signature.
+			g.freq = g.proc.MaxClock()
+			return g.freq, nil
+		}
+		// Step down one DVFS point when there is clear headroom.
+		if utilization < g.UpThreshold*0.5 {
+			g.freq = stepDown(g.proc, g.freq)
+		}
+		return g.freq, nil
+	default:
+		return 0, fmt.Errorf("governor: unknown policy %v", g.Policy)
+	}
+}
+
+// stepDown returns the next-lower DVFS point, or the minimum.
+func stepDown(p *proc.Processor, ghz float64) float64 {
+	vf := p.Model.VF
+	for i := len(vf) - 1; i >= 0; i-- {
+		if vf[i].GHz < ghz-1e-9 {
+			return vf[i].GHz
+		}
+	}
+	return p.MinClock()
+}
+
+// Trace is one interval of a utilization trace.
+type Trace struct {
+	Utilization float64
+	Seconds     float64
+}
+
+// SimResult summarizes a governed run over a utilization trace.
+type SimResult struct {
+	EnergyJ    float64
+	AvgWatts   float64
+	AvgClock   float64
+	WorkDone   float64 // utilization-weighted clock-seconds: a proxy for work
+	Seconds    float64
+	Switches   int // frequency transitions
+	FinalClock float64
+}
+
+// Simulate runs the governor over a utilization trace on a single active
+// core of the processor and integrates power with the same model the
+// machine simulator uses. It is the package's test bench for comparing
+// policies (ondemand's energy savings versus its reaction lag).
+func (g *Governor) Simulate(trace []Trace, activity float64) (SimResult, error) {
+	if len(trace) == 0 {
+		return SimResult{}, errors.New("governor: empty trace")
+	}
+	if activity <= 0 || activity > 1.2 {
+		return SimResult{}, fmt.Errorf("governor: activity %v outside (0, 1.2]", activity)
+	}
+	var res SimResult
+	loads := make([]power.CoreLoad, g.proc.Spec.Cores)
+	for _, iv := range trace {
+		if iv.Seconds <= 0 {
+			return SimResult{}, errors.New("governor: non-positive interval")
+		}
+		prev := g.freq
+		f, err := g.Tick(iv.Utilization)
+		if err != nil {
+			return SimResult{}, err
+		}
+		if f != prev {
+			res.Switches++
+		}
+		for i := range loads {
+			loads[i] = power.CoreLoad{}
+			if i == 0 {
+				loads[i] = power.CoreLoad{
+					Active: true, Enabled: true,
+					Activity:    activity,
+					Utilization: iv.Utilization,
+				}
+			}
+		}
+		op := power.Operating{ClockGHz: f, Volts: g.proc.VoltsAt(f), TempC: 55}
+		bd, err := power.Chip(g.proc, op, loads)
+		if err != nil {
+			return SimResult{}, err
+		}
+		res.EnergyJ += bd.TotalWatts * iv.Seconds
+		res.AvgClock += f * iv.Seconds
+		res.WorkDone += iv.Utilization * f * iv.Seconds
+		res.Seconds += iv.Seconds
+	}
+	res.AvgWatts = res.EnergyJ / res.Seconds
+	res.AvgClock /= res.Seconds
+	res.FinalClock = g.freq
+	return res, nil
+}

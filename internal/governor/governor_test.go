@@ -1,0 +1,289 @@
+package governor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proc"
+)
+
+func i5(t *testing.T) *proc.Processor {
+	t.Helper()
+	p, err := proc.ByName(proc.I5Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPolicies(t *testing.T) {
+	p := i5(t)
+	perf, err := New(p, Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.Freq() != p.MaxClock() {
+		t.Fatalf("performance starts at %v, want max", perf.Freq())
+	}
+	save, err := New(p, Powersave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if save.Freq() != p.MinClock() {
+		t.Fatalf("powersave starts at %v, want min", save.Freq())
+	}
+	if _, err := New(nil, Performance); err == nil {
+		t.Fatal("nil processor accepted")
+	}
+	if _, err := New(p, Policy(99)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestStaticPoliciesNeverMove(t *testing.T) {
+	p := i5(t)
+	for _, pol := range []Policy{Performance, Powersave} {
+		g, err := New(p, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := g.Freq()
+		for _, u := range []float64{0, 0.5, 1, 0.2, 0.99} {
+			f, err := g.Tick(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f != start {
+				t.Fatalf("%v moved from %v to %v", pol, start, f)
+			}
+		}
+	}
+}
+
+func TestOndemandJumpsAndDecays(t *testing.T) {
+	p := i5(t)
+	g, err := New(p, Ondemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High load: straight to maximum (the ondemand signature).
+	f, err := g.Tick(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != p.MaxClock() {
+		t.Fatalf("ondemand under load at %v, want max %v", f, p.MaxClock())
+	}
+	// Idle: steps down one DVFS point per sample, eventually to min.
+	prev := f
+	for i := 0; i < 10; i++ {
+		f, err = g.Tick(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f > prev {
+			t.Fatal("ondemand stepped up while idle")
+		}
+		prev = f
+	}
+	if f != p.MinClock() {
+		t.Fatalf("ondemand idled at %v, want min %v", f, p.MinClock())
+	}
+	// Moderate load between the thresholds holds steady.
+	g2, err := New(p, Ondemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Tick(0.95); err != nil {
+		t.Fatal(err)
+	}
+	before := g2.Freq()
+	if f, err := g2.Tick(0.6); err != nil || f != before {
+		t.Fatalf("moderate load moved freq %v -> %v (%v)", before, f, err)
+	}
+}
+
+func TestUserspace(t *testing.T) {
+	p := i5(t)
+	g, err := New(p, Userspace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetFreq(2.0); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := g.Tick(1.0); err != nil || f != 2.0 {
+		t.Fatalf("userspace moved: %v (%v)", f, err)
+	}
+	// Clamping.
+	if err := g.SetFreq(99); err != nil {
+		t.Fatal(err)
+	}
+	if g.Freq() != p.MaxClock() {
+		t.Fatalf("SetFreq(99) = %v, want clamp to max", g.Freq())
+	}
+	perf, err := New(p, Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perf.SetFreq(2.0); err == nil {
+		t.Fatal("SetFreq under performance accepted")
+	}
+}
+
+func TestTickRejectsBadUtilization(t *testing.T) {
+	g, err := New(i5(t), Ondemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Tick(-0.1); err == nil {
+		t.Fatal("negative utilization accepted")
+	}
+	if _, err := g.Tick(1.1); err == nil {
+		t.Fatal("utilization above 1 accepted")
+	}
+}
+
+// burstyTrace is quiet with periodic bursts, the shape where ondemand
+// earns its keep.
+func burstyTrace() []Trace {
+	var tr []Trace
+	for i := 0; i < 50; i++ {
+		u := 0.1
+		if i%10 < 2 {
+			u = 0.95
+		}
+		tr = append(tr, Trace{Utilization: u, Seconds: 0.1})
+	}
+	return tr
+}
+
+func TestSimulatePolicyOrdering(t *testing.T) {
+	p := i5(t)
+	run := func(pol Policy) SimResult {
+		g, err := New(p, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.Simulate(burstyTrace(), 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	perf := run(Performance)
+	save := run(Powersave)
+	ond := run(Ondemand)
+	// Powersave uses the least energy, performance the most; ondemand
+	// sits between on energy while recovering most of the work.
+	if !(save.EnergyJ < ond.EnergyJ && ond.EnergyJ < perf.EnergyJ) {
+		t.Fatalf("energy ordering: save %v, ondemand %v, perf %v",
+			save.EnergyJ, ond.EnergyJ, perf.EnergyJ)
+	}
+	if !(save.WorkDone < ond.WorkDone && ond.WorkDone <= perf.WorkDone) {
+		t.Fatalf("work ordering: save %v, ondemand %v, perf %v",
+			save.WorkDone, ond.WorkDone, perf.WorkDone)
+	}
+	if ond.Switches == 0 {
+		t.Fatal("ondemand never switched on a bursty trace")
+	}
+	if perf.Switches != 0 || save.Switches != 0 {
+		t.Fatal("static policies switched")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g, err := New(i5(t), Ondemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Simulate(nil, 0.8); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := g.Simulate([]Trace{{Utilization: 0.5, Seconds: 0}}, 0.8); err == nil {
+		t.Fatal("zero-length interval accepted")
+	}
+	if _, err := g.Simulate(burstyTrace(), 0); err == nil {
+		t.Fatal("zero activity accepted")
+	}
+}
+
+func TestKernelBugInversion(t *testing.T) {
+	// Section 2.8: under the buggy OS hotplug path, removing cores does
+	// not reduce power the way BIOS disabling does — and shows the
+	// paper's observed inversion on multicore parts.
+	for _, name := range []string{proc.I7Name, proc.Core2Q65Name} {
+		p, err := proc.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunBugReport(p, 0.8, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// BIOS path: strictly increasing power with active cores.
+		for i := 1; i < len(r.BIOSWatts); i++ {
+			if r.BIOSWatts[i] <= r.BIOSWatts[i-1] {
+				t.Errorf("%s: BIOS power not increasing with cores: %v", name, r.BIOSWatts)
+			}
+		}
+		// OS path: the anomaly appears.
+		if !r.Anomalous() {
+			t.Errorf("%s: OS offlining shows no anomaly: %v", name, r.OSWatts)
+		}
+		// And OS offlining always burns more than BIOS disabling for
+		// the same active-core count (with any core actually offlined).
+		for i := 0; i < len(r.OSWatts)-1; i++ {
+			if r.OSWatts[i] <= r.BIOSWatts[i] {
+				t.Errorf("%s: OS offline %v not above BIOS disable %v at %d cores",
+					name, r.OSWatts[i], r.BIOSWatts[i], i+1)
+			}
+		}
+	}
+}
+
+func TestOfflinePowerErrors(t *testing.T) {
+	p := i5(t)
+	if _, err := OfflinePower(nil, 1, BIOSDisable, 0.8, 0.5); err == nil {
+		t.Fatal("nil processor accepted")
+	}
+	if _, err := OfflinePower(p, 0, BIOSDisable, 0.8, 0.5); err == nil {
+		t.Fatal("zero active cores accepted")
+	}
+	if _, err := OfflinePower(p, 99, BIOSDisable, 0.8, 0.5); err == nil {
+		t.Fatal("too many active cores accepted")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if BIOSDisable.String() == OSOffline.String() {
+		t.Fatal("method names collide")
+	}
+	if Ondemand.String() != "ondemand" || Policy(42).String() == "" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+// Property: a governor's frequency always stays within the DVFS range.
+func TestQuickFreqBounded(t *testing.T) {
+	p := i5(t)
+	f := func(utils []uint8, polRaw uint8) bool {
+		g, err := New(p, Policy(polRaw%3))
+		if err != nil {
+			return false
+		}
+		for _, u := range utils {
+			freq, err := g.Tick(float64(u%101) / 100)
+			if err != nil {
+				return false
+			}
+			if freq < p.MinClock()-1e-9 || freq > p.MaxClock()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package governor
+
+import (
+	"errors"
+
+	"repro/internal/power"
+	"repro/internal/proc"
+)
+
+// OfflineMethod selects how a core is removed from service.
+type OfflineMethod int
+
+const (
+	// BIOSDisable removes the core at the firmware level: it is power
+	// gated and invisible to the OS — the paper's chosen method.
+	BIOSDisable OfflineMethod = iota
+	// OSOffline removes the core through the 2.6.31 kernel's CPU
+	// hotplug path. The kernel bug the paper hit (bugzilla #5471 lineage)
+	// leaves the offlined core in a shallow idle loop without deep
+	// C-states and blocks package-level idle states, so chip power can
+	// *increase* as hardware resources decrease.
+	OSOffline
+)
+
+// String names the method.
+func (m OfflineMethod) String() string {
+	if m == BIOSDisable {
+		return "BIOS disable"
+	}
+	return "OS offline (buggy)"
+}
+
+// OfflinePower computes chip power for the processor with `active` cores
+// running the given load and the remainder removed by the chosen method.
+// It is the package's controlled experiment for the paper's Section 2.8
+// observation.
+func OfflinePower(p *proc.Processor, active int, method OfflineMethod, activity, utilization float64) (float64, error) {
+	if p == nil {
+		return 0, errors.New("governor: nil processor")
+	}
+	if active < 1 || active > p.Spec.Cores {
+		return 0, errors.New("governor: active cores out of range")
+	}
+	loads := make([]power.CoreLoad, p.Spec.Cores)
+	for i := range loads {
+		switch {
+		case i < active:
+			loads[i] = power.CoreLoad{
+				Active: true, Enabled: true,
+				Activity: activity, Utilization: utilization,
+			}
+		case method == BIOSDisable:
+			loads[i] = power.CoreLoad{} // gated
+		default:
+			// The buggy hotplug path: the "offline" core never reaches a
+			// C-state and spins in a tight polling loop — which, unlike
+			// real work, never stalls on memory. It can therefore draw
+			// *more* than a working core, which is exactly the inversion
+			// the paper observed.
+			loads[i] = power.CoreLoad{
+				Active: true, Enabled: true,
+				Activity:    activity * 0.95,
+				Utilization: 0.95,
+			}
+		}
+	}
+	f := p.MaxClock()
+	op := power.Operating{ClockGHz: f, Volts: p.VoltsAt(f), TempC: 55}
+	bd, err := power.Chip(p, op, loads)
+	if err != nil {
+		return 0, err
+	}
+	return bd.TotalWatts, nil
+}
+
+// BugReport compares the two offlining methods across core counts for a
+// processor, reproducing the anomaly: under the buggy OS path, chip
+// power fails to decrease (and can increase) as cores are removed.
+type BugReport struct {
+	Proc string
+	// BIOSWatts[i] and OSWatts[i] are chip power with i+1 active cores.
+	BIOSWatts []float64
+	OSWatts   []float64
+}
+
+// Anomalous reports whether the OS path shows the paper's inversion:
+// power with fewer active cores at or above power with more.
+func (r BugReport) Anomalous() bool {
+	for i := 1; i < len(r.OSWatts); i++ {
+		if r.OSWatts[i-1] >= r.OSWatts[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunBugReport evaluates both methods for every active-core count.
+func RunBugReport(p *proc.Processor, activity, utilization float64) (BugReport, error) {
+	if p == nil {
+		return BugReport{}, errors.New("governor: nil processor")
+	}
+	r := BugReport{Proc: p.Name}
+	for active := 1; active <= p.Spec.Cores; active++ {
+		bw, err := OfflinePower(p, active, BIOSDisable, activity, utilization)
+		if err != nil {
+			return BugReport{}, err
+		}
+		ow, err := OfflinePower(p, active, OSOffline, activity, utilization)
+		if err != nil {
+			return BugReport{}, err
+		}
+		r.BIOSWatts = append(r.BIOSWatts, bw)
+		r.OSWatts = append(r.OSWatts, ow)
+	}
+	return r, nil
+}

@@ -1,0 +1,240 @@
+// Package harness implements the paper's measurement methodology end to
+// end: it executes each benchmark on a configured machine the prescribed
+// number of times (three for SPEC, five for PARSEC, twenty JVM
+// invocations measuring the fifth in-process iteration for Java), logs
+// chip power through the calibrated Hall-effect sensor substrate at the
+// rig's sampling rate, computes 95% confidence intervals (Table 2),
+// normalizes to the four-processor reference (Section 2.6), and
+// aggregates the four workload groups with equal weight.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/jvm"
+	"repro/internal/native"
+	"repro/internal/proc"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ConfidenceLevel is the paper's reporting level.
+const ConfidenceLevel = 0.95
+
+// RunSample is one measured invocation.
+type RunSample struct {
+	Seconds  float64 // measured execution time
+	Watts    float64 // sensor-calibrated average power over the run
+	Counters counters.Counters
+}
+
+// Measurement is the aggregated result of measuring one benchmark on one
+// configured processor.
+type Measurement struct {
+	Bench *workload.Benchmark
+	CP    proc.ConfiguredProcessor
+
+	Runs []RunSample
+
+	Seconds float64 // mean execution time
+	Watts   float64 // mean average power
+	EnergyJ float64 // mean energy (power x time per run, averaged)
+
+	// Counters holds the mean architectural event counts per run,
+	// the paper's counter-power pairing (Section 3.1).
+	Counters counters.Counters
+
+	TimeCI  stats.CI
+	PowerCI stats.CI
+}
+
+// Harness owns the sensor rig and a measurement cache; a single Harness
+// reproduces the entire study deterministically from its seed. All
+// methods are safe for concurrent use: every run derives its own seed
+// from its identity (not from shared RNG state), so parallel and serial
+// execution produce identical numbers.
+type Harness struct {
+	rig  *sensor.Rig
+	seed int64
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+// cacheEntry memoizes one measurement; the Once arbitrates concurrent
+// first requests so the methodology runs exactly once per key.
+type cacheEntry struct {
+	once sync.Once
+	m    *Measurement
+	err  error
+}
+
+// New builds a harness: it fabricates and calibrates one current sensor
+// per fleet machine (the i7 gets the 30A part) and fails if any sensor
+// misses the paper's R^2 threshold.
+func New(seed int64) (*Harness, error) {
+	names := make([]string, 0, 8)
+	for _, p := range proc.Fleet() {
+		names = append(names, p.Name)
+	}
+	rig, err := sensor.NewRig(names, map[string]float64{proc.I7Name: 30}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: rig construction: %w", err)
+	}
+	return &Harness{rig: rig, seed: seed, cache: make(map[string]*cacheEntry)}, nil
+}
+
+// Rig exposes the calibrated sensor rig (for validation reporting).
+func (h *Harness) Rig() *sensor.Rig { return h.rig }
+
+// Measure runs the full methodology for one benchmark on one configured
+// processor. Results are cached by benchmark name and configuration: the
+// same measurement is reused across experiments, as the paper's dataset
+// is. Callers constructing their own benchmark variants must therefore
+// give each variant a distinct name.
+func (h *Harness) Measure(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*Measurement, error) {
+	if b == nil {
+		return nil, errors.New("harness: nil benchmark")
+	}
+	key := b.Name + "|" + cp.String()
+	h.mu.Lock()
+	e, ok := h.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		h.cache[key] = e
+	}
+	h.mu.Unlock()
+	e.once.Do(func() { e.m, e.err = h.measure(b, cp) })
+	return e.m, e.err
+}
+
+// measure runs the methodology uncached.
+func (h *Harness) measure(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*Measurement, error) {
+	machine, err := sim.NewMachine(cp.Proc, cp.Config)
+	if err != nil {
+		return nil, err
+	}
+	meter, err := h.rig.Meter(cp.Proc.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	var runs []RunSample
+	if b.Managed() {
+		runs, err = h.measureManaged(b, machine, meter)
+	} else {
+		runs, err = h.measureNative(b, machine, meter)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", b.Name, cp, err)
+	}
+
+	m := &Measurement{Bench: b, CP: cp, Runs: runs}
+	times := make([]float64, len(runs))
+	watts := make([]float64, len(runs))
+	energy := 0.0
+	for i, r := range runs {
+		times[i] = r.Seconds
+		watts[i] = r.Watts
+		energy += r.Seconds * r.Watts
+	}
+	m.Seconds = stats.Mean(times)
+	m.Watts = stats.Mean(watts)
+	m.EnergyJ = energy / float64(len(runs))
+	for _, r := range runs {
+		m.Counters.Add(r.Counters)
+	}
+	m.Counters.Scale(1 / float64(len(runs)))
+	if m.TimeCI, err = stats.ConfidenceInterval(times, ConfidenceLevel); err != nil {
+		return nil, err
+	}
+	if m.PowerCI, err = stats.ConfidenceInterval(watts, ConfidenceLevel); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// measureNative performs the prescribed successive executions of an
+// ahead-of-time compiled benchmark.
+func (h *Harness) measureNative(b *workload.Benchmark, machine *sim.Machine, meter *sensor.Meter) ([]RunSample, error) {
+	n, err := native.Runs(b)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := native.Spec(b, machine.Cfg.Contexts())
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]RunSample, 0, n)
+	for r := 0; r < n; r++ {
+		seed := h.runSeed(b.Name, machine, r, 0)
+		lg, err := meter.NewLoggerSeeded(seed ^ 0x1091)
+		if err != nil {
+			return nil, err
+		}
+		res, err := machine.Run(spec, seed, lg.Sample)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := lg.Finish()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, RunSample{Seconds: res.Seconds, Watts: tr.AvgWatts, Counters: res.Counters})
+	}
+	return runs, nil
+}
+
+// measureManaged performs twenty JVM invocations, each running five
+// in-process iterations and measuring the fifth (Section 2.2).
+func (h *Harness) measureManaged(b *workload.Benchmark, machine *sim.Machine, meter *sensor.Meter) ([]RunSample, error) {
+	plan, err := jvm.NewPlan(b, machine.Cfg.Contexts())
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]RunSample, 0, jvm.Invocations)
+	for inv := 0; inv < jvm.Invocations; inv++ {
+		var sample RunSample
+		for it, spec := range plan.Specs {
+			measured := it == plan.MeasuredIndex()
+			seed := h.runSeed(b.Name, machine, inv, it)
+			var lg *sensor.Logger
+			if measured {
+				if lg, err = meter.NewLoggerSeeded(seed ^ 0x1091); err != nil {
+					return nil, err
+				}
+			}
+			var cb sim.SampleFunc
+			if lg != nil {
+				cb = lg.Sample
+			}
+			res, err := machine.Run(spec, seed, cb)
+			if err != nil {
+				return nil, err
+			}
+			if measured {
+				tr, err := lg.Finish()
+				if err != nil {
+					return nil, err
+				}
+				sample = RunSample{Seconds: res.Seconds, Watts: tr.AvgWatts, Counters: res.Counters}
+			}
+		}
+		runs = append(runs, sample)
+	}
+	return runs, nil
+}
+
+// runSeed derives a stable per-run seed from the harness seed and the
+// run's identity, keeping the whole study reproducible.
+func (h *Harness) runSeed(bench string, machine *sim.Machine, run, iter int) int64 {
+	f := fnv.New64a()
+	fmt.Fprintf(f, "%d|%s|%s|%s|%d|%d", h.seed, bench, machine.Proc.Name, machine.Cfg, run, iter)
+	return int64(f.Sum64())
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/proc"
+	"repro/internal/workload"
+)
+
+// Job names one measurement of the study's grid.
+type Job struct {
+	Bench *workload.Benchmark
+	CP    proc.ConfiguredProcessor
+}
+
+// MeasureBatch runs a set of measurements across a worker pool and
+// returns them in job order. Measurements are deterministic in the
+// harness seed and independent of scheduling order (each run derives its
+// own seed from its identity), so parallel and serial execution produce
+// byte-identical results — the property that lets the full 45x61 study
+// regenerate quickly without giving up the paper's reproducibility.
+//
+// workers <= 0 selects GOMAXPROCS. The first error cancels the batch.
+func (h *Harness) MeasureBatch(jobs []Job, workers int) ([]*Measurement, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]*Measurement, len(jobs))
+	idxCh := make(chan int)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				m, err := h.Measure(jobs[i].Bench, jobs[i].CP)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				results[i] = m
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	for i, m := range results {
+		if m == nil {
+			return nil, fmt.Errorf("harness: job %d (%s on %s) not measured",
+				i, jobs[i].Bench.Name, jobs[i].CP)
+		}
+	}
+	return results, nil
+}
+
+// GridJobs builds the full cross product of configurations and
+// benchmarks in deterministic order. Nil arguments select the eight
+// stock configurations and all 61 benchmarks respectively.
+func GridJobs(cps []proc.ConfiguredProcessor, benches []*workload.Benchmark) []Job {
+	if cps == nil {
+		cps = proc.StockConfigs()
+	}
+	if benches == nil {
+		benches = workload.All()
+	}
+	jobs := make([]Job, 0, len(cps)*len(benches))
+	for _, cp := range cps {
+		for _, b := range benches {
+			jobs = append(jobs, Job{Bench: b, CP: cp})
+		}
+	}
+	return jobs
+}

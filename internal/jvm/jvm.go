@@ -1,0 +1,169 @@
+// Package jvm models the managed runtime under the paper's Java
+// measurement methodology (Section 2.2): a HotSpot-style virtual machine
+// with adaptive JIT compilation that warms up over iterations, a
+// generously sized heap (3x the minimum), and concurrent service threads
+// (compiler, collector, profiler) that parallelize execution even for
+// single-threaded applications.
+//
+// The paper measures the fifth iteration within one JVM invocation to
+// capture steady state and repeats across twenty invocations because JIT
+// and GC decisions make runs non-deterministic. Plan reproduces exactly
+// that shape: five per-iteration execution specs whose early iterations
+// carry compilation work and slower unoptimized code, with only the last
+// one measured.
+package jvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Methodology constants from Section 2.2 of the paper.
+const (
+	// Invocations is the number of JVM invocations averaged per result.
+	Invocations = 20
+	// Iterations is the number of in-process iterations; the last is
+	// the measured steady-state one.
+	Iterations = 5
+	// HeapFactor is the heap size relative to the benchmark minimum.
+	HeapFactor = 3.0
+)
+
+// RateJitterSD reproduces Table 2's Java execution-time confidence
+// intervals: adaptive compilation and GC make runs several percent
+// non-deterministic even at steady state.
+const RateJitterSD = 0.034
+
+// PowerJitterSD is the corresponding power variation.
+const PowerJitterSD = 0.055
+
+// warmup describes how much slower iteration k runs than steady state:
+// early iterations interpret and compile; by the fifth, frequently
+// executed code is optimized but a little compiler activity may remain.
+func warmup(iteration int) (float64, error) {
+	if iteration < 1 || iteration > Iterations {
+		return 0, fmt.Errorf("jvm: iteration %d outside 1..%d", iteration, Iterations)
+	}
+	// Iteration 1 runs ~2.2x slow; the tail decays geometrically and is
+	// effectively flat by iteration 5 (a ~1% residue of JIT activity).
+	return 1 + 1.2*math.Exp(-float64(iteration-1)/1.1) + 0.01, nil
+}
+
+// Plan is the execution plan for one JVM invocation: one spec per
+// iteration, run back to back inside a single process.
+type Plan struct {
+	Benchmark *workload.Benchmark
+	Specs     [Iterations]sim.ExecSpec
+}
+
+// MeasuredIndex returns the index of the iteration the methodology
+// reports (the fifth, i.e. the last).
+func (p *Plan) MeasuredIndex() int { return Iterations - 1 }
+
+// NewPlan builds the invocation plan for a managed benchmark on a machine
+// exposing the given hardware contexts.
+func NewPlan(b *workload.Benchmark, contexts int) (*Plan, error) {
+	if b == nil {
+		return nil, errors.New("jvm: nil benchmark")
+	}
+	if !b.Managed() {
+		return nil, fmt.Errorf("jvm: %s is not a managed benchmark", b.Name)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if contexts < 1 {
+		return nil, errors.New("jvm: need at least one hardware context")
+	}
+
+	plan := &Plan{Benchmark: b}
+	gcService := gcServiceWork(b)
+	for it := 1; it <= Iterations; it++ {
+		slow, err := warmup(it)
+		if err != nil {
+			return nil, err
+		}
+		// Early iterations both run slower (interpreted/unoptimized
+		// code) and carry extra compiler service work.
+		jitExtra := (slow - 1) * 0.5
+		spec := sim.ExecSpec{
+			Work:           b.Instructions() * slow,
+			AppThreads:     b.ThreadsOn(contexts),
+			ParallelFrac:   b.ParallelFrac,
+			SyncOverhead:   b.SyncOverhead,
+			ILP:            b.ILP,
+			MPKI:           b.MPKI,
+			WorkingSetKB:   b.WorkingSetKB,
+			MLPFactor:      b.MLPFactor,
+			Activity:       b.Activity,
+			BranchWeight:   b.BranchWeight,
+			ServiceWork:    clamp01(b.ServiceFrac + gcService + jitExtra),
+			ServiceThreads: 2,
+			CoLocPenalty:   b.Displacement,
+			RateJitterSD:   RateJitterSD,
+			PowerJitterSD:  PowerJitterSD,
+		}
+		plan.Specs[it-1] = spec
+	}
+	return plan, nil
+}
+
+// gcServiceWork converts the benchmark's allocation rate into collector
+// work at the methodology's default 3x minimum heap.
+func gcServiceWork(b *workload.Benchmark) float64 {
+	return GCServiceWorkAt(b, HeapFactor)
+}
+
+// GCServiceWorkAt returns collector work as a fraction of application
+// work at the given heap factor (heap size over the benchmark minimum).
+// Collection frequency is proportional to allocation rate over heap
+// headroom (heapFactor - 1 reserves of garbage before each collection),
+// so halving the headroom roughly doubles collector work — the standard
+// space-time tradeoff behind the paper's generous 3x choice. The cost
+// constant is calibrated so a ~2 GB/s allocator (lusearch) spends ~8% of
+// its cycles in collection at 3x.
+func GCServiceWorkAt(b *workload.Benchmark, heapFactor float64) float64 {
+	if heapFactor < MinHeapFactor {
+		heapFactor = MinHeapFactor
+	}
+	const gcCostPerMBps = 0.000035
+	headroom := (heapFactor - 1) / (HeapFactor - 1)
+	return b.AllocMBps * gcCostPerMBps / headroom
+}
+
+// MinHeapFactor is the smallest runnable heap: below ~1.2x the minimum,
+// collection thrashes.
+const MinHeapFactor = 1.2
+
+// NewPlanHeap builds an invocation plan with a non-default heap factor,
+// for the heap-sensitivity study.
+func NewPlanHeap(b *workload.Benchmark, contexts int, heapFactor float64) (*Plan, error) {
+	plan, err := NewPlan(b, contexts)
+	if err != nil {
+		return nil, err
+	}
+	delta := GCServiceWorkAt(b, heapFactor) - GCServiceWorkAt(b, HeapFactor)
+	for i := range plan.Specs {
+		plan.Specs[i].ServiceWork = clamp01(plan.Specs[i].ServiceWork + delta)
+		// A tight heap also forces collections to displace more of the
+		// application's cache and TLB state.
+		if heapFactor < HeapFactor {
+			plan.Specs[i].CoLocPenalty *= 1 + (HeapFactor-heapFactor)*0.15
+		}
+	}
+	return plan, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}

@@ -1,0 +1,315 @@
+package jvm
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestMethodologyConstants(t *testing.T) {
+	// Section 2.2 of the paper.
+	if Invocations != 20 {
+		t.Fatalf("Invocations = %d, want 20", Invocations)
+	}
+	if Iterations != 5 {
+		t.Fatalf("Iterations = %d, want 5", Iterations)
+	}
+	if HeapFactor != 3.0 {
+		t.Fatalf("HeapFactor = %v, want 3x minimum heap", HeapFactor)
+	}
+}
+
+func TestWarmupDecaysToSteadyState(t *testing.T) {
+	prev := 1e9
+	for it := 1; it <= Iterations; it++ {
+		slow, err := warmup(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow >= prev {
+			t.Fatalf("iteration %d: warmup %v did not decrease", it, slow)
+		}
+		if slow <= 1 {
+			t.Fatalf("iteration %d: warmup %v must stay above steady state", it, slow)
+		}
+		prev = slow
+	}
+	// The first iteration is substantially slower; the fifth nearly flat.
+	first, err := warmup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := warmup(Iterations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first < 1.8 {
+		t.Fatalf("first iteration %vx, want heavy compilation (>1.8x)", first)
+	}
+	if last > 1.05 {
+		t.Fatalf("fifth iteration %vx, want near steady state (<1.05x)", last)
+	}
+}
+
+func TestWarmupRange(t *testing.T) {
+	if _, err := warmup(0); err == nil {
+		t.Fatal("iteration 0 accepted")
+	}
+	if _, err := warmup(Iterations + 1); err == nil {
+		t.Fatal("iteration beyond plan accepted")
+	}
+}
+
+func TestNewPlanShape(t *testing.T) {
+	b, err := workload.ByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MeasuredIndex() != Iterations-1 {
+		t.Fatalf("measured index = %d, want the last iteration", plan.MeasuredIndex())
+	}
+	for i, spec := range plan.Specs {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i+1, err)
+		}
+		if spec.ServiceThreads < 1 {
+			t.Fatalf("iteration %d: no service threads", i+1)
+		}
+	}
+	// Early iterations carry more work (unoptimized code) and more
+	// service work (the compiler) than the measured one.
+	first, last := plan.Specs[0], plan.Specs[plan.MeasuredIndex()]
+	if first.Work <= last.Work {
+		t.Fatal("first iteration must carry more work than steady state")
+	}
+	if first.ServiceWork <= last.ServiceWork {
+		t.Fatal("first iteration must carry more service work")
+	}
+}
+
+func TestNewPlanAllocationDrivesGC(t *testing.T) {
+	hi, err := workload.ByName("lusearch") // ~2.3 GB/s allocator
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := workload.ByName("mpegaudio") // ~10 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcServiceWork(hi) <= gcServiceWork(lo) {
+		t.Fatal("higher allocation rate must mean more collector work")
+	}
+	// lusearch's collector work should land near the calibrated ~8%.
+	if gc := gcServiceWork(hi); gc < 0.04 || gc > 0.15 {
+		t.Fatalf("lusearch GC work = %v, want ~0.08", gc)
+	}
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	if _, err := NewPlan(nil, 4); err == nil {
+		t.Fatal("nil benchmark accepted")
+	}
+	nat, err := workload.ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlan(nat, 4); err == nil {
+		t.Fatal("native benchmark accepted")
+	}
+	managed, err := workload.ByName("xalan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlan(managed, 0); err == nil {
+		t.Fatal("zero contexts accepted")
+	}
+	bad := *managed
+	bad.WorkingSetKB = -1
+	if _, err := NewPlan(&bad, 4); err == nil {
+		t.Fatal("invalid benchmark accepted")
+	}
+}
+
+func TestServiceWorkClamped(t *testing.T) {
+	b, err := workload.ByName("antlr") // highest ServiceFrac
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range plan.Specs {
+		if spec.ServiceWork >= 1 {
+			t.Fatalf("iteration %d: service work %v not clamped", i+1, spec.ServiceWork)
+		}
+	}
+}
+
+func TestJavaJitterLargerThanNative(t *testing.T) {
+	// Table 2: Java CIs are the largest because of JIT and GC
+	// non-determinism across twenty invocations.
+	if RateJitterSD < 0.02 {
+		t.Fatalf("Java rate jitter %v too small to reproduce Table 2", RateJitterSD)
+	}
+}
+
+func TestVMsValidateAndDiffer(t *testing.T) {
+	vms := VMs()
+	if len(vms) != 3 {
+		t.Fatalf("%d VMs, want HotSpot, JRockit, J9", len(vms))
+	}
+	names := map[string]bool{}
+	for _, vm := range vms {
+		if err := vm.Validate(); err != nil {
+			t.Errorf("%s: %v", vm.Name, err)
+		}
+		names[vm.Name] = true
+	}
+	if len(names) != 3 {
+		t.Fatal("VM names collide")
+	}
+	bad := VM{Name: "x", ServiceScale: 0, WarmupScale: 1, ActivityBias: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid VM accepted")
+	}
+}
+
+func TestHotSpotIsNeutralBaseline(t *testing.T) {
+	hs := HotSpot()
+	for _, bench := range []string{"lusearch", "db", "antlr"} {
+		if dev := hs.perfDeviation(bench); dev != 1 {
+			t.Fatalf("HotSpot deviation on %s = %v, want 1", bench, dev)
+		}
+	}
+}
+
+func TestPerBenchDeviationDeterministicAndVaried(t *testing.T) {
+	j9 := J9()
+	a := j9.perfDeviation("lusearch")
+	if b := j9.perfDeviation("lusearch"); b != a {
+		t.Fatal("deviation not deterministic")
+	}
+	// Across the Java suite the deviations must actually spread.
+	var lo, hi float64 = 10, 0
+	for _, b := range workload.ByGroup(workload.JavaNonScalable) {
+		d := j9.perfDeviation(b.Name)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi-lo < 0.05 {
+		t.Fatalf("per-benchmark spread only %v, want substantial variation", hi-lo)
+	}
+	if lo < 0.6 || hi > 1.4 {
+		t.Fatalf("deviations outside sane bounds: [%v, %v]", lo, hi)
+	}
+}
+
+func TestNewPlanVMAppliesProfile(t *testing.T) {
+	b, err := workload.ByName("xalan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewPlanVM(HotSpot(), b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := NewPlanVM(JRockit(), b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JRockit does more background compilation and service work.
+	if jr.Specs[0].ServiceWork <= hs.Specs[0].ServiceWork {
+		t.Fatal("JRockit service work not above HotSpot")
+	}
+	if jr.Specs[0].Activity <= hs.Specs[0].Activity {
+		t.Fatal("JRockit activity not above HotSpot")
+	}
+	bad := VM{}
+	if _, err := NewPlanVM(bad, b, 8); err == nil {
+		t.Fatal("invalid VM accepted")
+	}
+}
+
+func TestRunVMExecutes(t *testing.T) {
+	b, err := workload.ByName("sunflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(p, p.Stock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := RunVM(HotSpot(), b, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Seconds <= 0 || hs.AvgWatts <= 0 {
+		t.Fatalf("degenerate result %+v", hs)
+	}
+	// A different VM produces a different (deterministic) result.
+	j9, err := RunVM(J9(), b, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j9.Seconds == hs.Seconds {
+		t.Fatal("J9 identical to HotSpot")
+	}
+	if _, err := RunVM(VM{}, b, m, 1); err == nil {
+		t.Fatal("invalid VM accepted")
+	}
+}
+
+func TestNewPlanHeapShapesGC(t *testing.T) {
+	b, err := workload.ByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := NewPlanHeap(b, 8, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generous, err := NewPlanHeap(b, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := NewPlan(b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := def.MeasuredIndex()
+	if !(tight.Specs[i].ServiceWork > def.Specs[i].ServiceWork &&
+		def.Specs[i].ServiceWork > generous.Specs[i].ServiceWork) {
+		t.Fatalf("GC work ordering wrong: %v / %v / %v",
+			tight.Specs[i].ServiceWork, def.Specs[i].ServiceWork, generous.Specs[i].ServiceWork)
+	}
+	// A tight heap also displaces more cache/TLB state.
+	if tight.Specs[i].CoLocPenalty <= def.Specs[i].CoLocPenalty {
+		t.Fatal("tight heap did not raise displacement")
+	}
+	// Below the floor clamps rather than exploding.
+	floor, err := NewPlanHeap(b, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor.Specs[i].ServiceWork < tight.Specs[i].ServiceWork {
+		t.Fatal("sub-minimum heap did not clamp")
+	}
+	if _, err := NewPlanHeap(nil, 8, 3); err == nil {
+		t.Fatal("nil benchmark accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package mem models the memory hierarchy seen by the fleet: a mid-level
+// cache per core, a shared last-level cache, and DRAM with a fixed access
+// latency in nanoseconds and a sustainable bandwidth ceiling.
+//
+// Two properties of this model drive the paper's findings:
+//
+//   - DRAM latency is constant in *time*, so its cost in *cycles* grows
+//     with clock frequency. That is why doubling the clock yields only
+//     ~80% more performance (Figure 7) and why the Nehalem parts, with
+//     their integrated memory controllers, outperform Core at matched
+//     clocks (Figure 9).
+//
+//   - Cache capacity is shared: SMT threads split a core's share and
+//     active cores split the LLC, so adding contexts can add misses. This
+//     is the conflict side of the SMT tradeoff (Section 3.2).
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Hierarchy describes one processor's memory system in the model's terms.
+type Hierarchy struct {
+	// L2KBPerCore is the effective per-core mid-level capacity.
+	L2KBPerCore float64
+	// LLCKB is the shared last-level capacity.
+	LLCKB float64
+	// LatencyNs is the effective DRAM access latency seen by a miss.
+	LatencyNs float64
+	// BandwidthGBs is the sustainable memory bandwidth.
+	BandwidthGBs float64
+	// MLPHiding is the fraction of miss latency hidden by out-of-order
+	// overlap and memory-level parallelism, in [0, 1).
+	MLPHiding float64
+}
+
+// Validate checks the hierarchy's physical plausibility.
+func (h Hierarchy) Validate() error {
+	switch {
+	case h.L2KBPerCore <= 0 || h.LLCKB < 0:
+		return errors.New("mem: cache capacities must be positive")
+	case h.LatencyNs <= 0:
+		return errors.New("mem: DRAM latency must be positive")
+	case h.BandwidthGBs <= 0:
+		return errors.New("mem: bandwidth must be positive")
+	case h.MLPHiding < 0 || h.MLPHiding >= 1:
+		return fmt.Errorf("mem: MLP hiding %v outside [0,1)", h.MLPHiding)
+	}
+	return nil
+}
+
+// compulsoryFrac is the floor on the miss attenuation: even a working set
+// that fits entirely in cache suffers cold and coherence misses.
+const compulsoryFrac = 0.08
+
+// Share describes how many contexts divide the cache capacity.
+type Share struct {
+	// ThreadsOnCore is the number of SMT threads sharing the core's
+	// mid-level capacity (>= 1).
+	ThreadsOnCore int
+	// ActiveCores is the number of cores sharing the LLC (>= 1).
+	ActiveCores int
+	// ThreadsTotal is the total active threads sharing the LLC (>= 1).
+	ThreadsTotal int
+}
+
+func (s Share) validate() error {
+	// ThreadsTotal may be below ActiveCores: a core can be active with a
+	// duty-cycled runtime service thread whose cache footprint does not
+	// count as an LLC sharer.
+	if s.ThreadsOnCore < 1 || s.ActiveCores < 1 || s.ThreadsTotal < 1 {
+		return fmt.Errorf("mem: share counts must be >= 1: %+v", s)
+	}
+	return nil
+}
+
+// EffectiveCacheKB returns the cache capacity available to one thread
+// under the given sharing.
+func (h Hierarchy) EffectiveCacheKB(s Share) (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	return h.L2KBPerCore/float64(s.ThreadsOnCore) + h.LLCKB/float64(s.ThreadsTotal), nil
+}
+
+// MissPerInstr returns the per-instruction DRAM miss rate for a thread
+// with the given raw MPKI and working set under the given cache sharing.
+// The raw MPKI is attenuated toward the compulsory floor as the working
+// set fits into the thread's cache share.
+func (h Hierarchy) MissPerInstr(mpki, workingSetKB float64, s Share) (float64, error) {
+	if mpki < 0 {
+		return 0, errors.New("mem: negative MPKI")
+	}
+	if workingSetKB <= 0 {
+		return 0, errors.New("mem: working set must be positive")
+	}
+	share, err := h.EffectiveCacheKB(s)
+	if err != nil {
+		return 0, err
+	}
+	attenuation := 1.0
+	if share >= workingSetKB {
+		attenuation = compulsoryFrac
+	} else {
+		// Linear capacity-miss model between the compulsory floor and
+		// the full miss rate.
+		attenuation = compulsoryFrac + (1-compulsoryFrac)*(1-share/workingSetKB)
+	}
+	return mpki / 1000 * attenuation, nil
+}
+
+// StallCPI returns the memory stall cycles per instruction at the given
+// clock: misses cost LatencyNs each, converted to cycles at clockGHz, with
+// the hierarchy's MLP overlap subtracted. mlpFactor scales how much of the
+// hierarchy's overlap applies to this workload: dependent pointer-chasing
+// misses (managed heaps) overlap poorly (< 1), streaming prefetchable
+// misses overlap better (> 1). Zero means the neutral 1.
+func (h Hierarchy) StallCPI(missPerInstr, clockGHz, mlpFactor float64) float64 {
+	if missPerInstr <= 0 || clockGHz <= 0 {
+		return 0
+	}
+	if mlpFactor == 0 {
+		mlpFactor = 1
+	}
+	hidden := h.MLPHiding * mlpFactor
+	if hidden > 0.95 {
+		hidden = 0.95
+	}
+	if hidden < 0 {
+		hidden = 0
+	}
+	return missPerInstr * h.LatencyNs * clockGHz * (1 - hidden)
+}
+
+// LineBytes is the transfer size per miss.
+const LineBytes = 64
+
+// TrafficGBs returns the DRAM bandwidth demand of threads executing at
+// the given aggregate instruction rate (instructions/second) with the
+// given per-instruction miss rate.
+func (h Hierarchy) TrafficGBs(aggInstrPerSec, missPerInstr float64) float64 {
+	return aggInstrPerSec * missPerInstr * LineBytes / 1e9
+}
+
+// BandwidthThrottle returns the factor (<= 1) by which execution slows
+// when the demanded bandwidth exceeds the sustainable ceiling. memFrac is
+// the fraction of execution time already attributable to memory; only
+// that portion stretches.
+func (h Hierarchy) BandwidthThrottle(demandGBs, memFrac float64) float64 {
+	if demandGBs <= h.BandwidthGBs || demandGBs <= 0 {
+		return 1
+	}
+	if memFrac < 0 {
+		memFrac = 0
+	}
+	if memFrac > 1 {
+		memFrac = 1
+	}
+	over := demandGBs/h.BandwidthGBs - 1
+	return 1 / (1 + memFrac*over)
+}
+
+// FromModel builds a Hierarchy from a processor's model parameters and
+// LLC size in bytes.
+func FromModel(l2KBPerCore, llcBytes, latencyNs, bwGBs, mlpHiding float64) (Hierarchy, error) {
+	h := Hierarchy{
+		L2KBPerCore:  l2KBPerCore,
+		LLCKB:        llcBytes / 1024,
+		LatencyNs:    latencyNs,
+		BandwidthGBs: bwGBs,
+		MLPHiding:    mlpHiding,
+	}
+	if err := h.Validate(); err != nil {
+		return Hierarchy{}, err
+	}
+	return h, nil
+}

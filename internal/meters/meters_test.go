@@ -1,0 +1,172 @@
+package meters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSUValidation(t *testing.T) {
+	if err := (PSU{RatedWatts: 400, PeakEfficiency: 0.82}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PSU{
+		{RatedWatts: 0, PeakEfficiency: 0.8},
+		{RatedWatts: 400, PeakEfficiency: 0},
+		{RatedWatts: 400, PeakEfficiency: 1.2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad PSU validated", i)
+		}
+	}
+}
+
+func TestPSUEfficiencyCurve(t *testing.T) {
+	psu := PSU{RatedWatts: 400, PeakEfficiency: 0.82}
+	light, err := psu.Efficiency(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := psu.Efficiency(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := psu.Efficiency(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(light < mid && full < mid) {
+		t.Fatalf("efficiency curve not peaked: %v / %v / %v", light, mid, full)
+	}
+	if math.Abs(mid-0.82) > 1e-9 {
+		t.Fatalf("peak efficiency = %v, want 0.82 at half load", mid)
+	}
+	if _, err := psu.Efficiency(0); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	// Over-rated loads clamp rather than explode.
+	over, err := psu.Efficiency(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over <= 0 || over > 0.82 {
+		t.Fatalf("over-rated efficiency = %v", over)
+	}
+}
+
+func TestACWattsAboveDC(t *testing.T) {
+	psu := PSU{RatedWatts: 400, PeakEfficiency: 0.82}
+	ac, err := psu.ACWatts(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac <= 100 {
+		t.Fatalf("AC %v not above DC 100 (conversion loss missing)", ac)
+	}
+}
+
+func TestClampAmmeterDilutesChipPower(t *testing.T) {
+	clamp := ClampAmmeter{Sys: DefaultSystem()}
+	// An Atom-class chip disappears into the system floor...
+	fracAtom, err := clamp.ChipFraction(2.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fracAtom > 0.06 {
+		t.Fatalf("Atom chip fraction = %v, want tiny", fracAtom)
+	}
+	// ...while an i7-class chip is still under half the wall reading.
+	fracI7, err := clamp.ChipFraction(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fracI7 < 0.3 || fracI7 > 0.6 {
+		t.Fatalf("i7 chip fraction = %v, want ~0.4-0.5", fracI7)
+	}
+	// A 2x chip-power difference shows up as much less at the wall: the
+	// paper's reason for isolating the processor rail.
+	sysA, err := clamp.SystemWatts(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := clamp.SystemWatts(60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := sysB / sysA; ratio > 1.6 {
+		t.Fatalf("wall ratio %v for a 2.0x chip difference: no dilution", ratio)
+	}
+}
+
+func TestClampAmmeterTrafficCounts(t *testing.T) {
+	clamp := ClampAmmeter{Sys: DefaultSystem()}
+	quiet, err := clamp.SystemWatts(30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := clamp.SystemWatts(30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy <= quiet {
+		t.Fatal("DRAM traffic must add wall power")
+	}
+}
+
+func TestClampAmmeterErrors(t *testing.T) {
+	clamp := ClampAmmeter{Sys: DefaultSystem()}
+	if _, err := clamp.SystemWatts(0, 0); err == nil {
+		t.Fatal("zero chip power accepted")
+	}
+	if _, err := clamp.SystemWatts(10, -1); err == nil {
+		t.Fatal("negative traffic accepted")
+	}
+	bad := ClampAmmeter{}
+	if _, err := bad.SystemWatts(10, 0); err == nil {
+		t.Fatal("invalid system accepted")
+	}
+}
+
+func TestSeriesResistor(t *testing.T) {
+	sr := SeriesResistor{ShuntOhms: 0.01}
+	reading, loss, err := sr.Measured(48) // 4A on the 12V rail
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reading != 48 {
+		t.Fatalf("reading = %v, want the chip power", reading)
+	}
+	// 4A through 10 mOhm dissipates 160 mW.
+	if math.Abs(loss-0.16) > 1e-9 {
+		t.Fatalf("shunt loss = %v, want 0.16", loss)
+	}
+	if _, _, err := sr.Measured(0); err == nil {
+		t.Fatal("zero power accepted")
+	}
+	if _, _, err := (SeriesResistor{}).Measured(48); err == nil {
+		t.Fatal("zero shunt accepted")
+	}
+}
+
+// Property: the wall reading is monotone in chip power and always above
+// the DC sum.
+func TestQuickWallMonotone(t *testing.T) {
+	clamp := ClampAmmeter{Sys: DefaultSystem()}
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%120) + 1
+		b := float64(bRaw%120) + 1
+		if a > b {
+			a, b = b, a
+		}
+		wa, err1 := clamp.SystemWatts(a, 1)
+		wb, err2 := clamp.SystemWatts(b, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return wa <= wb+1e-9 && wa > a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package native
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRunsPerSuite(t *testing.T) {
+	cases := map[string]int{
+		"perlbench":    3, // SPEC prescribes three
+		"gamess":       3,
+		"blackscholes": 5, // the paper uses five for PARSEC
+	}
+	for name, want := range cases {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Runs(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: %d runs, want %d", name, got, want)
+		}
+	}
+}
+
+func TestRunsRejectsManaged(t *testing.T) {
+	b, err := workload.ByName("sunflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Runs(b); err == nil {
+		t.Fatal("managed benchmark accepted")
+	}
+}
+
+func TestSpecSingleThreaded(t *testing.T) {
+	b, err := workload.ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Spec(b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.AppThreads != 1 {
+		t.Fatalf("AppThreads = %d, want 1", spec.AppThreads)
+	}
+	if spec.ServiceWork != 0 || spec.CoLocPenalty != 0 {
+		t.Fatal("native spec must carry no runtime services")
+	}
+	if spec.Work != b.Instructions() {
+		t.Fatal("native spec must carry the full instruction count")
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecScalableSizesToContexts(t *testing.T) {
+	b, err := workload.ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, contexts := range []int{1, 2, 8} {
+		spec, err := Spec(b, contexts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.AppThreads != contexts {
+			t.Fatalf("contexts %d: AppThreads = %d", contexts, spec.AppThreads)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := Spec(nil, 4); err == nil {
+		t.Fatal("nil benchmark accepted")
+	}
+	managed, err := workload.ByName("xalan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Spec(managed, 4); err == nil {
+		t.Fatal("managed benchmark accepted")
+	}
+	nat, err := workload.ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Spec(nat, 0); err == nil {
+		t.Fatal("zero contexts accepted")
+	}
+	bad := *nat
+	bad.ILP = 0
+	if _, err := Spec(&bad, 4); err == nil {
+		t.Fatal("invalid benchmark accepted")
+	}
+}
+
+func TestJitterSmallerThanManaged(t *testing.T) {
+	// Table 2: native run-to-run variation is several times smaller than
+	// Java's. The constants must preserve that ordering.
+	if RateJitterSD >= 0.02 {
+		t.Fatalf("native rate jitter %v too large", RateJitterSD)
+	}
+}

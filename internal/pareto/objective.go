@@ -1,0 +1,108 @@
+package pareto
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Objective selects the efficiency metric that defines the tradeoff
+// space. The paper plots normalized energy against performance; the
+// design-space literature it engages (Azizi et al., Horowitz et al.)
+// also ranks designs by energy-delay products, which weight performance
+// more heavily. Since normalized delay is 1/perf:
+//
+//	Energy:  E
+//	EDP:     E / perf
+//	ED2P:    E / perf^2
+type Objective int
+
+const (
+	// Energy is the paper's metric: normalized energy.
+	Energy Objective = iota
+	// EDP is the energy-delay product.
+	EDP
+	// ED2P is the energy-delay-squared product, the voltage-scaling-
+	// invariant metric.
+	ED2P
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case Energy:
+		return "energy"
+	case EDP:
+		return "EDP"
+	case ED2P:
+		return "ED2P"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Eval computes the objective for a point. Points must have positive
+// performance.
+func (o Objective) Eval(p Point) (float64, error) {
+	if p.Perf <= 0 {
+		return 0, errors.New("pareto: non-positive performance")
+	}
+	switch o {
+	case Energy:
+		return p.Energy, nil
+	case EDP:
+		return p.Energy / p.Perf, nil
+	case ED2P:
+		return p.Energy / (p.Perf * p.Perf), nil
+	default:
+		return 0, fmt.Errorf("pareto: unknown objective %d", int(o))
+	}
+}
+
+// Best returns the point minimizing the objective, with its score.
+// Unlike Frontier (which keeps every non-dominated tradeoff), a scalar
+// objective picks a single winner.
+func (o Objective) Best(points []Point) (Point, float64, error) {
+	if len(points) == 0 {
+		return Point{}, 0, errors.New("pareto: no points")
+	}
+	best := Point{}
+	bestScore := math.Inf(1)
+	for _, p := range points {
+		score, err := o.Eval(p)
+		if err != nil {
+			return Point{}, 0, err
+		}
+		if score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best, bestScore, nil
+}
+
+// Rank returns the points sorted ascending by the objective, paired
+// with their scores. The input is not modified.
+func (o Objective) Rank(points []Point) ([]Point, []float64, error) {
+	out := make([]Point, len(points))
+	copy(out, points)
+	scores := make([]float64, len(out))
+	for i, p := range out {
+		s, err := o.Eval(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		scores[i] = s
+	}
+	// Insertion sort keeps ties stable and avoids a comparator closure
+	// over two parallel slices.
+	for i := 1; i < len(out); i++ {
+		p, s := out[i], scores[i]
+		j := i - 1
+		for j >= 0 && scores[j] > s {
+			out[j+1], scores[j+1] = out[j], scores[j]
+			j--
+		}
+		out[j+1], scores[j+1] = p, s
+	}
+	return out, scores, nil
+}

@@ -1,0 +1,113 @@
+// Package pareto implements the measured Pareto-efficiency analysis of
+// Section 4.2: given the energy and performance of many processor
+// configurations, it identifies the configurations not dominated in
+// either dimension and fits the frontier curve of Figure 12.
+package pareto
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Point is one processor configuration's position in the
+// energy/performance tradeoff space.
+type Point struct {
+	// Label identifies the configuration, e.g. "i7 (45) 4C2T@2.7GHz".
+	Label string
+	// Perf is normalized performance: higher is better (x-axis).
+	Perf float64
+	// Energy is normalized energy: lower is better (y-axis).
+	Energy float64
+}
+
+// Dominates reports whether p is at least as good as q in both
+// dimensions and strictly better in at least one.
+func (p Point) Dominates(q Point) bool {
+	if p.Perf < q.Perf || p.Energy > q.Energy {
+		return false
+	}
+	return p.Perf > q.Perf || p.Energy < q.Energy
+}
+
+// Frontier returns the Pareto-efficient subset of points — those not
+// dominated by any other — sorted by ascending performance. Duplicate
+// positions are all retained (neither dominates the other).
+func Frontier(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Perf != out[j].Perf {
+			return out[i].Perf < out[j].Perf
+		}
+		return out[i].Energy < out[j].Energy
+	})
+	return out
+}
+
+// Curve is a fitted polynomial frontier, as drawn in Figure 12.
+type Curve struct {
+	Fit    stats.PolyFit
+	MinX   float64
+	MaxX   float64
+	Points []Point // the efficient points the curve passes through
+}
+
+// FitCurve fits a polynomial through the Pareto-efficient points. The
+// paper fits such curves per workload group; degree 2 or 3 matches its
+// figures. At least degree+1 efficient points are required.
+func FitCurve(points []Point, degree int) (*Curve, error) {
+	front := Frontier(points)
+	if len(front) < degree+1 {
+		return nil, errors.New("pareto: not enough efficient points for the requested degree")
+	}
+	xs := make([]float64, len(front))
+	ys := make([]float64, len(front))
+	for i, p := range front {
+		xs[i] = p.Perf
+		ys[i] = p.Energy
+	}
+	fit, err := stats.Polyfit(xs, ys, degree)
+	if err != nil {
+		return nil, err
+	}
+	return &Curve{
+		Fit:    fit,
+		MinX:   xs[0],
+		MaxX:   xs[len(xs)-1],
+		Points: front,
+	}, nil
+}
+
+// Eval evaluates the frontier curve at performance x, clamped to the
+// fitted range.
+func (c *Curve) Eval(x float64) float64 {
+	if x < c.MinX {
+		x = c.MinX
+	}
+	if x > c.MaxX {
+		x = c.MaxX
+	}
+	return c.Fit.Predict(x)
+}
+
+// Labels returns the labels of the efficient points in frontier order.
+func (c *Curve) Labels() []string {
+	out := make([]string, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = p.Label
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{Perf: 2, Energy: 0.5}
+	cases := []struct {
+		q    Point
+		want bool
+	}{
+		{Point{Perf: 1, Energy: 0.6}, true},  // worse in both
+		{Point{Perf: 2, Energy: 0.6}, true},  // equal perf, worse energy
+		{Point{Perf: 1, Energy: 0.5}, true},  // worse perf, equal energy
+		{Point{Perf: 2, Energy: 0.5}, false}, // identical: no domination
+		{Point{Perf: 3, Energy: 0.4}, false}, // better in both
+		{Point{Perf: 3, Energy: 0.6}, false}, // tradeoff
+		{Point{Perf: 1, Energy: 0.4}, false}, // tradeoff
+	}
+	for i, c := range cases {
+		if got := a.Dominates(c.q); got != c.want {
+			t.Errorf("case %d: Dominates(%+v) = %v, want %v", i, c.q, got, c.want)
+		}
+	}
+}
+
+func TestFrontierSimple(t *testing.T) {
+	pts := []Point{
+		{Label: "slow-efficient", Perf: 1, Energy: 0.2},
+		{Label: "dominated", Perf: 1, Energy: 0.5},
+		{Label: "fast-hungry", Perf: 4, Energy: 0.6},
+		{Label: "middle", Perf: 2, Energy: 0.3},
+		{Label: "dominated2", Perf: 1.5, Energy: 0.4},
+	}
+	front := Frontier(pts)
+	if len(front) != 3 {
+		t.Fatalf("frontier size = %d, want 3: %v", len(front), front)
+	}
+	want := []string{"slow-efficient", "middle", "fast-hungry"}
+	for i, p := range front {
+		if p.Label != want[i] {
+			t.Errorf("frontier[%d] = %s, want %s", i, p.Label, want[i])
+		}
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	if got := Frontier(nil); got != nil {
+		t.Fatalf("empty frontier = %v", got)
+	}
+}
+
+func TestFrontierDuplicatesRetained(t *testing.T) {
+	pts := []Point{
+		{Label: "a", Perf: 1, Energy: 0.5},
+		{Label: "b", Perf: 1, Energy: 0.5},
+	}
+	front := Frontier(pts)
+	if len(front) != 2 {
+		t.Fatalf("duplicate points must both survive, got %d", len(front))
+	}
+}
+
+func TestFrontierSortedByPerf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts []Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, Point{Perf: rng.Float64() * 10, Energy: rng.Float64()})
+	}
+	front := Frontier(pts)
+	for i := 1; i < len(front); i++ {
+		if front[i].Perf < front[i-1].Perf {
+			t.Fatal("frontier not sorted by performance")
+		}
+		// Along a frontier, more performance must cost more energy.
+		if front[i].Energy < front[i-1].Energy {
+			t.Fatal("frontier energy not monotone: an earlier point is dominated")
+		}
+	}
+}
+
+func TestFitCurveQuadratic(t *testing.T) {
+	// Points on y = 0.1 + 0.05x^2 form their own frontier.
+	var pts []Point
+	for x := 1.0; x <= 5; x++ {
+		pts = append(pts, Point{Perf: x, Energy: 0.1 + 0.05*x*x})
+	}
+	curve, err := FitCurve(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curve.Eval(3); got < 0.54 || got > 0.56 {
+		t.Fatalf("Eval(3) = %v, want ~0.55", got)
+	}
+	// Clamping outside the range.
+	if curve.Eval(0) != curve.Eval(curve.MinX) {
+		t.Fatal("Eval below range must clamp")
+	}
+	if curve.Eval(100) != curve.Eval(curve.MaxX) {
+		t.Fatal("Eval above range must clamp")
+	}
+	if len(curve.Labels()) != len(curve.Points) {
+		t.Fatal("labels must match points")
+	}
+}
+
+func TestFitCurveInsufficientPoints(t *testing.T) {
+	pts := []Point{{Perf: 1, Energy: 1}, {Perf: 2, Energy: 2}}
+	if _, err := FitCurve(pts, 3); err == nil {
+		t.Fatal("want error for degree above point count")
+	}
+}
+
+// Property: no frontier point is dominated by any input point, and every
+// non-frontier point is dominated by some frontier point.
+func TestQuickFrontierCorrectness(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 2
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Perf: rng.Float64() * 5, Energy: rng.Float64()}
+		}
+		front := Frontier(pts)
+		inFront := map[Point]bool{}
+		for _, p := range front {
+			inFront[p] = true
+			for _, q := range pts {
+				if q.Dominates(p) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			if inFront[p] {
+				continue
+			}
+			dominated := false
+			for _, q := range front {
+				if q.Dominates(p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveEval(t *testing.T) {
+	p := Point{Perf: 2, Energy: 0.4}
+	cases := []struct {
+		o    Objective
+		want float64
+	}{
+		{Energy, 0.4},
+		{EDP, 0.2},
+		{ED2P, 0.1},
+	}
+	for _, c := range cases {
+		got, err := c.o.Eval(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.o, got, c.want)
+		}
+	}
+	if _, err := Energy.Eval(Point{Perf: 0, Energy: 1}); err == nil {
+		t.Fatal("zero perf accepted")
+	}
+	if _, err := Objective(9).Eval(p); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestObjectiveBestShifts(t *testing.T) {
+	// The slow-efficient point wins on energy; the fast point wins on
+	// ED2P — the classic reason the metrics disagree.
+	pts := []Point{
+		{Label: "slow", Perf: 1, Energy: 0.2},
+		{Label: "fast", Perf: 4, Energy: 0.6},
+	}
+	bestE, _, err := Energy.Best(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestE.Label != "slow" {
+		t.Fatalf("energy winner = %s", bestE.Label)
+	}
+	bestD, _, err := ED2P.Best(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestD.Label != "fast" {
+		t.Fatalf("ED2P winner = %s", bestD.Label)
+	}
+	if _, _, err := Energy.Best(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestObjectiveRank(t *testing.T) {
+	pts := []Point{
+		{Label: "c", Perf: 1, Energy: 0.9},
+		{Label: "a", Perf: 1, Energy: 0.1},
+		{Label: "b", Perf: 1, Energy: 0.5},
+	}
+	ranked, scores, err := Energy.Rank(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Label != "a" || ranked[1].Label != "b" || ranked[2].Label != "c" {
+		t.Fatalf("rank order wrong: %v", ranked)
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] < scores[i-1] {
+			t.Fatal("scores not ascending")
+		}
+	}
+	// Input untouched.
+	if pts[0].Label != "c" {
+		t.Fatal("Rank mutated its input")
+	}
+}
+
+// Property: every Frontier member is optimal for SOME objective weighting
+// is too strong a claim for discrete sets, but the objective winners are
+// always on the frontier.
+func TestQuickObjectiveWinnersOnFrontier(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]Point, 12)
+		for i := range pts {
+			pts[i] = Point{
+				Label:  string(rune('a' + i)),
+				Perf:   rng.Float64()*4 + 0.2,
+				Energy: rng.Float64() + 0.05,
+			}
+		}
+		front := map[string]bool{}
+		for _, p := range Frontier(pts) {
+			front[p.Label] = true
+		}
+		for _, o := range []Objective{Energy, EDP, ED2P} {
+			best, _, err := o.Best(pts)
+			if err != nil {
+				return false
+			}
+			if !front[best.Label] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

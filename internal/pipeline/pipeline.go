@@ -1,0 +1,169 @@
+// Package pipeline models per-core instruction throughput: how a
+// microarchitecture's issue width, ordering, and pipeline depth turn a
+// workload's instruction-level parallelism into instructions per cycle,
+// and how simultaneous multithreading fills the slots one thread leaves
+// idle.
+//
+// The SMT model captures the paper's Section 3.2 finding: SMT helps most
+// where single-thread slot utilization is lowest — the dual-issue
+// in-order Atom, with its deep pipeline and small caches, gains more than
+// the quad-issue out-of-order Nehalems, while the Pentium 4's early SMT
+// implementation adds resource-partitioning overhead that can make
+// cache-hungry managed workloads slower.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params describes one core's pipeline in the model's terms.
+type Params struct {
+	// IssueWidth is the peak instructions issued per cycle.
+	IssueWidth int
+	// OutOfOrder selects dynamic scheduling; in-order pipelines convert
+	// less of the available ILP into issue.
+	OutOfOrder bool
+	// ILPEff scales how much of a workload's ILP this microarchitecture
+	// converts into issue: NetBurst's replay storms and trace-cache
+	// misses land it well below 1, Nehalem's macro-fusion above.
+	// Zero means 1 (no adjustment).
+	ILPEff float64
+	// BranchPenalty is the CPI added per unit of workload branch weight;
+	// deeper pipelines (NetBurst) set it higher.
+	BranchPenalty float64
+	// SMTFillEff in [0,1] is how effectively a second thread converts
+	// idle issue slots into throughput.
+	SMTFillEff float64
+	// SMTOverhead in [0,1) is the fixed throughput tax of partitioning
+	// core resources between two threads.
+	SMTOverhead float64
+}
+
+// Validate checks the parameters' plausibility.
+func (p Params) Validate() error {
+	switch {
+	case p.IssueWidth < 1 || p.IssueWidth > 8:
+		return fmt.Errorf("pipeline: issue width %d outside [1,8]", p.IssueWidth)
+	case p.BranchPenalty < 0:
+		return errors.New("pipeline: negative branch penalty")
+	case p.SMTFillEff < 0 || p.SMTFillEff > 1:
+		return errors.New("pipeline: SMT fill efficiency outside [0,1]")
+	case p.SMTOverhead < 0 || p.SMTOverhead >= 1:
+		return errors.New("pipeline: SMT overhead outside [0,1)")
+	case p.ILPEff < 0:
+		return errors.New("pipeline: negative ILP efficiency")
+	}
+	return nil
+}
+
+// ilpEff returns the effective ILP scaling, defaulting to 1.
+func (p Params) ilpEff() float64 {
+	if p.ILPEff == 0 {
+		return 1
+	}
+	return p.ILPEff
+}
+
+// inOrderEff is the fraction of a workload's ILP an in-order pipeline can
+// exploit without dynamic scheduling.
+const inOrderEff = 0.65
+
+// IssueCPI returns the core-local cycles per instruction (excluding
+// memory stalls) for a thread exposing the given ILP and branch weight.
+func (p Params) IssueCPI(ilp, branchWeight float64) (float64, error) {
+	if ilp <= 0 {
+		return 0, errors.New("pipeline: ILP must be positive")
+	}
+	if branchWeight < 0 {
+		return 0, errors.New("pipeline: negative branch weight")
+	}
+	eff := ilp * p.ilpEff()
+	if !p.OutOfOrder {
+		eff *= inOrderEff
+	}
+	if w := float64(p.IssueWidth); eff > w {
+		eff = w
+	}
+	return 1/eff + p.BranchPenalty*branchWeight, nil
+}
+
+// ThreadCPI combines the issue CPI with memory stall CPI from the memory
+// model into the thread's total cycles per instruction.
+func (p Params) ThreadCPI(ilp, branchWeight, stallCPI float64) (float64, error) {
+	issue, err := p.IssueCPI(ilp, branchWeight)
+	if err != nil {
+		return 0, err
+	}
+	if stallCPI < 0 {
+		return 0, errors.New("pipeline: negative stall CPI")
+	}
+	return issue + stallCPI, nil
+}
+
+// CoreThroughput describes one core's achieved throughput.
+type CoreThroughput struct {
+	// IPC is the core's combined instructions per cycle across its
+	// active threads.
+	IPC float64
+	// Utilization is IPC over issue width, in (0, 1].
+	Utilization float64
+	// PerThreadIPC is the throughput each symmetric thread receives.
+	PerThreadIPC float64
+}
+
+// BusyFrac returns the fraction of cycles a thread with the given total
+// and memory-stall CPI spends issuing rather than stalled; the power
+// model scales switching activity by it so memory-bound cores draw less.
+func BusyFrac(threadCPI, stallCPI float64) float64 {
+	if threadCPI <= 0 {
+		return 0
+	}
+	busy := (threadCPI - stallCPI) / threadCPI
+	if busy < 0 {
+		return 0
+	}
+	if busy > 1 {
+		return 1
+	}
+	return busy
+}
+
+// Core computes the throughput of one core running `threads` symmetric
+// threads with the given per-thread total CPI (which must already include
+// the memory stalls computed under the appropriate cache sharing).
+//
+// With one thread, IPC = 1/CPI. With two SMT threads, the second thread
+// fills idle slots: the combined IPC is the single-thread IPC scaled by
+// 1 + SMTFillEff*(1-u), where u is single-thread slot utilization, less
+// the partitioning overhead. This saturates at the issue width.
+func (p Params) Core(threads int, threadCPI float64) (CoreThroughput, error) {
+	if err := p.Validate(); err != nil {
+		return CoreThroughput{}, err
+	}
+	if threadCPI <= 0 {
+		return CoreThroughput{}, errors.New("pipeline: thread CPI must be positive")
+	}
+	if threads < 1 || threads > 2 {
+		return CoreThroughput{}, fmt.Errorf("pipeline: %d threads per core unsupported (two-way SMT max)", threads)
+	}
+	single := 1 / threadCPI
+	width := float64(p.IssueWidth)
+	if single > width {
+		single = width
+	}
+	ipc := single
+	if threads == 2 {
+		u := single / width
+		fill := p.SMTFillEff * (1 - u)
+		ipc = single * (1 + fill) * (1 - p.SMTOverhead)
+		if ipc > width {
+			ipc = width
+		}
+	}
+	return CoreThroughput{
+		IPC:          ipc,
+		Utilization:  ipc / width,
+		PerThreadIPC: ipc / float64(threads),
+	}, nil
+}

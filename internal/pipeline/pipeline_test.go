@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nehalem() Params {
+	return Params{IssueWidth: 4, OutOfOrder: true, BranchPenalty: 0.15, SMTFillEff: 0.55, SMTOverhead: 0.02}
+}
+
+func bonnell() Params {
+	return Params{IssueWidth: 2, OutOfOrder: false, BranchPenalty: 0.25, SMTFillEff: 0.90, SMTOverhead: 0.02}
+}
+
+func netburst() Params {
+	return Params{IssueWidth: 3, OutOfOrder: true, BranchPenalty: 0.45, SMTFillEff: 0.28, SMTOverhead: 0.04}
+}
+
+func TestValidate(t *testing.T) {
+	if err := nehalem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{IssueWidth: 0},
+		{IssueWidth: 9},
+		{IssueWidth: 2, BranchPenalty: -1},
+		{IssueWidth: 2, SMTFillEff: 1.5},
+		{IssueWidth: 2, SMTOverhead: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params validated", i)
+		}
+	}
+}
+
+func TestIssueCPIWidthLimits(t *testing.T) {
+	p := nehalem()
+	// ILP above the width is clipped to the width.
+	wide, err := p.IssueCPI(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wide-0.25) > 1e-12 {
+		t.Fatalf("width-limited CPI = %v, want 0.25", wide)
+	}
+	narrow, err := p.IssueCPI(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(narrow-1) > 1e-12 {
+		t.Fatalf("ILP-limited CPI = %v, want 1", narrow)
+	}
+}
+
+func TestInOrderExploitsLessILP(t *testing.T) {
+	ooo := Params{IssueWidth: 2, OutOfOrder: true}
+	ino := Params{IssueWidth: 2, OutOfOrder: false}
+	a, err := ooo.IssueCPI(1.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ino.IssueCPI(1.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("in-order CPI %v not worse than OoO %v", b, a)
+	}
+}
+
+func TestBranchPenaltyHurtsDeepPipelines(t *testing.T) {
+	// NetBurst's deep pipeline pays more per branch than Nehalem: for
+	// branchy integer code the gap must widen.
+	nb, err := netburst().IssueCPI(1.4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh, err := nehalem().IssueCPI(1.4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb-nh < 0.25 {
+		t.Fatalf("deep-pipeline branch gap = %v, want >= 0.25 CPI", nb-nh)
+	}
+}
+
+func TestIssueCPIErrors(t *testing.T) {
+	p := nehalem()
+	if _, err := p.IssueCPI(0, 0); err == nil {
+		t.Fatal("zero ILP accepted")
+	}
+	if _, err := p.IssueCPI(1, -1); err == nil {
+		t.Fatal("negative branch weight accepted")
+	}
+	if _, err := p.ThreadCPI(1, 0, -0.5); err == nil {
+		t.Fatal("negative stall CPI accepted")
+	}
+}
+
+func TestThreadCPIAddsStalls(t *testing.T) {
+	p := nehalem()
+	base, err := p.ThreadCPI(2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled, err := p.ThreadCPI(2, 0.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stalled-base-1.5) > 1e-12 {
+		t.Fatalf("stall CPI not additive: %v vs %v", stalled, base)
+	}
+}
+
+func TestCoreSingleThread(t *testing.T) {
+	p := nehalem()
+	ct, err := p.Core(1, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ct.IPC-0.5) > 1e-12 {
+		t.Fatalf("IPC = %v, want 0.5", ct.IPC)
+	}
+	if math.Abs(ct.Utilization-0.125) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.125", ct.Utilization)
+	}
+	if ct.PerThreadIPC != ct.IPC {
+		t.Fatal("single-thread per-thread IPC must equal core IPC")
+	}
+}
+
+func TestCoreSMTGains(t *testing.T) {
+	p := nehalem()
+	single, err := p.Core(1, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := p.Core(2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.IPC <= single.IPC {
+		t.Fatal("SMT must raise combined core IPC for stall-heavy threads")
+	}
+	if dual.PerThreadIPC >= single.PerThreadIPC {
+		t.Fatal("each SMT thread individually runs slower than alone")
+	}
+}
+
+func TestSMTGainLargestOnInOrderNarrow(t *testing.T) {
+	// The paper's Section 3.2: the dual-issue in-order Atom gains more
+	// from SMT than quad-issue Nehalem at comparable stall levels.
+	gain := func(p Params, cpi float64) float64 {
+		s, err := p.Core(1, cpi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.Core(2, cpi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.IPC / s.IPC
+	}
+	atomGain := gain(bonnell(), 2.5)
+	i7Gain := gain(nehalem(), 2.5)
+	p4Gain := gain(netburst(), 2.5)
+	if atomGain <= i7Gain {
+		t.Fatalf("Atom SMT gain %v not above Nehalem %v", atomGain, i7Gain)
+	}
+	if p4Gain >= i7Gain {
+		t.Fatalf("NetBurst SMT gain %v not below Nehalem %v", p4Gain, i7Gain)
+	}
+}
+
+func TestCoreSaturatesAtWidth(t *testing.T) {
+	p := Params{IssueWidth: 2, OutOfOrder: true, SMTFillEff: 1.0}
+	ct, err := p.Core(2, 0.5) // each thread alone could do IPC 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.IPC > 2+1e-12 {
+		t.Fatalf("core IPC %v exceeds issue width", ct.IPC)
+	}
+}
+
+func TestCoreErrors(t *testing.T) {
+	p := nehalem()
+	if _, err := p.Core(3, 1); err == nil {
+		t.Fatal("3 threads per core accepted")
+	}
+	if _, err := p.Core(0, 1); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+	if _, err := p.Core(1, 0); err == nil {
+		t.Fatal("zero CPI accepted")
+	}
+	bad := Params{IssueWidth: 0}
+	if _, err := bad.Core(1, 1); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// Property: SMT never reduces combined core throughput below the
+// overhead-adjusted single thread, and utilization stays in (0, 1].
+func TestQuickSMTBounds(t *testing.T) {
+	f := func(cpiRaw uint16, widthRaw, fillRaw, ovRaw uint8) bool {
+		cpi := 0.3 + float64(cpiRaw%500)/100
+		p := Params{
+			IssueWidth:  1 + int(widthRaw%4),
+			OutOfOrder:  widthRaw%2 == 0,
+			SMTFillEff:  float64(fillRaw%101) / 100,
+			SMTOverhead: float64(ovRaw%20) / 100,
+		}
+		s, err := p.Core(1, cpi)
+		if err != nil {
+			return false
+		}
+		d, err := p.Core(2, cpi)
+		if err != nil {
+			return false
+		}
+		if d.Utilization <= 0 || d.Utilization > 1+1e-12 {
+			return false
+		}
+		// Combined must be at least the single thread taxed by overhead.
+		return d.IPC >= s.IPC*(1-p.SMTOverhead)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package power computes chip power from a processor's model parameters,
+// its operating point (frequency, voltage), and the per-core load the
+// simulator reports.
+//
+// The model is the standard CMOS decomposition the paper's analysis
+// leans on: dynamic power scales with activity, frequency, and the square
+// of voltage (alpha * C * V^2 * f); static leakage scales with voltage
+// and temperature; the uncore draws a chip-wide floor; and idle cores are
+// partially power gated, with gating effectiveness improving across
+// generations (weak on NetBurst, strong on Nehalem). Those four terms are
+// what make the paper's observed shapes emerge: the i5's flat
+// energy-versus-clock curve (Figure 7), the die shrink's power savings at
+// matched clocks (Figure 8), and the workload-dependent spread below TDP
+// (Figure 2).
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/proc"
+)
+
+// CoreLoad describes one physical core's load during an interval. A core
+// is in one of three states: active (Active set), idle but enabled
+// (Enabled set, Active clear — it sits in a C-state but keeps part of its
+// clock grid and leakage), or BIOS-disabled (both clear — nearly fully
+// power gated, the state of the paper's core-count experiments).
+type CoreLoad struct {
+	// Active indicates the core has at least one runnable thread.
+	Active bool
+	// Enabled indicates the BIOS exposes the core even if it is idle.
+	Enabled bool
+	// Activity is the workload's switching-activity factor (0..1.2).
+	Activity float64
+	// Utilization is achieved IPC over issue width (0..1]; stalled
+	// cores burn less dynamic power.
+	Utilization float64
+	// SMTActive indicates a second hardware thread is executing, which
+	// raises core activity by the model's SMTActivity factor.
+	SMTActive bool
+}
+
+// Breakdown decomposes chip power by structure, the decomposition the
+// paper argues should be exposed by per-structure power meters.
+type Breakdown struct {
+	UncoreWatts     float64 // shared fabric, LLC, memory controller, I/O
+	CoreDynWatts    float64 // active cores' switching power
+	CoreStaticWatts float64 // active cores' leakage
+	GatedWatts      float64 // residual leakage of gated/disabled cores
+	TotalWatts      float64
+}
+
+// Operating describes the chip-wide operating point for an interval.
+type Operating struct {
+	ClockGHz float64 // actual clock, including any turbo steps
+	Volts    float64 // actual voltage, including any turbo kick
+	TempC    float64 // junction temperature, from the thermal model
+}
+
+// nominalTempC is the junction temperature at which CoreStatWatts is
+// specified; leakage grows above it.
+const nominalTempC = 55
+
+// leakTempCoeff is the fractional leakage increase per degree above
+// nominal.
+const leakTempCoeff = 0.006
+
+// Chip computes the chip's power breakdown for one interval.
+//
+// The model's reference operating point is the part's stock maximum
+// clock and the voltage at that clock: CoreDynWatts, CoreStatWatts, and
+// UncoreWatts are all specified there. Everything scales by
+// (V/Vstock)^2; dynamic terms additionally scale by f/fstock.
+func Chip(p *proc.Processor, op Operating, loads []CoreLoad) (Breakdown, error) {
+	if p == nil {
+		return Breakdown{}, errors.New("power: nil processor")
+	}
+	if len(loads) != p.Spec.Cores {
+		return Breakdown{}, fmt.Errorf("power: %d core loads for %d-core %s",
+			len(loads), p.Spec.Cores, p.Name)
+	}
+	if op.ClockGHz <= 0 || op.Volts <= 0 {
+		return Breakdown{}, fmt.Errorf("power: non-positive operating point %+v", op)
+	}
+	m := p.Model
+	fStock := p.MaxClock()
+	vStock := p.VoltsAt(fStock)
+	vScale := (op.Volts / vStock) * (op.Volts / vStock)
+	fScale := op.ClockGHz / fStock
+	leakT := 1 + leakTempCoeff*(op.TempC-nominalTempC)
+	if leakT < 0.5 {
+		leakT = 0.5
+	}
+
+	var b Breakdown
+	b.UncoreWatts = m.UncoreWatts * vScale
+	for _, ld := range loads {
+		if !ld.Active {
+			if ld.Enabled {
+				// Idle enabled cores leak past their gates; pre-Nehalem
+				// parts also keep part of the clock grid switching.
+				b.GatedWatts += m.CoreStatWatts * (1 - m.GatingEff) * leakT * vScale
+				b.GatedWatts += m.CoreDynWatts * m.IdleDynFrac * fScale * vScale
+			} else {
+				// BIOS-disabled cores are nearly fully gated.
+				b.GatedWatts += m.CoreStatWatts * (1 - m.GatingEff) * 0.5 * leakT * vScale
+			}
+			continue
+		}
+		act := effectiveActivity(m, ld)
+		b.CoreDynWatts += m.CoreDynWatts * act * fScale * vScale
+		b.CoreStaticWatts += m.CoreStatWatts * leakT * vScale
+	}
+	b.TotalWatts = b.UncoreWatts + b.CoreDynWatts + b.CoreStaticWatts + b.GatedWatts
+	return b, nil
+}
+
+// effectiveActivity converts workload activity and achieved utilization
+// into the fraction of the core's dynamic capacitance switched: a stalled
+// core still clocks its front end (the IdleActivity floor) but switches
+// far less than one retiring at full rate.
+func effectiveActivity(m proc.Model, ld CoreLoad) float64 {
+	util := ld.Utilization
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	act := ld.Activity * (m.IdleActivity + (1-m.IdleActivity)*util)
+	if ld.SMTActive {
+		act *= m.SMTActivity
+	}
+	return act
+}
+
+// TurboPoint resolves the operating point for a configuration, applying
+// Turbo Boost steps when enabled: one step with more than one active
+// core, two steps with exactly one, per the paper's Section 3.6, with the
+// chip-wide voltage kick that makes boosting power-hungry on the i7.
+// The boost is suppressed when the resulting power would exceed TDP
+// headroom; the caller passes a representative load for that check.
+func TurboPoint(p *proc.Processor, cfg proc.Config, activeCores int, loads []CoreLoad) (Operating, error) {
+	if err := p.Validate(cfg); err != nil {
+		return Operating{}, err
+	}
+	base := Operating{ClockGHz: cfg.ClockGHz, Volts: p.VoltsAt(cfg.ClockGHz), TempC: nominalTempC}
+	if !cfg.Turbo || !p.HasTurbo() {
+		return base, nil
+	}
+	steps := p.Model.TurboStepsAll
+	if activeCores <= 1 {
+		steps = p.Model.TurboStepsOne
+	}
+	for ; steps > 0; steps-- {
+		boosted := Operating{
+			ClockGHz: cfg.ClockGHz + float64(steps)*p.Model.TurboStepGHz,
+			Volts:    p.VoltsAt(cfg.ClockGHz) + float64(steps)*p.Model.TurboVoltsBoost,
+			TempC:    base.TempC,
+		}
+		bd, err := Chip(p, boosted, loads)
+		if err != nil {
+			return Operating{}, err
+		}
+		if bd.TotalWatts <= p.Spec.TDPWatts {
+			return boosted, nil
+		}
+	}
+	return base, nil
+}

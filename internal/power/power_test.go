@@ -1,0 +1,294 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proc"
+)
+
+func i7(t *testing.T) *proc.Processor {
+	t.Helper()
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func stockOp(p *proc.Processor) Operating {
+	return Operating{ClockGHz: p.MaxClock(), Volts: p.VoltsAt(p.MaxClock()), TempC: nominalTempC}
+}
+
+func fullLoads(p *proc.Processor, activity float64) []CoreLoad {
+	loads := make([]CoreLoad, p.Spec.Cores)
+	for i := range loads {
+		loads[i] = CoreLoad{Active: true, Activity: activity, Utilization: 0.8}
+	}
+	return loads
+}
+
+func idleLoads(p *proc.Processor, active int) []CoreLoad {
+	loads := make([]CoreLoad, p.Spec.Cores)
+	for i := 0; i < active; i++ {
+		loads[i] = CoreLoad{Active: true, Activity: 0.7, Utilization: 0.6}
+	}
+	return loads
+}
+
+func TestChipBreakdownSums(t *testing.T) {
+	p := i7(t)
+	bd, err := Chip(p, stockOp(p), fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := bd.UncoreWatts + bd.CoreDynWatts + bd.CoreStaticWatts + bd.GatedWatts
+	if diff := bd.TotalWatts - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("breakdown does not sum: %v vs %v", bd.TotalWatts, sum)
+	}
+	if bd.TotalWatts <= 0 {
+		t.Fatal("non-positive chip power")
+	}
+}
+
+func TestChipBelowTDP(t *testing.T) {
+	// Figure 2: measured power is strictly below TDP for every part,
+	// even fully loaded at high activity.
+	for _, p := range proc.Fleet() {
+		bd, err := Chip(p, stockOp(p), fullLoads(p, 1.0))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if bd.TotalWatts >= p.Spec.TDPWatts {
+			t.Errorf("%s: full-load power %.1fW exceeds TDP %.0fW",
+				p.Name, bd.TotalWatts, p.Spec.TDPWatts)
+		}
+	}
+}
+
+func TestIdleCoresDrawLess(t *testing.T) {
+	p := i7(t)
+	one, err := Chip(p, stockOp(p), idleLoads(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Chip(p, stockOp(p), idleLoads(p, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.TotalWatts >= four.TotalWatts {
+		t.Fatal("enabling cores must increase power")
+	}
+	if one.GatedWatts <= 0 {
+		t.Fatal("idle cores must still leak")
+	}
+	if four.GatedWatts != 0 {
+		t.Fatal("fully active chip must have no gated leakage")
+	}
+}
+
+func TestVoltageScalesQuadratically(t *testing.T) {
+	p := i7(t)
+	op := stockOp(p)
+	lo := op
+	lo.Volts = op.Volts / 2
+	high, err := Chip(p, op, fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Chip(p, lo, fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := high.TotalWatts / low.TotalWatts
+	if ratio < 3.99 || ratio > 4.01 {
+		t.Fatalf("halving V scaled power by %v, want ~4x", ratio)
+	}
+}
+
+func TestFrequencyScalesDynamicOnly(t *testing.T) {
+	p := i7(t)
+	op := stockOp(p)
+	half := op
+	half.ClockGHz = op.ClockGHz / 2
+	hi, err := Chip(p, op, fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Chip(p, half, fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.CoreDynWatts*2-hi.CoreDynWatts > 1e-9 || hi.CoreDynWatts-lo.CoreDynWatts*2 > 1e-9 {
+		t.Fatalf("dynamic power not linear in f: %v vs %v", lo.CoreDynWatts, hi.CoreDynWatts)
+	}
+	if lo.CoreStaticWatts != hi.CoreStaticWatts {
+		t.Fatal("static power must not depend on frequency")
+	}
+	if lo.UncoreWatts != hi.UncoreWatts {
+		t.Fatal("uncore power must not depend on frequency at fixed V")
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	p := i7(t)
+	cool := stockOp(p)
+	hot := cool
+	hot.TempC = 90
+	a, err := Chip(p, cool, fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chip(p, hot, fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CoreStaticWatts <= a.CoreStaticWatts {
+		t.Fatal("leakage must grow with temperature")
+	}
+	if b.CoreDynWatts != a.CoreDynWatts {
+		t.Fatal("dynamic power must not depend on temperature")
+	}
+}
+
+func TestSMTRaisesCorePower(t *testing.T) {
+	p := i7(t)
+	base := idleLoads(p, 1)
+	smt := idleLoads(p, 1)
+	smt[0].SMTActive = true
+	a, err := Chip(p, stockOp(p), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chip(p, stockOp(p), smt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalWatts <= a.TotalWatts {
+		t.Fatal("SMT activity must raise power")
+	}
+	// But by far less than a whole extra core (Section 3.2).
+	twoCores, err := Chip(p, stockOp(p), idleLoads(p, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalWatts-a.TotalWatts >= twoCores.TotalWatts-a.TotalWatts {
+		t.Fatal("SMT power cost must be below an extra core's")
+	}
+}
+
+func TestStalledCoreDrawsLess(t *testing.T) {
+	p := i7(t)
+	busy := []CoreLoad{{Active: true, Activity: 0.9, Utilization: 1}, {}, {}, {}}
+	stalled := []CoreLoad{{Active: true, Activity: 0.9, Utilization: 0.1}, {}, {}, {}}
+	a, err := Chip(p, stockOp(p), busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chip(p, stockOp(p), stalled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalWatts >= a.TotalWatts {
+		t.Fatal("memory-stalled core must draw less than a retiring one")
+	}
+	if b.CoreDynWatts <= 0 {
+		t.Fatal("stalled core must still clock its front end")
+	}
+}
+
+func TestChipErrors(t *testing.T) {
+	p := i7(t)
+	if _, err := Chip(nil, stockOp(p), nil); err == nil {
+		t.Fatal("nil processor accepted")
+	}
+	if _, err := Chip(p, stockOp(p), make([]CoreLoad, 2)); err == nil {
+		t.Fatal("mismatched load count accepted")
+	}
+	if _, err := Chip(p, Operating{}, make([]CoreLoad, 4)); err == nil {
+		t.Fatal("zero operating point accepted")
+	}
+}
+
+func TestTurboPointSteps(t *testing.T) {
+	p := i7(t)
+	cfg := p.Stock()
+	// Multi-core load: one step.
+	op, err := TurboPoint(p, cfg, 4, fullLoads(p, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll := cfg.ClockGHz + p.Model.TurboStepGHz
+	if op.ClockGHz != wantAll {
+		t.Fatalf("all-core turbo clock = %v, want %v", op.ClockGHz, wantAll)
+	}
+	// Single active core: two steps.
+	op1, err := TurboPoint(p, cfg, 1, idleLoads(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOne := cfg.ClockGHz + 2*p.Model.TurboStepGHz
+	if op1.ClockGHz != wantOne {
+		t.Fatalf("single-core turbo clock = %v, want %v", op1.ClockGHz, wantOne)
+	}
+	if op1.Volts <= p.VoltsAt(cfg.ClockGHz) {
+		t.Fatal("turbo must raise voltage")
+	}
+}
+
+func TestTurboDisabledIsBase(t *testing.T) {
+	p := i7(t)
+	cfg := p.Stock()
+	cfg.Turbo = false
+	op, err := TurboPoint(p, cfg, 4, fullLoads(p, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.ClockGHz != cfg.ClockGHz || op.Volts != p.VoltsAt(cfg.ClockGHz) {
+		t.Fatalf("no-turbo point = %+v", op)
+	}
+}
+
+func TestTurboRespectsTDP(t *testing.T) {
+	p := i7(t)
+	// Shrink the TDP so even one step busts it: turbo must not engage.
+	clone := *p
+	clone.Spec.TDPWatts = 1
+	op, err := TurboPoint(&clone, clone.Stock(), 4, fullLoads(&clone, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.ClockGHz != clone.Stock().ClockGHz {
+		t.Fatalf("turbo engaged past TDP: %v", op.ClockGHz)
+	}
+}
+
+func TestTurboPointValidatesConfig(t *testing.T) {
+	p := i7(t)
+	bad := proc.Config{Cores: 9, SMTWays: 1, ClockGHz: 2.67}
+	if _, err := TurboPoint(p, bad, 1, idleLoads(p, 1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// Property: chip power is monotone in activity.
+func TestQuickPowerMonotoneInActivity(t *testing.T) {
+	p := i7(t)
+	op := stockOp(p)
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%100)/100 + 0.01
+		b := float64(bRaw%100)/100 + 0.01
+		if a > b {
+			a, b = b, a
+		}
+		la, err1 := Chip(p, op, fullLoads(p, a))
+		lb, err2 := Chip(p, op, fullLoads(p, b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return la.TotalWatts <= lb.TotalWatts+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package proc
+
+import "fmt"
+
+// ConfiguredProcessor pairs a processor with one of its validated hardware
+// configurations. The paper's Section 2.8 evaluates 45 such configurations
+// across the eight stock processors.
+type ConfiguredProcessor struct {
+	Proc   *Processor
+	Config Config
+}
+
+// String renders the paper's notation, e.g. "i7 (45) 4C2T@2.7GHz TB".
+func (cp ConfiguredProcessor) String() string {
+	return cp.Proc.Name + " " + cp.Config.String()
+}
+
+// IsStock reports whether the configuration is the part's stock setting.
+func (cp ConfiguredProcessor) IsStock() bool {
+	return cp.Config == cp.Proc.Stock()
+}
+
+// ConfigSpace returns the full 45-configuration space the paper explores:
+// every stock configuration plus the BIOS-controlled variations of core
+// count, SMT, clock, and Turbo Boost. Every returned configuration is
+// validated against its part; construction panics on an internal
+// inconsistency because the space is static program data.
+func ConfigSpace() []ConfiguredProcessor {
+	var out []ConfiguredProcessor
+	add := func(p *Processor, cfgs ...Config) {
+		for _, c := range cfgs {
+			if err := p.Validate(c); err != nil {
+				panic(fmt.Sprintf("proc: invalid built-in config %v on %s: %v", c, p.Name, err))
+			}
+			out = append(out, ConfiguredProcessor{Proc: p, Config: c})
+		}
+	}
+
+	p4, _ := ByName(Pentium4Name)
+	add(p4,
+		Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4}, // stock
+		Config{Cores: 1, SMTWays: 1, ClockGHz: 2.4}, // SMT off
+	)
+
+	c2d65, _ := ByName(Core2D65Name)
+	add(c2d65,
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 2.4}, // stock
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 1.6},
+		Config{Cores: 1, SMTWays: 1, ClockGHz: 2.4},
+	)
+
+	c2q65, _ := ByName(Core2Q65Name)
+	add(c2q65,
+		Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4}, // stock
+		Config{Cores: 4, SMTWays: 1, ClockGHz: 1.6},
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 2.4},
+	)
+
+	i7, _ := ByName(I7Name)
+	// The i7 is the paper's most thoroughly configured part: a grid over
+	// cores x SMT x clock with Turbo variants at the top clock, 20 total.
+	for _, cores := range []int{1, 2, 4} {
+		for _, smt := range []int{1, 2} {
+			add(i7,
+				Config{Cores: cores, SMTWays: smt, ClockGHz: 1.60},
+				Config{Cores: cores, SMTWays: smt, ClockGHz: 2.67},
+				Config{Cores: cores, SMTWays: smt, ClockGHz: 2.67, Turbo: true},
+			)
+		}
+	}
+	add(i7,
+		Config{Cores: 4, SMTWays: 2, ClockGHz: 2.13},
+		Config{Cores: 1, SMTWays: 2, ClockGHz: 2.40},
+	)
+
+	atom, _ := ByName(Atom45Name)
+	add(atom,
+		Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7}, // stock
+		Config{Cores: 1, SMTWays: 1, ClockGHz: 1.7},
+	)
+
+	c2d45, _ := ByName(Core2D45Name)
+	add(c2d45,
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 3.1}, // stock
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 2.4},
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 1.6},
+	)
+
+	atomD, _ := ByName(AtomD45Name)
+	add(atomD,
+		Config{Cores: 2, SMTWays: 2, ClockGHz: 1.7}, // stock
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 1.7},
+		Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7},
+		Config{Cores: 1, SMTWays: 1, ClockGHz: 1.7},
+	)
+
+	i5, _ := ByName(I5Name)
+	add(i5,
+		Config{Cores: 2, SMTWays: 2, ClockGHz: 3.46, Turbo: true}, // stock
+		Config{Cores: 2, SMTWays: 2, ClockGHz: 3.46},
+		Config{Cores: 2, SMTWays: 1, ClockGHz: 3.46, Turbo: true},
+		Config{Cores: 1, SMTWays: 2, ClockGHz: 3.46, Turbo: true},
+		Config{Cores: 1, SMTWays: 1, ClockGHz: 3.46, Turbo: true},
+		Config{Cores: 1, SMTWays: 1, ClockGHz: 3.46},
+		Config{Cores: 2, SMTWays: 2, ClockGHz: 2.66},
+		Config{Cores: 2, SMTWays: 2, ClockGHz: 1.20},
+	)
+
+	return out
+}
+
+// ConfigSpace45nm returns the 29 configurations of the four 45nm
+// processors, the design-point proxies of the paper's Pareto analysis
+// (Section 4.2).
+func ConfigSpace45nm() []ConfiguredProcessor {
+	var out []ConfiguredProcessor
+	for _, cp := range ConfigSpace() {
+		if cp.Proc.Spec.NodeNM == 45 {
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// StockConfigs returns the eight stock configurations in fleet order.
+func StockConfigs() []ConfiguredProcessor {
+	fleet := Fleet()
+	out := make([]ConfiguredProcessor, len(fleet))
+	for i, p := range fleet {
+		out[i] = ConfiguredProcessor{Proc: p, Config: p.Stock()}
+	}
+	return out
+}

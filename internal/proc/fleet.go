@@ -1,0 +1,265 @@
+package proc
+
+import "fmt"
+
+// Fleet names, using the paper's shorthand: the microarchitecture or brand
+// followed by the process node in nanometres.
+const (
+	Pentium4Name = "Pentium4 (130)"
+	Core2D65Name = "Core2D (65)"
+	Core2Q65Name = "Core2Q (65)"
+	I7Name       = "i7 (45)"
+	Atom45Name   = "Atom (45)"
+	Core2D45Name = "Core2D (45)"
+	AtomD45Name  = "AtomD (45)"
+	I5Name       = "i5 (32)"
+)
+
+// Fleet returns the eight experimental processors of Table 3, ordered by
+// release date as in the paper. Callers receive fresh copies; mutating the
+// result does not affect subsequent calls.
+func Fleet() []*Processor {
+	ps := []*Processor{
+		pentium4(), core2D65(), core2Q65(), i7_45(),
+		atom45(), core2D45(), atomD45(), i5_32(),
+	}
+	return ps
+}
+
+// ByName returns the fleet processor with the given paper shorthand.
+func ByName(name string) (*Processor, error) {
+	for _, p := range Fleet() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("proc: unknown processor %q", name)
+}
+
+// ReferenceNames lists the four processors whose average execution time
+// defines the paper's reference time (Section 2.6): one from each
+// microarchitecture and each technology generation.
+func ReferenceNames() []string {
+	return []string{Pentium4Name, Core2D65Name, Atom45Name, I5Name}
+}
+
+// pentium4 is the 2003 Northwood Pentium 4: the NetBurst deep-pipeline
+// design, first commercial SMT, 130nm. Its VID range is unpublished; the
+// model uses the family's nominal 1.5V.
+func pentium4() *Processor {
+	return &Processor{
+		Name:     Pentium4Name,
+		LongName: "Pentium 4",
+		Arch:     NetBurst,
+		Codename: "Northwood",
+		Spec: Spec{
+			SSpec: "SL6WF", Release: "May '03", PriceUSD: 0,
+			Cores: 1, SMTWays: 2, LLCBytes: 512 << 10,
+			ClockGHz: 2.4, NodeNM: 130, TransistorsM: 55, DieMM2: 131,
+			TDPWatts: 66, FSBMHz: 800, DRAM: "DDR-400",
+		},
+		Model: Model{
+			IssueWidth: 3, OutOfOrder: true, PipelineDepth: 20,
+			IssueEff: 0.58, MLPHiding: 0.15, BranchPenalty: 1.00,
+			SMTFillEff: 0.45, SMTOverhead: 0.14,
+			MemLatencyNs: 130, DRAMBWGBs: 3.2, L2KBPerCore: 512,
+			UncoreWatts: 14, CoreDynWatts: 29, CoreStatWatts: 8,
+			GatingEff: 0.25, IdleDynFrac: 0.30, SMTActivity: 1.05, IdleActivity: 0.72,
+			VF: []VFPoint{{2.4, 1.50}},
+		},
+	}
+}
+
+// core2D65 is the 2006 Conroe Core 2 Duo E6600: the Core microarchitecture
+// at 65nm.
+func core2D65() *Processor {
+	return &Processor{
+		Name:     Core2D65Name,
+		LongName: "Core 2 Duo E6600",
+		Arch:     Core,
+		Codename: "Conroe",
+		Spec: Spec{
+			SSpec: "SL9S8", Release: "Jul '06", PriceUSD: 316,
+			Cores: 2, SMTWays: 1, LLCBytes: 4 << 20,
+			ClockGHz: 2.4, NodeNM: 65, TransistorsM: 291, DieMM2: 143,
+			VIDMinV: 0.85, VIDMaxV: 1.50,
+			TDPWatts: 65, FSBMHz: 1066, DRAM: "DDR2-800",
+		},
+		Model: Model{
+			IssueWidth: 4, OutOfOrder: true, PipelineDepth: 14,
+			IssueEff: 1.0, MLPHiding: 0.30, BranchPenalty: 0.18,
+			MemLatencyNs: 95, DRAMBWGBs: 5.5, L2KBPerCore: 2048,
+			UncoreWatts: 9, CoreDynWatts: 9.5, CoreStatWatts: 3.0,
+			GatingEff: 0.10, IdleDynFrac: 0.45, SMTActivity: 1, IdleActivity: 0.50,
+			VF: []VFPoint{{1.6, 1.09}, {2.0, 1.18}, {2.4, 1.30}},
+		},
+	}
+}
+
+// core2Q65 is the 2007 Kentsfield Core 2 Quad Q6600: two Conroe dies in
+// one package, the fleet's top-of-market 65nm part.
+func core2Q65() *Processor {
+	return &Processor{
+		Name:     Core2Q65Name,
+		LongName: "Core 2 Quad Q6600",
+		Arch:     Core,
+		Codename: "Kentsfield",
+		Spec: Spec{
+			SSpec: "SL9UM", Release: "Jan '07", PriceUSD: 851,
+			Cores: 4, SMTWays: 1, LLCBytes: 8 << 20,
+			ClockGHz: 2.4, NodeNM: 65, TransistorsM: 582, DieMM2: 286,
+			VIDMinV: 0.85, VIDMaxV: 1.50,
+			TDPWatts: 105, FSBMHz: 1066, DRAM: "DDR2-800",
+		},
+		Model: Model{
+			IssueWidth: 4, OutOfOrder: true, PipelineDepth: 14,
+			IssueEff: 1.0, MLPHiding: 0.30, BranchPenalty: 0.18,
+			MemLatencyNs: 98, DRAMBWGBs: 5.5, L2KBPerCore: 2048,
+			UncoreWatts: 17, CoreDynWatts: 11.5, CoreStatWatts: 4.0,
+			GatingEff: 0.10, IdleDynFrac: 0.45, SMTActivity: 1, IdleActivity: 0.50,
+			VF: []VFPoint{{1.6, 1.09}, {2.0, 1.18}, {2.4, 1.30}},
+		},
+	}
+}
+
+// i7_45 is the 2008 Bloomfield Core i7 920: the first Nehalem, 45nm,
+// integrated memory controller, QPI, SMT, and Turbo Boost.
+func i7_45() *Processor {
+	return &Processor{
+		Name:     I7Name,
+		LongName: "Core i7 920",
+		Arch:     Nehalem,
+		Codename: "Bloomfield",
+		Spec: Spec{
+			SSpec: "SLBCH", Release: "Nov '08", PriceUSD: 284,
+			Cores: 4, SMTWays: 2, LLCBytes: 8 << 20,
+			ClockGHz: 2.67, NodeNM: 45, TransistorsM: 731, DieMM2: 263,
+			VIDMinV: 0.80, VIDMaxV: 1.38,
+			TDPWatts: 130, MemBWGBs: 25.6, DRAM: "DDR3-1066",
+		},
+		Model: Model{
+			IssueWidth: 4, OutOfOrder: true, PipelineDepth: 14,
+			IssueEff: 1.11, MLPHiding: 0.45, BranchPenalty: 0.15,
+			SMTFillEff: 0.50, SMTOverhead: 0.02,
+			MemLatencyNs: 60, DRAMBWGBs: 16, L2KBPerCore: 2048,
+			UncoreWatts: 4, CoreDynWatts: 11.0, CoreStatWatts: 2.5,
+			GatingEff: 0.55, IdleDynFrac: 0.08, SMTActivity: 1.20, IdleActivity: 0.35,
+			TurboStepGHz: 0.133, TurboStepsAll: 1, TurboStepsOne: 2,
+			TurboVoltsBoost: 0.10,
+			VF: []VFPoint{
+				{1.60, 0.97}, {2.13, 1.07}, {2.40, 1.14}, {2.67, 1.22},
+			},
+		},
+	}
+}
+
+// atom45 is the 2008 Diamondville Atom 230: Bonnell's dual-issue in-order
+// pipeline at the extreme low-power end of the market.
+func atom45() *Processor {
+	return &Processor{
+		Name:     Atom45Name,
+		LongName: "Atom 230",
+		Arch:     Bonnell,
+		Codename: "Diamondville",
+		Spec: Spec{
+			SSpec: "SLB6Z", Release: "Jun '08", PriceUSD: 29,
+			Cores: 1, SMTWays: 2, LLCBytes: 512 << 10,
+			ClockGHz: 1.7, NodeNM: 45, TransistorsM: 47, DieMM2: 26,
+			VIDMinV: 0.90, VIDMaxV: 1.16,
+			TDPWatts: 4, FSBMHz: 533, DRAM: "DDR2-800",
+		},
+		Model: Model{
+			IssueWidth: 2, OutOfOrder: false, PipelineDepth: 16,
+			IssueEff: 0.42, MLPHiding: 0.05, BranchPenalty: 0.55,
+			SMTFillEff: 0.75, SMTOverhead: 0.02,
+			MemLatencyNs: 95, DRAMBWGBs: 3.0, L2KBPerCore: 512,
+			UncoreWatts: 1.35, CoreDynWatts: 1.00, CoreStatWatts: 0.30,
+			GatingEff: 0.40, IdleDynFrac: 0.25, SMTActivity: 1.18, IdleActivity: 0.55,
+			VF: []VFPoint{{1.7, 1.05}},
+		},
+	}
+}
+
+// core2D45 is the 2009 Wolfdale Core 2 Duo E7600: the Core die shrink to
+// 45nm, paired with Conroe for the die-shrink study (Figure 8).
+func core2D45() *Processor {
+	return &Processor{
+		Name:     Core2D45Name,
+		LongName: "Core 2 Duo E7600",
+		Arch:     Core,
+		Codename: "Wolfdale",
+		Spec: Spec{
+			SSpec: "SLGTD", Release: "May '09", PriceUSD: 133,
+			Cores: 2, SMTWays: 1, LLCBytes: 3 << 20,
+			ClockGHz: 3.1, NodeNM: 45, TransistorsM: 228, DieMM2: 82,
+			VIDMinV: 0.85, VIDMaxV: 1.36,
+			TDPWatts: 65, FSBMHz: 1066, DRAM: "DDR2-800",
+		},
+		Model: Model{
+			IssueWidth: 4, OutOfOrder: true, PipelineDepth: 14,
+			IssueEff: 1.06, MLPHiding: 0.32, BranchPenalty: 0.17,
+			MemLatencyNs: 92, DRAMBWGBs: 6.0, L2KBPerCore: 1536,
+			UncoreWatts: 7, CoreDynWatts: 8.0, CoreStatWatts: 2.0,
+			GatingEff: 0.15, IdleDynFrac: 0.45, SMTActivity: 1, IdleActivity: 0.50,
+			VF: []VFPoint{{1.6, 1.02}, {2.4, 1.19}, {3.1, 1.36}},
+		},
+	}
+}
+
+// atomD45 is the 2009 Pineview Atom D510: dual-core Bonnell with the
+// memory controller and GPU moved into the package.
+func atomD45() *Processor {
+	return &Processor{
+		Name:     AtomD45Name,
+		LongName: "Atom D510",
+		Arch:     Bonnell,
+		Codename: "Pineview",
+		Spec: Spec{
+			SSpec: "SLBLA", Release: "Dec '09", PriceUSD: 63,
+			Cores: 2, SMTWays: 2, LLCBytes: 1 << 20,
+			ClockGHz: 1.7, NodeNM: 45, TransistorsM: 176, DieMM2: 87,
+			VIDMinV: 0.80, VIDMaxV: 1.17,
+			TDPWatts: 13, FSBMHz: 665, DRAM: "DDR2-800",
+		},
+		Model: Model{
+			IssueWidth: 2, OutOfOrder: false, PipelineDepth: 16,
+			IssueEff: 0.42, MLPHiding: 0.05, BranchPenalty: 0.55,
+			SMTFillEff: 0.73, SMTOverhead: 0.02,
+			MemLatencyNs: 88, DRAMBWGBs: 4.0, L2KBPerCore: 512,
+			UncoreWatts: 2.2, CoreDynWatts: 1.20, CoreStatWatts: 0.35,
+			GatingEff: 0.40, IdleDynFrac: 0.25, SMTActivity: 1.18, IdleActivity: 0.55,
+			VF: []VFPoint{{1.7, 1.02}},
+		},
+	}
+}
+
+// i5_32 is the 2010 Clarkdale Core i5 670: the Nehalem die shrink to 32nm
+// (Westmere core), with a 45nm GPU die sharing the package.
+func i5_32() *Processor {
+	return &Processor{
+		Name:     I5Name,
+		LongName: "Core i5 670",
+		Arch:     Nehalem,
+		Codename: "Clarkdale",
+		Spec: Spec{
+			SSpec: "SLBLT", Release: "Jan '10", PriceUSD: 284,
+			Cores: 2, SMTWays: 2, LLCBytes: 4 << 20,
+			ClockGHz: 3.46, NodeNM: 32, TransistorsM: 382, DieMM2: 81,
+			VIDMinV: 0.65, VIDMaxV: 1.40,
+			TDPWatts: 73, MemBWGBs: 21.0, DRAM: "DDR3-1333",
+		},
+		Model: Model{
+			IssueWidth: 4, OutOfOrder: true, PipelineDepth: 14,
+			IssueEff: 1.12, MLPHiding: 0.45, BranchPenalty: 0.15,
+			SMTFillEff: 0.50, SMTOverhead: 0.02,
+			MemLatencyNs: 75, DRAMBWGBs: 12, L2KBPerCore: 2048,
+			UncoreWatts: 8, CoreDynWatts: 10.5, CoreStatWatts: 2.0,
+			GatingEff: 0.80, IdleDynFrac: 0.03, SMTActivity: 1.20, IdleActivity: 0.35,
+			TurboStepGHz: 0.133, TurboStepsAll: 1, TurboStepsOne: 2,
+			TurboVoltsBoost: 0.02,
+			VF: []VFPoint{
+				{1.20, 0.90}, {2.00, 0.94}, {2.66, 0.99}, {3.46, 1.12},
+			},
+		},
+	}
+}

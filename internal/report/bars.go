@@ -1,0 +1,132 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars, the shape of the paper's
+// feature-analysis figures (4, 5, 9, 10): one label per comparison, one
+// bar per metric.
+type BarChart struct {
+	Title string
+	// Baseline draws a reference mark at this value (1.0 for the ratio
+	// figures); zero disables it.
+	Baseline float64
+	// Width is the bar area in characters (default 48).
+	Width int
+
+	labels []string
+	series []barSeries
+}
+
+type barSeries struct {
+	name   string
+	values []float64
+}
+
+// AddSeries registers a named metric with one value per label. All
+// series must be the same length; labels are taken from the first call
+// to SetLabels.
+func (b *BarChart) AddSeries(name string, values ...float64) {
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	b.series = append(b.series, barSeries{name: name, values: vals})
+}
+
+// SetLabels names the comparison groups.
+func (b *BarChart) SetLabels(labels ...string) {
+	b.labels = append([]string(nil), labels...)
+}
+
+// Write renders the chart.
+func (b *BarChart) Write(w io.Writer) error {
+	if len(b.series) == 0 || len(b.labels) == 0 {
+		return errors.New("report: empty bar chart")
+	}
+	for _, s := range b.series {
+		if len(s.values) != len(b.labels) {
+			return fmt.Errorf("report: series %q has %d values for %d labels",
+				s.name, len(s.values), len(b.labels))
+		}
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 48
+	}
+	// Scale to the maximum value (and the baseline, so its mark fits).
+	max := b.Baseline
+	for _, s := range b.series {
+		for _, v := range s.values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		return errors.New("report: no positive values to plot")
+	}
+	labelW, nameW := 0, 0
+	for _, l := range b.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for _, s := range b.series {
+		if len(s.name) > nameW {
+			nameW = len(s.name)
+		}
+	}
+
+	if b.Title != "" {
+		if _, err := fmt.Fprintln(w, b.Title); err != nil {
+			return err
+		}
+	}
+	baseCol := -1
+	if b.Baseline > 0 {
+		baseCol = int(b.Baseline / max * float64(width-1))
+	}
+	for li, label := range b.labels {
+		for si, s := range b.series {
+			head := strings.Repeat(" ", labelW)
+			if si == 0 {
+				head = pad(label, labelW)
+			}
+			v := s.values[li]
+			n := int(v / max * float64(width-1))
+			if n < 0 {
+				n = 0
+			}
+			bar := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+			if baseCol >= 0 && baseCol < len(bar) && bar[baseCol] == ' ' {
+				bar[baseCol] = '|'
+			}
+			if _, err := fmt.Fprintf(w, "%s  %s %s %.2f\n",
+				head, pad(s.name, nameW), string(bar), v); err != nil {
+				return err
+			}
+		}
+		if li < len(b.labels)-1 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	if baseCol >= 0 {
+		if _, err := fmt.Fprintf(w, "%s  %s ('|' marks %.2f)\n",
+			strings.Repeat(" ", labelW), strings.Repeat(" ", nameW), b.Baseline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the chart to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	_ = b.Write(&sb)
+	return sb.String()
+}

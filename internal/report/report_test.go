@@ -1,0 +1,163 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Processor", "Perf", "Watts")
+	tbl.AddRowf("Pentium4 (130)", 0.82, 44.1)
+	tbl.AddRowf("i7 (45)", 4.46, 47)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + rule + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Processor") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "0.82") || !strings.Contains(lines[2], "44.10") {
+		t.Fatalf("row formatting wrong: %q", lines[2])
+	}
+	// Columns align: "Perf" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "Perf")
+	if !strings.HasPrefix(lines[2][idx:], "0.82") {
+		t.Fatalf("column misaligned: %q", lines[2])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("a", "b", "c")
+	tbl.AddRow("only")
+	out := tbl.String()
+	if !strings.Contains(out, "only") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestTableAddRowfTypes(t *testing.T) {
+	tbl := NewTable("s", "f", "i", "other")
+	tbl.AddRowf("str", 1.5, 7, []int{1})
+	out := tbl.String()
+	for _, want := range []string{"str", "1.50", "7", "[1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("a,b", "1") // embedded comma must be quoted
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("comma not quoted: %q", out)
+	}
+}
+
+func TestScatterBasic(t *testing.T) {
+	s := &Scatter{Title: "demo", XLabel: "perf", YLabel: "watts", Width: 20, Height: 5}
+	s.Add(1, 10, 'a')
+	s.Add(2, 20, 'b')
+	s.Add(3, 15, 'c')
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, mark := range []string{"a", "b", "c", "demo", "perf", "watts"} {
+		if !strings.Contains(out, mark) {
+			t.Errorf("plot missing %q:\n%s", mark, out)
+		}
+	}
+}
+
+func TestScatterLogAxes(t *testing.T) {
+	s := &Scatter{LogX: true, LogY: true, Width: 30, Height: 8}
+	s.Add(1, 2, 'x')
+	s.Add(100, 90, 'y')
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Scatter{LogX: true}
+	bad.Add(-1, 1, 'z')
+	if err := bad.Write(&sb); err == nil {
+		t.Fatal("negative value on log axis accepted")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	s := &Scatter{}
+	var sb strings.Builder
+	if err := s.Write(&sb); err == nil {
+		t.Fatal("empty plot accepted")
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	s := &Scatter{Width: 10, Height: 4}
+	s.Add(5, 5, 'p')
+	s.Add(5, 5, 'q')
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarChartBasic(t *testing.T) {
+	b := &BarChart{Title: "Effect of SMT", Baseline: 1.0, Width: 20}
+	b.SetLabels("Atom (45)", "i5 (32)")
+	b.AddSeries("perf", 1.26, 1.11)
+	b.AddSeries("energy", 0.81, 0.92)
+	out := b.String()
+	for _, want := range []string{"Effect of SMT", "Atom (45)", "perf", "energy", "1.26", "0.92", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Larger values render longer bars.
+	lines := strings.Split(out, "\n")
+	count := func(s string) int { return strings.Count(s, "#") }
+	var perfAtom, perfI5 int
+	for _, l := range lines {
+		if strings.Contains(l, "perf") {
+			if perfAtom == 0 {
+				perfAtom = count(l)
+			} else {
+				perfI5 = count(l)
+			}
+		}
+	}
+	if perfAtom <= perfI5 {
+		t.Fatalf("bar lengths not ordered: %d vs %d", perfAtom, perfI5)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var sb strings.Builder
+	empty := &BarChart{}
+	if err := empty.Write(&sb); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &BarChart{}
+	bad.SetLabels("a", "b")
+	bad.AddSeries("s", 1) // wrong length
+	if err := bad.Write(&sb); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	zero := &BarChart{}
+	zero.SetLabels("a")
+	zero.AddSeries("s", 0)
+	if err := zero.Write(&sb); err == nil {
+		t.Fatal("all-zero chart accepted")
+	}
+}

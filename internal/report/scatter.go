@@ -1,0 +1,142 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Scatter renders an ASCII scatter plot, used by the CLI to sketch the
+// paper's figures (power versus TDP, the Pareto frontiers, the historical
+// overview) in a terminal.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot columns (default 64)
+	Height int  // plot rows (default 20)
+	LogX   bool // logarithmic x axis (Figures 2 and 11 use log/log)
+	LogY   bool
+
+	xs, ys []float64
+	marks  []rune
+}
+
+// Add places a point with the given mark.
+func (s *Scatter) Add(x, y float64, mark rune) {
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+	s.marks = append(s.marks, mark)
+}
+
+// Write renders the plot.
+func (s *Scatter) Write(w io.Writer) error {
+	if len(s.xs) == 0 {
+		return errors.New("report: empty scatter plot")
+	}
+	width, height := s.Width, s.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	tx := func(v float64) (float64, error) {
+		if !s.LogX {
+			return v, nil
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("report: non-positive x %v on log axis", v)
+		}
+		return math.Log10(v), nil
+	}
+	ty := func(v float64) (float64, error) {
+		if !s.LogY {
+			return v, nil
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("report: non-positive y %v on log axis", v)
+		}
+		return math.Log10(v), nil
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	txs := make([]float64, len(s.xs))
+	tys := make([]float64, len(s.ys))
+	for i := range s.xs {
+		var err error
+		if txs[i], err = tx(s.xs[i]); err != nil {
+			return err
+		}
+		if tys[i], err = ty(s.ys[i]); err != nil {
+			return err
+		}
+		minX = math.Min(minX, txs[i])
+		maxX = math.Max(maxX, txs[i])
+		minY = math.Min(minY, tys[i])
+		maxY = math.Max(maxY, tys[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range txs {
+		col := int((txs[i] - minX) / (maxX - minX) * float64(width-1))
+		row := int((tys[i] - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-row][col] = s.marks[i]
+	}
+
+	if s.Title != "" {
+		if _, err := fmt.Fprintln(w, s.Title); err != nil {
+			return err
+		}
+	}
+	for r, line := range grid {
+		label := "         "
+		if r == 0 {
+			label = fmt.Sprintf("%8.2f ", s.ys[argmaxF(tys)])
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%8.2f ", s.ys[argminF(tys)])
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%sx: %s [%.2f .. %.2f]  y: %s\n",
+		strings.Repeat(" ", 10), s.XLabel, s.xs[argminF(txs)], s.xs[argmaxF(txs)], s.YLabel)
+	return err
+}
+
+func argminF(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmaxF(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

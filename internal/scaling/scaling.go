@@ -1,0 +1,159 @@
+// Package scaling models the technology-scaling frameworks the paper's
+// historical analysis leans on: classical Dennard scaling, its
+// leakage-limited post-2005 slowdown (Bohr's retrospective, cited as
+// [6]), and the ITRS roadmap projections the paper compares its measured
+// die shrinks against ("ITRS predicted a 9% increase in frequency and
+// 20% reduction in power from 45nm to 32nm", Section 3.4).
+//
+// The package answers two questions the paper poses:
+//
+//   - how do the measured Core (65→45 nm) and Nehalem (45→32 nm) shrinks
+//     compare with Dennard-ideal and ITRS-predicted scaling; and
+//   - what would the Pentium 4 look like shrunk across four generations
+//     (the Section 4.1 thought experiment: "reduce power four fold and
+//     increase performance two fold").
+package scaling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Node is a process technology node in nanometres.
+type Node int
+
+// The paper's five generations.
+const (
+	N130 Node = 130
+	N90  Node = 90
+	N65  Node = 65
+	N45  Node = 45
+	N32  Node = 32
+)
+
+// Generations lists the scaling path from 130 nm to 32 nm.
+func Generations() []Node { return []Node{N130, N90, N65, N45, N32} }
+
+// Factors describes the per-generation change a scaling regime predicts
+// at constant die complexity (same design, shrunk).
+type Factors struct {
+	// Frequency is the clock multiplier per generation.
+	Frequency float64
+	// Power is the power multiplier per generation at the new clock.
+	Power float64
+	// Area is the die-area multiplier per generation.
+	Area float64
+}
+
+// Validate checks the factors.
+func (f Factors) Validate() error {
+	if f.Frequency <= 0 || f.Power <= 0 || f.Area <= 0 {
+		return errors.New("scaling: factors must be positive")
+	}
+	return nil
+}
+
+// Dennard returns classical (constant-field) scaling for a linear shrink
+// factor s ≈ 0.7 per generation: frequency up by 1/s ≈ 1.4x, area and
+// power down by s² ≈ 0.5x at constant complexity.
+func Dennard() Factors {
+	const s = 0.7
+	return Factors{Frequency: 1 / s, Power: s * s, Area: s * s}
+}
+
+// PostDennard returns the leakage-limited regime the paper's decade
+// actually delivered: the area shrink continues but voltage barely
+// scales, so frequency gains stall (~10%) and power drops far less than
+// s² (~25% per generation) — the numbers behind "Dennard scaling slowed
+// significantly" (Section 1).
+func PostDennard() Factors {
+	return Factors{Frequency: 1.10, Power: 0.75, Area: 0.5}
+}
+
+// ITRS4532 returns the roadmap's prediction for the 45→32 nm step the
+// paper quotes: +9% frequency, −20% power.
+func ITRS4532() Factors {
+	return Factors{Frequency: 1.09, Power: 0.80, Area: 0.5}
+}
+
+// Transition is a measured (or predicted) generation-to-generation
+// change for one design.
+type Transition struct {
+	Label string
+	From  Node
+	To    Node
+	// Frequency, Power, and Perf are new/old ratios. Perf may be zero
+	// for frameworks that do not predict it directly.
+	Frequency float64
+	Power     float64
+	Perf      float64
+}
+
+// steps returns the number of generations between two nodes along the
+// paper's path, or an error if the nodes are not on it.
+func steps(from, to Node) (int, error) {
+	gens := Generations()
+	fi, ti := -1, -1
+	for i, n := range gens {
+		if n == from {
+			fi = i
+		}
+		if n == to {
+			ti = i
+		}
+	}
+	if fi < 0 || ti < 0 {
+		return 0, fmt.Errorf("scaling: nodes %d/%d not on the 130..32 path", from, to)
+	}
+	if ti <= fi {
+		return 0, fmt.Errorf("scaling: %dnm is not a shrink of %dnm", to, from)
+	}
+	return ti - fi, nil
+}
+
+// Project applies a scaling regime across the generations between two
+// nodes and returns the predicted transition.
+func Project(label string, f Factors, from, to Node) (Transition, error) {
+	if err := f.Validate(); err != nil {
+		return Transition{}, err
+	}
+	n, err := steps(from, to)
+	if err != nil {
+		return Transition{}, err
+	}
+	return Transition{
+		Label:     label,
+		From:      from,
+		To:        to,
+		Frequency: math.Pow(f.Frequency, float64(n)),
+		Power:     math.Pow(f.Power, float64(n)),
+		// To first order a shrunk design's performance tracks its clock.
+		Perf: math.Pow(f.Frequency, float64(n)),
+	}, nil
+}
+
+// Compare quantifies how close a measured transition lands to a
+// framework's prediction, as multiplicative errors (measured/predicted).
+type Compare struct {
+	Framework string
+	FreqError float64
+	PowError  float64
+}
+
+// Against compares a measured transition with a prediction over the
+// same nodes.
+func (m Transition) Against(pred Transition) (Compare, error) {
+	if m.From != pred.From || m.To != pred.To {
+		return Compare{}, fmt.Errorf("scaling: node mismatch %d->%d vs %d->%d",
+			m.From, m.To, pred.From, pred.To)
+	}
+	if pred.Frequency <= 0 || pred.Power <= 0 {
+		return Compare{}, errors.New("scaling: degenerate prediction")
+	}
+	return Compare{
+		Framework: pred.Label,
+		FreqError: m.Frequency / pred.Frequency,
+		PowError:  m.Power / pred.Power,
+	}, nil
+}

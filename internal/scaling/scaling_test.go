@@ -1,0 +1,114 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerationsPath(t *testing.T) {
+	gens := Generations()
+	if len(gens) != 5 || gens[0] != N130 || gens[4] != N32 {
+		t.Fatalf("generations = %v", gens)
+	}
+	for i := 1; i < len(gens); i++ {
+		if gens[i] >= gens[i-1] {
+			t.Fatal("generations not shrinking")
+		}
+	}
+}
+
+func TestDennardIdeal(t *testing.T) {
+	d := Dennard()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Constant-field scaling: frequency x1/0.7, power and area x0.49.
+	if math.Abs(d.Frequency-1/0.7) > 1e-9 {
+		t.Fatalf("Dennard frequency = %v", d.Frequency)
+	}
+	if math.Abs(d.Power-0.49) > 1e-9 {
+		t.Fatalf("Dennard power = %v", d.Power)
+	}
+}
+
+func TestRegimesOrdering(t *testing.T) {
+	// The whole point of the paper's decade: post-Dennard delivers far
+	// less than Dennard promised.
+	if PostDennard().Frequency >= Dennard().Frequency {
+		t.Fatal("post-Dennard frequency not below Dennard")
+	}
+	if PostDennard().Power <= Dennard().Power {
+		t.Fatal("post-Dennard power savings not worse than Dennard")
+	}
+	// ITRS's 45->32 prediction sits in the post-Dennard regime.
+	if ITRS4532().Frequency > 1.2 || ITRS4532().Power < 0.7 {
+		t.Fatalf("ITRS factors implausible: %+v", ITRS4532())
+	}
+}
+
+func TestProjectSingleStep(t *testing.T) {
+	tr, err := Project("itrs", ITRS4532(), N45, N32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Frequency-1.09) > 1e-9 || math.Abs(tr.Power-0.80) > 1e-9 {
+		t.Fatalf("single-step projection wrong: %+v", tr)
+	}
+}
+
+func TestProjectMultiStep(t *testing.T) {
+	// Four Dennard generations: power x0.49^4 ~ 0.058, freq x(1/0.7)^4 ~ 4.16.
+	tr, err := Project("dennard", Dennard(), N130, N32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Frequency-math.Pow(1/0.7, 4)) > 1e-9 {
+		t.Fatalf("4-step frequency = %v", tr.Frequency)
+	}
+	if math.Abs(tr.Power-math.Pow(0.49, 4)) > 1e-9 {
+		t.Fatalf("4-step power = %v", tr.Power)
+	}
+	if tr.Perf != tr.Frequency {
+		t.Fatal("first-order perf must track frequency")
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	if _, err := Project("x", Factors{}, N65, N45); err == nil {
+		t.Fatal("invalid factors accepted")
+	}
+	if _, err := Project("x", Dennard(), N45, N65); err == nil {
+		t.Fatal("reverse shrink accepted")
+	}
+	if _, err := Project("x", Dennard(), Node(22), N45); err == nil {
+		t.Fatal("off-path node accepted")
+	}
+}
+
+func TestAgainst(t *testing.T) {
+	measured := Transition{Label: "m", From: N45, To: N32, Frequency: 1.26, Power: 0.77}
+	pred, err := Project("itrs", ITRS4532(), N45, N32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := measured.Against(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's observation: the measured shrink beat ITRS on both
+	// axes (more frequency, comparable-or-better power).
+	if math.Abs(cmp.FreqError-1.26/1.09) > 1e-9 {
+		t.Fatalf("freq error = %v", cmp.FreqError)
+	}
+	if cmp.Framework != "itrs" {
+		t.Fatalf("framework label lost: %q", cmp.Framework)
+	}
+	// Node mismatch is rejected.
+	other, err := Project("d", Dennard(), N65, N45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := measured.Against(other); err == nil {
+		t.Fatal("node mismatch accepted")
+	}
+}

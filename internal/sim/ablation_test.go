@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+)
+
+// Ablation tests: each test removes one model mechanism that DESIGN.md
+// calls out and verifies the corresponding paper finding degrades or
+// disappears — evidence the mechanism, not a tuning accident, carries
+// the result.
+
+// ablate returns a fleet processor with a mutation applied.
+func ablate(t *testing.T, name string, mutate func(*proc.Processor)) *proc.Processor {
+	t.Helper()
+	p, err := proc.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(p)
+	return p
+}
+
+func runOn(t *testing.T, p *proc.Processor, cfg proc.Config, spec ExecSpec) Result {
+	t.Helper()
+	m, err := NewMachine(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(spec, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAblationTurboVoltageKick: Architecture Finding 8 (Turbo Boost is
+// energy-negative on the i7) rests on the chip-wide voltage kick. With
+// the kick removed, boosting becomes nearly free and the energy penalty
+// collapses.
+func TestAblationTurboVoltageKick(t *testing.T) {
+	spec := nativeSpec()
+	energyRatio := func(p *proc.Processor) float64 {
+		on := runOn(t, p, proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, spec)
+		off := runOn(t, p, proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67}, spec)
+		return on.EnergyJ / off.EnergyJ
+	}
+	stock, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withKick := energyRatio(stock)
+	noKick := energyRatio(ablate(t, proc.I7Name, func(p *proc.Processor) {
+		p.Model.TurboVoltsBoost = 0
+	}))
+	if withKick < 1.15 {
+		t.Fatalf("baseline turbo energy ratio %v: finding 8 absent even before ablation", withKick)
+	}
+	if noKick > 1.06 {
+		t.Fatalf("no-kick turbo energy ratio %v: voltage kick is not the carrier", noKick)
+	}
+}
+
+// TestAblationPowerGating: the i7's low Native Non-scalable power (its
+// Figure 2/Table 4 outlier status) depends on gating idle cores. With
+// gating removed and the idle clock grid left running, single-threaded
+// power jumps.
+func TestAblationPowerGating(t *testing.T) {
+	spec := nativeSpec()
+	cfg := proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67}
+	stock, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := runOn(t, stock, cfg, spec)
+	ungated := runOn(t, ablate(t, proc.I7Name, func(p *proc.Processor) {
+		p.Model.GatingEff = 0
+		p.Model.IdleDynFrac = 0.45 // the pre-Nehalem idle behaviour
+	}), cfg, spec)
+	if ungated.AvgWatts < gated.AvgWatts*1.25 {
+		t.Fatalf("ungated single-thread power %v vs gated %v: gating not load-bearing",
+			ungated.AvgWatts, gated.AvgWatts)
+	}
+}
+
+// TestAblationMemoryLatency: Figure 7's sub-linear clock scaling comes
+// from DRAM latency being fixed in time. With a (non-physical) zero
+// latency, performance scales linearly with clock.
+func TestAblationMemoryLatency(t *testing.T) {
+	spec := nativeSpec()
+	spec.MPKI = 8
+	spec.WorkingSetKB = 100 << 10
+	speedup := func(p *proc.Processor) float64 {
+		lo := runOn(t, p, proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 1.6}, spec)
+		hi := runOn(t, p, proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67}, spec)
+		return lo.Seconds / hi.Seconds
+	}
+	stock, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fRatio = 2.67 / 1.6
+	withMem := speedup(stock)
+	noMem := speedup(ablate(t, proc.I7Name, func(p *proc.Processor) {
+		p.Model.MemLatencyNs = 0.001
+	}))
+	if withMem >= fRatio*0.98 {
+		t.Fatalf("baseline clock speedup %v already linear", withMem)
+	}
+	if noMem < fRatio*0.99 {
+		t.Fatalf("zero-latency speedup %v not linear in clock", noMem)
+	}
+}
+
+// TestAblationSMTFill: the Atom's outsized SMT benefit (Architecture
+// Finding 2) is carried by its high fill efficiency. With Nehalem-level
+// fill, the Atom's gain drops to Nehalem levels.
+func TestAblationSMTFill(t *testing.T) {
+	gain := func(p *proc.Processor) float64 {
+		one := runOn(t, p, proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 1.7}, scalableSpec(1))
+		two := runOn(t, p, proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7}, scalableSpec(2))
+		return one.Seconds / two.Seconds
+	}
+	stock, err := proc.ByName(proc.Atom45Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := gain(stock)
+	nerfed := gain(ablate(t, proc.Atom45Name, func(p *proc.Processor) {
+		p.Model.SMTFillEff = 0.28 // the Pentium 4's first-generation value
+	}))
+	if full-nerfed < 0.1 {
+		t.Fatalf("SMT fill ablation moved Atom gain only %v -> %v", full, nerfed)
+	}
+}
+
+// TestAblationServiceThreads: Workload Finding 1 (single-threaded Java
+// speeds up on a second core) disappears entirely when the runtime has
+// no concurrent service work or displacement — i.e., for native code.
+func TestAblationServiceThreads(t *testing.T) {
+	stock, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := func(spec ExecSpec) float64 {
+		one := runOn(t, stock, proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67}, spec)
+		two := runOn(t, stock, proc.Config{Cores: 2, SMTWays: 1, ClockGHz: 2.67}, spec)
+		return one.Seconds / two.Seconds
+	}
+	managed := speedup(javaSpec())
+	ablated := speedup(nativeSpec())
+	if managed < 1.15 {
+		t.Fatalf("managed second-core speedup %v: finding 1 absent before ablation", managed)
+	}
+	if ablated > 1.03 {
+		t.Fatalf("native second-core speedup %v: effect survives without services", ablated)
+	}
+}
+
+// TestAblationVoltageCurve: Architecture Finding 3 (the i5's flat
+// energy across its clock range) depends on its shallow V(f) curve.
+// Giving the i5 the i7's steep curve makes high clocks expensive.
+func TestAblationVoltageCurve(t *testing.T) {
+	spec := nativeSpec()
+	energySlope := func(p *proc.Processor) float64 {
+		lo := runOn(t, p, proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2}, spec)
+		hi := runOn(t, p, proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 3.46}, spec)
+		return hi.EnergyJ / lo.EnergyJ
+	}
+	stock, err := proc.ByName(proc.I5Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := energySlope(stock)
+	steep := energySlope(ablate(t, proc.I5Name, func(p *proc.Processor) {
+		p.Model.VF = []proc.VFPoint{
+			{GHz: 1.20, Volts: 0.80}, {GHz: 2.00, Volts: 0.97},
+			{GHz: 2.66, Volts: 1.10}, {GHz: 3.46, Volts: 1.30},
+		}
+	}))
+	if steep < flat*1.15 {
+		t.Fatalf("steep-curve energy slope %v vs flat %v: V(f) not the carrier", steep, flat)
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+// serviceMode describes where the managed runtime's service threads
+// landed relative to the application (Section 3.1 of the paper: the JVM
+// parallelizes even single-threaded applications when given spare
+// hardware contexts).
+type serviceMode int
+
+const (
+	serviceNone     serviceMode = iota // native code: no services
+	serviceColoc                       // services share the app's contexts
+	serviceSMT                         // services ride an idle SMT sibling
+	serviceSeparate                    // services own an idle core
+)
+
+// plan resolves the spec into sequential steady-state segments: the
+// Amdahl serial portion on one thread and the parallel portion across
+// the configured contexts.
+func (m *Machine) plan(spec ExecSpec) ([]segment, error) {
+	contexts := m.Cfg.Contexts()
+	concurrency := spec.AppThreads
+	if concurrency > contexts {
+		concurrency = contexts
+	}
+
+	if spec.AppThreads == 1 || spec.ParallelFrac == 0 || concurrency == 1 {
+		sg, err := m.segmentFor(spec, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		sg.workFrac = 1
+		return []segment{sg}, nil
+	}
+
+	// During the serial portion of a managed multithreaded run the other
+	// cores stay warm: worker pools spin and the collector and compiler
+	// keep executing, which is part of why Java Scalable draws nearly as
+	// much power as Native Scalable on the big chips (Table 4).
+	warm := 0
+	if spec.ServiceWork > 0 {
+		warm = concurrency - 1
+		if max := m.Cfg.Cores - 1; warm > max {
+			warm = max
+		}
+	}
+	serial, err := m.segmentFor(spec, 1, warm)
+	if err != nil {
+		return nil, err
+	}
+	serial.workFrac = 1 - spec.ParallelFrac
+
+	par, err := m.segmentFor(spec, concurrency, 0)
+	if err != nil {
+		return nil, err
+	}
+	par.workFrac = spec.ParallelFrac
+	// Synchronization and load imbalance tax the parallel segment.
+	sync := 1 + spec.SyncOverhead*float64(concurrency-1)
+	// Oversubscribed thread pools context-switch among themselves.
+	if spec.AppThreads > contexts {
+		sync *= 1 + 0.02*float64(spec.AppThreads-contexts)/float64(contexts)
+	}
+	par.rate /= sync
+	return []segment{serial, par}, nil
+}
+
+// segmentFor computes the steady-state rate, power loads, and operating
+// point for `threads` application threads on the machine. warmCores is
+// the number of additional cores kept spinning by a managed runtime's
+// worker pools during a serial phase.
+func (m *Machine) segmentFor(spec ExecSpec, threads, warmCores int) (segment, error) {
+	cores := m.Cfg.Cores
+	smtWays := m.Cfg.SMTWays
+
+	// Spread application threads across cores first, then SMT ways: the
+	// OS scheduler's behaviour on the paper's kernels.
+	coresUsed := threads
+	if coresUsed > cores {
+		coresUsed = cores
+	}
+	perCore := make([]int, coresUsed)
+	for i := 0; i < threads && i < cores*smtWays; i++ {
+		perCore[i%coresUsed]++
+	}
+
+	mode := m.serviceModeFor(spec, threads, coresUsed, perCore)
+
+	activeCores := coresUsed
+	if mode == serviceSeparate {
+		activeCores++
+	}
+	// Service threads on an SMT sibling contend for the core's cache; a
+	// service thread on its own core touches little of the LLC (it runs
+	// at a low duty cycle), so it does not count as an LLC sharer —
+	// otherwise offloading the collector would *cost* cache-bound
+	// benchmarks like db instead of relieving them (Section 3.1).
+	threadsTotal := threads
+	if mode == serviceSMT {
+		threadsTotal++
+	}
+
+	// Service duty cycle: how often a service thread competes for the
+	// core resources it shares (GC and JIT run in bursts).
+	duty := math.Min(1, spec.ServiceWork*2.5+spec.CoLocPenalty*2.0)
+
+	// Loads cover every physical core: cores the BIOS disabled draw only
+	// their gated residual; cores enabled but idle in this segment draw
+	// their C-state power.
+	loads := make([]power.CoreLoad, m.Proc.Spec.Cores)
+	for i := 0; i < m.Cfg.Cores; i++ {
+		loads[i].Enabled = true
+	}
+	var aggIPC, aggMissPerInstr, memFracAcc float64
+	for i, k := range perCore {
+		smtShare := k
+		if mode == serviceSMT && i == 0 {
+			smtShare++ // the service sibling contends for core 0's cache
+		}
+		share := mem.Share{ThreadsOnCore: smtShare, ActiveCores: activeCores, ThreadsTotal: threadsTotal}
+		miss, err := m.hier.MissPerInstr(spec.MPKI, spec.WorkingSetKB, share)
+		if err != nil {
+			return segment{}, err
+		}
+		stall := m.hier.StallCPI(miss, m.Cfg.ClockGHz, spec.MLPFactor)
+		cpi, err := m.pipe.ThreadCPI(spec.ILP, spec.BranchWeight, stall)
+		if err != nil {
+			return segment{}, err
+		}
+		busy := pipeline.BusyFrac(cpi, stall)
+
+		var ipc float64
+		smtActive := false
+		switch {
+		case k >= 2:
+			ct, err := m.pipe.Core(2, cpi)
+			if err != nil {
+				return segment{}, err
+			}
+			ipc, smtActive = ct.IPC, true
+		case mode == serviceSMT && i == 0:
+			// The app thread shares core 0 with a duty-cycled service
+			// thread: it runs alone (1-duty) of the time and splits the
+			// core the rest.
+			solo, err := m.pipe.Core(1, cpi)
+			if err != nil {
+				return segment{}, err
+			}
+			both, err := m.pipe.Core(2, cpi)
+			if err != nil {
+				return segment{}, err
+			}
+			ipc = (1-duty)*solo.IPC + duty*both.PerThreadIPC
+			smtActive = true
+		default:
+			ct, err := m.pipe.Core(1, cpi)
+			if err != nil {
+				return segment{}, err
+			}
+			ipc = ct.IPC
+		}
+		aggIPC += ipc
+		aggMissPerInstr += miss * ipc
+		if cpi > 0 {
+			memFracAcc += (stall / cpi) * ipc
+		}
+		loads[i] = power.CoreLoad{
+			Active:      true,
+			Enabled:     true,
+			Activity:    spec.Activity,
+			Utilization: busy,
+			SMTActive:   smtActive,
+		}
+	}
+	if mode == serviceSeparate && coresUsed < cores {
+		loads[coresUsed] = power.CoreLoad{
+			Active:      true,
+			Enabled:     true,
+			Activity:    spec.Activity * 0.7 * math.Max(duty, 0.2),
+			Utilization: 0.5,
+		}
+	}
+	for w := 0; w < warmCores; w++ {
+		idx := coresUsed + w
+		if mode == serviceSeparate {
+			idx++
+		}
+		if idx >= cores {
+			break
+		}
+		loads[idx] = power.CoreLoad{
+			Active:      true,
+			Enabled:     true,
+			Activity:    spec.Activity * 0.60,
+			Utilization: 0.35,
+		}
+		activeCores++
+	}
+
+	if aggIPC <= 0 {
+		return segment{}, fmt.Errorf("sim: zero aggregate IPC on %s %s", m.Proc.Name, m.Cfg)
+	}
+	missPerInstr := aggMissPerInstr / aggIPC
+	memFrac := memFracAcc / aggIPC
+
+	// Resolve the operating point (Turbo Boost) from the load picture.
+	op, err := power.TurboPoint(m.Proc, m.Cfg, activeCores, loads)
+	if err != nil {
+		return segment{}, err
+	}
+
+	rate := aggIPC * op.ClockGHz * 1e9
+
+	// Bandwidth ceiling: scalable memory-bound workloads saturate DRAM.
+	demand := m.hier.TrafficGBs(rate, missPerInstr)
+	rate *= m.hier.BandwidthThrottle(demand, memFrac)
+
+	// Co-located services steal cycles and displace cache/TLB state.
+	// The stolen cycles tax aggregate throughput in full — collector
+	// work has to retire somewhere — while the displacement penalty
+	// dilutes across many app threads.
+	if mode == serviceColoc {
+		rate /= 1 + spec.ServiceWork + spec.CoLocPenalty/float64(threads)
+	}
+
+	// DTLB pressure: pages touched grow with the working set, and a
+	// co-resident collector displaces translation state — the mechanism
+	// behind db's Section 3.1 behaviour. Offloading services to their
+	// own core removes the displacement entirely.
+	dtlbMPKI := 0.2 + spec.WorkingSetKB/131072
+	if mode == serviceColoc || mode == serviceSMT {
+		factor := 8 * spec.CoLocPenalty
+		if mode == serviceSMT {
+			factor *= 0.7 // the sibling shares the DTLB but not timeslices
+		}
+		dtlbMPKI *= 1 + factor
+	}
+	if dtlbMPKI > 8 {
+		dtlbMPKI = 8
+	}
+
+	return segment{
+		rate: rate, loads: loads, op: op, activeCores: activeCores,
+		missPerInstr: missPerInstr, dtlbMPKI: dtlbMPKI,
+	}, nil
+}
+
+// serviceModeFor decides where service threads land: an idle core if one
+// exists, else an idle SMT sibling, else co-located with the application.
+func (m *Machine) serviceModeFor(spec ExecSpec, threads, coresUsed int, perCore []int) serviceMode {
+	if spec.ServiceWork == 0 && spec.CoLocPenalty == 0 {
+		return serviceNone
+	}
+	if coresUsed < m.Cfg.Cores {
+		return serviceSeparate
+	}
+	if threads < m.Cfg.Contexts() && perCore[0] < m.Cfg.SMTWays {
+		return serviceSMT
+	}
+	return serviceColoc
+}

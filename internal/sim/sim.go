@@ -1,0 +1,286 @@
+// Package sim is the machine simulator: it executes a placement-resolved
+// workload specification on one configured processor and produces the
+// run's duration and true power trace, which the harness then pushes
+// through the sensor substrate exactly as the paper's rig logged real
+// rails.
+//
+// A run is modeled as two sequential segments — the Amdahl serial portion
+// on one thread and the parallel portion across the configured hardware
+// contexts — each executed by a time-stepped loop that integrates work,
+// evolves the thermal state, resolves Turbo Boost, and samples power with
+// per-phase modulation. The substitution of this simulator for the
+// paper's physical fleet is documented in DESIGN.md.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/counters"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/proc"
+	"repro/internal/thermal"
+)
+
+// Machine is one processor in one hardware configuration.
+type Machine struct {
+	Proc *proc.Processor
+	Cfg  proc.Config
+
+	hier mem.Hierarchy
+	pipe pipeline.Params
+}
+
+// NewMachine validates the configuration and builds the machine.
+func NewMachine(p *proc.Processor, cfg proc.Config) (*Machine, error) {
+	if p == nil {
+		return nil, errors.New("sim: nil processor")
+	}
+	if err := p.Validate(cfg); err != nil {
+		return nil, err
+	}
+	hier, err := mem.FromModel(
+		p.Model.L2KBPerCore, float64(p.Spec.LLCBytes),
+		p.Model.MemLatencyNs, p.Model.DRAMBWGBs, p.Model.MLPHiding)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", p.Name, err)
+	}
+	pipe := pipeline.Params{
+		IssueWidth:    p.Model.IssueWidth,
+		OutOfOrder:    p.Model.OutOfOrder,
+		ILPEff:        p.Model.IssueEff,
+		BranchPenalty: p.Model.BranchPenalty,
+		SMTFillEff:    p.Model.SMTFillEff,
+		SMTOverhead:   p.Model.SMTOverhead,
+	}
+	if err := pipe.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", p.Name, err)
+	}
+	return &Machine{Proc: p, Cfg: cfg, hier: hier, pipe: pipe}, nil
+}
+
+// ExecSpec is a placement-resolved execution request: what to run and how
+// the runtime (native loader or managed runtime) has arranged it. The
+// native and jvm packages construct these from workload descriptors.
+type ExecSpec struct {
+	// Work is the application instruction count to retire.
+	Work float64
+	// AppThreads is the number of application threads.
+	AppThreads int
+	// ParallelFrac and SyncOverhead shape multithreaded scaling.
+	ParallelFrac float64
+	SyncOverhead float64
+
+	// Workload character (see workload.Benchmark for semantics).
+	ILP          float64
+	MPKI         float64
+	WorkingSetKB float64
+	MLPFactor    float64 // 0 means the neutral 1
+	Activity     float64
+	BranchWeight float64
+
+	// ServiceWork is the fraction of Work executed by runtime service
+	// threads (JIT/GC); zero for native code.
+	ServiceWork float64
+	// ServiceThreads is how many service threads want contexts.
+	ServiceThreads int
+	// CoLocPenalty is the fractional slowdown services inflict when they
+	// share the application's hardware context (cache/TLB displacement).
+	CoLocPenalty float64
+
+	// RateJitterSD and PowerJitterSD model run-to-run non-determinism
+	// (small for AOT native code, larger for JIT/GC-driven Java).
+	RateJitterSD  float64
+	PowerJitterSD float64
+}
+
+// Validate checks the spec.
+func (s ExecSpec) Validate() error {
+	switch {
+	case s.Work <= 0:
+		return errors.New("sim: work must be positive")
+	case s.AppThreads < 1:
+		return errors.New("sim: need at least one application thread")
+	case s.ParallelFrac < 0 || s.ParallelFrac > 1:
+		return errors.New("sim: parallel fraction outside [0,1]")
+	case s.ILP <= 0 || s.WorkingSetKB <= 0 || s.Activity <= 0:
+		return errors.New("sim: workload character must be positive")
+	case s.MPKI < 0 || s.BranchWeight < 0 || s.SyncOverhead < 0:
+		return errors.New("sim: negative workload parameter")
+	case s.ServiceWork < 0 || s.ServiceWork >= 1:
+		return errors.New("sim: service work outside [0,1)")
+	case s.ServiceThreads < 0 || s.CoLocPenalty < 0:
+		return errors.New("sim: negative service parameter")
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	Seconds     float64 // wall-clock duration
+	AvgWatts    float64 // true (pre-sensor) time-weighted average power
+	EnergyJ     float64 // true energy
+	PeakWatts   float64
+	AvgClockGHz float64 // time-weighted, including turbo steps
+	Steps       int     // integration steps taken
+
+	// Counters holds the run's architectural events, the quantities the
+	// paper pairs with its power measurements (Section 3.1).
+	Counters counters.Counters
+
+	// Breakdown is the time-weighted average per-structure power — the
+	// decomposition the paper's conclusion asks vendors to expose
+	// ("structure specific power meters for cores, caches, and other
+	// structures").
+	Breakdown power.Breakdown
+}
+
+// SampleFunc receives each integration step's true power and duration;
+// the harness wires it to the sensor logger.
+type SampleFunc func(trueWatts, dtSeconds float64)
+
+// segment is one steady-state portion of a run.
+type segment struct {
+	workFrac    float64 // fraction of app work retired in this segment
+	rate        float64 // instructions per second
+	loads       []power.CoreLoad
+	op          power.Operating
+	activeCores int
+
+	// Event rates for the hardware counters.
+	missPerInstr float64 // LLC misses per application instruction
+	dtlbMPKI     float64 // DTLB misses per kilo-instruction
+}
+
+// Run executes the spec. The seed makes the run deterministic; different
+// seeds model the paper's repeated invocations. sample may be nil.
+func (m *Machine) Run(spec ExecSpec, seed int64, sample SampleFunc) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	segs, err := m.plan(spec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Run-to-run jitter: one multiplicative draw per run, as JIT and GC
+	// placement decisions persist for a run's lifetime.
+	rateJitter := 1 + rng.NormFloat64()*spec.RateJitterSD
+	if rateJitter < 0.5 {
+		rateJitter = 0.5
+	}
+	powerJitter := 1 + rng.NormFloat64()*spec.PowerJitterSD
+	if powerJitter < 0.7 {
+		powerJitter = 0.7
+	}
+
+	therm, err := thermal.New(m.Proc.Spec.TDPWatts)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	var clockSeconds float64
+	for _, sg := range segs {
+		if sg.workFrac <= 0 {
+			continue
+		}
+		segWork := spec.Work * sg.workFrac
+		rate := sg.rate * rateJitter
+		if rate <= 0 {
+			return Result{}, fmt.Errorf("sim: non-positive rate on %s %s", m.Proc.Name, m.Cfg)
+		}
+		segTime := segWork / rate
+		steps := stepsFor(segTime)
+		dt := segTime / float64(steps)
+		for i := 0; i < steps; i++ {
+			op := sg.op
+			op.TempC = therm.TempC()
+			// Thermal throttle: drop turbo when the junction saturates.
+			if therm.Throttling() && op.ClockGHz > m.Cfg.ClockGHz {
+				op.ClockGHz = m.Cfg.ClockGHz
+				op.Volts = m.Proc.VoltsAt(m.Cfg.ClockGHz)
+			}
+			phase := 1 + 0.06*math.Sin(2*math.Pi*float64(i)/math.Max(8, float64(steps)/3)) +
+				rng.NormFloat64()*0.02
+			loads := make([]power.CoreLoad, len(sg.loads))
+			copy(loads, sg.loads)
+			for j := range loads {
+				if loads[j].Active {
+					loads[j].Activity *= phase * powerJitter
+					if loads[j].Activity > 1.2 {
+						loads[j].Activity = 1.2
+					}
+					if loads[j].Activity < 0.05 {
+						loads[j].Activity = 0.05
+					}
+				}
+			}
+			bd, err := power.Chip(m.Proc, op, loads)
+			if err != nil {
+				return Result{}, err
+			}
+			w := bd.TotalWatts
+			therm.Step(w, dt)
+			if sample != nil {
+				sample(w, dt)
+			}
+			res.Breakdown.UncoreWatts += bd.UncoreWatts * dt
+			res.Breakdown.CoreDynWatts += bd.CoreDynWatts * dt
+			res.Breakdown.CoreStaticWatts += bd.CoreStaticWatts * dt
+			res.Breakdown.GatedWatts += bd.GatedWatts * dt
+			res.AvgWatts += w * dt
+			if w > res.PeakWatts {
+				res.PeakWatts = w
+			}
+			clockSeconds += op.ClockGHz * dt
+			res.Steps++
+		}
+		res.Seconds += segTime
+
+		// Hardware counters for the segment (Section 3.1's pairing of
+		// events with power).
+		serviceInstr := segWork * spec.ServiceWork
+		res.Counters.Add(counters.Counters{
+			Cycles:              segTime * sg.op.ClockGHz * 1e9 * float64(sg.activeCores),
+			Instructions:        segWork + serviceInstr,
+			AppInstructions:     segWork,
+			ServiceInstructions: serviceInstr,
+			LLCMisses:           segWork * sg.missPerInstr,
+			DTLBMisses:          segWork * sg.dtlbMPKI / 1000,
+			BranchInstructions:  segWork * spec.BranchWeight * 0.2,
+		})
+	}
+	if res.Seconds <= 0 {
+		return Result{}, errors.New("sim: run completed no work")
+	}
+	res.AvgWatts /= res.Seconds
+	res.Breakdown.UncoreWatts /= res.Seconds
+	res.Breakdown.CoreDynWatts /= res.Seconds
+	res.Breakdown.CoreStaticWatts /= res.Seconds
+	res.Breakdown.GatedWatts /= res.Seconds
+	res.Breakdown.TotalWatts = res.Breakdown.UncoreWatts + res.Breakdown.CoreDynWatts +
+		res.Breakdown.CoreStaticWatts + res.Breakdown.GatedWatts
+	res.EnergyJ = res.AvgWatts * res.Seconds
+	res.AvgClockGHz = clockSeconds / res.Seconds
+	return res, nil
+}
+
+// stepsFor bounds the integration cost: short Java iterations take tens
+// of steps; thousand-second SPEC runs take a few hundred larger ones.
+func stepsFor(segSeconds float64) int {
+	steps := int(segSeconds / 0.02) // the logger's native 50Hz
+	if steps < 24 {
+		steps = 24
+	}
+	if steps > 360 {
+		steps = 360
+	}
+	return steps
+}

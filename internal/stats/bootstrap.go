@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for an
+// arbitrary statistic of xs. Where the Student-t intervals of
+// ConfidenceInterval assume near-normal run-to-run variation (a good fit
+// for execution time and average power), the bootstrap makes no such
+// assumption and is the right tool for derived quantities like energy
+// (a product) or normalized ratios.
+//
+// resamples controls the bootstrap size (2000 is a common choice); seed
+// makes the interval deterministic, in keeping with the study's
+// reproducibility contract.
+func BootstrapCI(xs []float64, statistic func([]float64) float64, level float64, resamples int, seed int64) (CI, error) {
+	if len(xs) < 2 {
+		return CI{}, ErrInsufficientData
+	}
+	if statistic == nil {
+		return CI{}, errors.New("stats: nil statistic")
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	if resamples < 100 {
+		return CI{}, errors.New("stats: need at least 100 resamples")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	point := statistic(xs)
+	boot := make([]float64, resamples)
+	sample := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range sample {
+			sample[i] = xs[rng.Intn(len(xs))]
+		}
+		boot[r] = statistic(sample)
+	}
+	sort.Float64s(boot)
+	alpha := (1 - level) / 2
+	lo := boot[quantileIndex(alpha, resamples)]
+	hi := boot[quantileIndex(1-alpha, resamples)]
+	// Report as a symmetric-looking CI around the point estimate with
+	// the half-width covering the wider side, so CI.Contains covers the
+	// full percentile interval.
+	half := point - lo
+	if hi-point > half {
+		half = hi - point
+	}
+	if half < 0 {
+		half = 0
+	}
+	return CI{Mean: point, Half: half, Level: level, N: len(xs)}, nil
+}
+
+// quantileIndex maps a quantile to a sorted-slice index, clamped.
+func quantileIndex(q float64, n int) int {
+	idx := int(q * float64(n))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}
+
+// HarmonicMean returns the harmonic mean of xs, the correct aggregate
+// for rate-like quantities. All values must be positive.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return nan()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return nan()
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+func nan() float64 { return Mean(nil) }

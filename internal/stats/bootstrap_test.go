@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBootstrapCIMeanAgreesWithT(t *testing.T) {
+	// For well-behaved data the bootstrap and Student-t intervals for
+	// the mean should roughly agree.
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = 100 + rng.NormFloat64()*5
+	}
+	tci, err := ConfidenceInterval(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bci, err := BootstrapCI(xs, Mean, 0.95, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bci.Mean-tci.Mean) > 1e-9 {
+		t.Fatalf("point estimates differ: %v vs %v", bci.Mean, tci.Mean)
+	}
+	if bci.Half < tci.Half*0.5 || bci.Half > tci.Half*2 {
+		t.Fatalf("bootstrap half %v far from t half %v", bci.Half, tci.Half)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a, err := BootstrapCI(xs, Mean, 0.95, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapCI(xs, Mean, 0.95, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed produced different intervals")
+	}
+	c, err := BootstrapCI(xs, Mean, 0.95, 500, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical intervals")
+	}
+}
+
+func TestBootstrapCINonlinearStatistic(t *testing.T) {
+	// The point of the bootstrap: intervals for statistics with no
+	// closed-form error, like the median.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	ci, err := BootstrapCI(xs, Median, 0.9, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Mean != Median(xs) {
+		t.Fatalf("point estimate %v != median", ci.Mean)
+	}
+	if ci.Half <= 0 {
+		t.Fatal("degenerate interval")
+	}
+	// The outlier must not drag the median interval toward 100.
+	if ci.Hi() > 50 {
+		t.Fatalf("median interval contaminated by outlier: hi %v", ci.Hi())
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	if _, err := BootstrapCI([]float64{1}, Mean, 0.95, 500, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := BootstrapCI([]float64{1, 2}, nil, 0.95, 500, 1); err == nil {
+		t.Fatal("nil statistic accepted")
+	}
+	if _, err := BootstrapCI([]float64{1, 2}, Mean, 1.5, 500, 1); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := BootstrapCI([]float64{1, 2}, Mean, 0.95, 10, 1); err == nil {
+		t.Fatal("too few resamples accepted")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 2, 4}); math.Abs(got-12.0/7.0) > 1e-12 {
+		t.Fatalf("HarmonicMean = %v, want 12/7", got)
+	}
+	if got := HarmonicMean(nil); !math.IsNaN(got) {
+		t.Fatalf("empty = %v, want NaN", got)
+	}
+	if got := HarmonicMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Fatalf("negative = %v, want NaN", got)
+	}
+	// Harmonic <= geometric <= arithmetic.
+	xs := []float64{2, 3, 7, 11}
+	if !(HarmonicMean(xs) <= GeoMean(xs) && GeoMean(xs) <= Mean(xs)) {
+		t.Fatal("mean inequality violated")
+	}
+}
+
+// Property: the bootstrap interval always contains its point estimate,
+// and widens (weakly) with confidence level.
+func TestQuickBootstrapContainsPoint(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		lo, err1 := BootstrapCI(xs, Mean, 0.80, 400, seed)
+		hi, err2 := BootstrapCI(xs, Mean, 0.99, 400, seed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return lo.Contains(lo.Mean) && hi.Contains(hi.Mean) && hi.Half >= lo.Half-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit is the result of an ordinary least-squares fit y = Slope*x +
+// Intercept. The paper calibrates each current sensor with such a fit over
+// 28 reference currents and requires R2 >= 0.999 before trusting the meter
+// (Section 2.5).
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// Invert solves the fitted line for x given y. It returns an error when the
+// slope is zero (a degenerate sensor that never responds to current).
+func (f LinearFit) Invert(y float64) (float64, error) {
+	if f.Slope == 0 {
+		return 0, errors.New("stats: cannot invert fit with zero slope")
+	}
+	return (y - f.Intercept) / f.Slope, nil
+}
+
+// Linregress computes an ordinary least-squares linear fit of ys on xs.
+// The slices must be the same length with at least two points, and the xs
+// must not all be identical.
+func Linregress(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched series lengths")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	n := float64(len(xs))
+	mx := Mean(xs)
+	my := Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: int(n)}, nil
+}
+
+// PolyFit holds the coefficients of a least-squares polynomial fit,
+// Coeffs[i] being the coefficient of x^i.
+type PolyFit struct {
+	Coeffs []float64
+	R2     float64
+}
+
+// Predict evaluates the polynomial at x using Horner's rule.
+func (p PolyFit) Predict(x float64) float64 {
+	y := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + p.Coeffs[i]
+	}
+	return y
+}
+
+// Degree returns the degree of the fitted polynomial.
+func (p PolyFit) Degree() int { return len(p.Coeffs) - 1 }
+
+// Polyfit fits a polynomial of the given degree to (xs, ys) by solving the
+// normal equations with Gaussian elimination. It needs at least degree+1
+// points. The paper fits such curves through the Pareto-efficient
+// configurations to draw the frontier in Figure 12.
+func Polyfit(xs, ys []float64, degree int) (PolyFit, error) {
+	if degree < 0 {
+		return PolyFit{}, errors.New("stats: negative polynomial degree")
+	}
+	if len(xs) != len(ys) {
+		return PolyFit{}, errors.New("stats: mismatched series lengths")
+	}
+	if len(xs) < degree+1 {
+		return PolyFit{}, ErrInsufficientData
+	}
+	m := degree + 1
+	// Build the normal-equation system A c = b where A[i][j] = sum x^(i+j).
+	pow := make([]float64, 2*m-1)
+	for _, x := range xs {
+		xp := 1.0
+		for k := range pow {
+			pow[k] += xp
+			xp *= x
+		}
+	}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			a[i][j] = pow[i+j]
+		}
+	}
+	for k, x := range xs {
+		xp := 1.0
+		for i := 0; i < m; i++ {
+			b[i] += ys[k] * xp
+			xp *= x
+		}
+	}
+	coeffs, err := solveGauss(a, b)
+	if err != nil {
+		return PolyFit{}, err
+	}
+	fit := PolyFit{Coeffs: coeffs}
+	// R2 against the mean model.
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - fit.Predict(xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// solveGauss solves the linear system a*x = b with partial pivoting. The
+// inputs are modified in place.
+func solveGauss(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, errors.New("stats: singular system in polynomial fit")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,262 @@
+// Package stats provides the statistical machinery used throughout the
+// measurement methodology: descriptive statistics, Student-t confidence
+// intervals, least-squares fitting (linear and polynomial), and the
+// coefficient of determination used to validate sensor calibration.
+//
+// The paper reports 95% confidence intervals for every execution-time and
+// power measurement (Table 2), validates each Hall-effect sensor with a
+// linear fit whose R-squared must be at least 0.999 (Section 2.5), and fits
+// polynomial curves through Pareto-efficient configurations (Figure 12).
+// This package implements exactly those primitives on top of the standard
+// library.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an operation needs more samples than
+// were supplied (for example a confidence interval over fewer than two
+// observations).
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs. It returns NaN for an empty slice
+// so that missing data propagates visibly rather than silently as zero.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// any non-positive value yields NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// CI describes a two-sided confidence interval around a sample mean.
+type CI struct {
+	Mean  float64 // sample mean
+	Half  float64 // half-width of the interval (mean ± Half)
+	Level float64 // confidence level, e.g. 0.95
+	N     int     // number of samples
+}
+
+// Relative returns the half-width as a fraction of the mean, the form in
+// which the paper reports its aggregate confidence intervals (Table 2).
+// It returns 0 when the mean is zero.
+func (c CI) Relative() float64 {
+	if c.Mean == 0 {
+		return 0
+	}
+	return math.Abs(c.Half / c.Mean)
+}
+
+// Lo returns the lower bound of the interval.
+func (c CI) Lo() float64 { return c.Mean - c.Half }
+
+// Hi returns the upper bound of the interval.
+func (c CI) Hi() float64 { return c.Mean + c.Half }
+
+// Contains reports whether v lies within the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo() && v <= c.Hi() }
+
+// ConfidenceInterval computes a two-sided Student-t confidence interval for
+// the mean of xs at the given level (e.g. 0.95). It requires at least two
+// samples.
+func ConfidenceInterval(xs []float64, level float64) (CI, error) {
+	if len(xs) < 2 {
+		return CI{}, ErrInsufficientData
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	n := len(xs)
+	m := Mean(xs)
+	sd := StdDev(xs)
+	t := tQuantile(1-(1-level)/2, n-1)
+	half := t * sd / math.Sqrt(float64(n))
+	return CI{Mean: m, Half: half, Level: level, N: n}, nil
+}
+
+// tQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom. It inverts the CDF by bisection on top of the
+// regularized incomplete beta function, which is accurate to well beyond
+// the needs of 95% confidence reporting.
+func tQuantile(p float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// The t CDF is monotone; bracket the quantile generously and bisect.
+	lo, hi := -200.0, 200.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if tCDF(mid, float64(df)) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// tCDF returns the CDF of Student's t distribution at x with v degrees of
+// freedom, via the regularized incomplete beta function.
+func tCDF(x, v float64) float64 {
+	if x == 0 {
+		return 0.5
+	}
+	ib := regIncBeta(v/2, 0.5, v/(v+x*x))
+	if x > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Lentz's algorithm), following
+// the classic numerical-recipes formulation.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,334 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) == math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Fatalf("Mean(nil) = %v, want NaN", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEqual(got, 10, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 10", got)
+	}
+	if got := GeoMean([]float64{2, -1}); !math.IsNaN(got) {
+		t.Fatalf("GeoMean with negative = %v, want NaN", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} is 32/7.
+	got := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestVarianceSingleSampleNaN(t *testing.T) {
+	if got := Variance([]float64{3}); !math.IsNaN(got) {
+		t.Fatalf("Variance of one sample = %v, want NaN", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if got := Median(xs); got != 4 {
+		t.Fatalf("Median = %v, want 4", got)
+	}
+	if got := Median([]float64{5, 1, 9}); got != 5 {
+		t.Fatalf("Median odd = %v, want 5", got)
+	}
+	// Median must not mutate its input.
+	if xs[0] != 5 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestConfidenceIntervalMatchesKnownT(t *testing.T) {
+	// For df=4, the 97.5th percentile of t is 2.776445.
+	xs := []float64{10, 12, 9, 11, 13}
+	ci, err := ConfidenceInterval(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.776445 * StdDev(xs) / math.Sqrt(5)
+	if !almostEqual(ci.Half, want, 1e-4) {
+		t.Fatalf("CI half = %v, want %v", ci.Half, want)
+	}
+	if !ci.Contains(ci.Mean) {
+		t.Fatal("CI must contain its own mean")
+	}
+	if ci.Lo() >= ci.Hi() {
+		t.Fatal("CI bounds inverted")
+	}
+}
+
+func TestConfidenceIntervalErrors(t *testing.T) {
+	if _, err := ConfidenceInterval([]float64{1}, 0.95); err == nil {
+		t.Fatal("want error for single sample")
+	}
+	if _, err := ConfidenceInterval([]float64{1, 2}, 1.5); err == nil {
+		t.Fatal("want error for invalid level")
+	}
+}
+
+func TestCIRelative(t *testing.T) {
+	ci := CI{Mean: 50, Half: 1}
+	if got := ci.Relative(); got != 0.02 {
+		t.Fatalf("Relative = %v, want 0.02", got)
+	}
+	zero := CI{Mean: 0, Half: 1}
+	if got := zero.Relative(); got != 0 {
+		t.Fatalf("Relative with zero mean = %v, want 0", got)
+	}
+}
+
+func TestTQuantileAgainstTables(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.975, 1, 12.7062},
+		{0.975, 2, 4.30265},
+		{0.975, 10, 2.22814},
+		{0.975, 30, 2.04227},
+		{0.95, 5, 2.01505},
+		{0.995, 19, 2.86093},
+	}
+	for _, c := range cases {
+		got := tQuantile(c.p, c.df)
+		if !almostEqual(got, c.want, 5e-4) {
+			t.Errorf("tQuantile(%v, %d) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []int{1, 3, 9, 25} {
+		up := tQuantile(0.9, df)
+		dn := tQuantile(0.1, df)
+		if !almostEqual(up, -dn, 1e-6) {
+			t.Errorf("df=%d: t(0.9)=%v not symmetric with t(0.1)=%v", df, up, dn)
+		}
+	}
+}
+
+func TestLinregressExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	fit, err := Linregress(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 3, 1e-12) || !almostEqual(fit.Intercept, 7, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 3 intercept 7", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+	x, err := fit.Invert(13)
+	if err != nil || !almostEqual(x, 2, 1e-12) {
+		t.Fatalf("Invert(13) = %v, %v; want 2", x, err)
+	}
+}
+
+func TestLinregressErrors(t *testing.T) {
+	if _, err := Linregress([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for one point")
+	}
+	if _, err := Linregress([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+	if _, err := Linregress([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want error for degenerate xs")
+	}
+	degenerate := LinearFit{Slope: 0, Intercept: 1}
+	if _, err := degenerate.Invert(5); err == nil {
+		t.Fatal("want error inverting zero slope")
+	}
+}
+
+func TestLinregressNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = 2*xs[i] + 5 + rng.NormFloat64()*0.01
+	}
+	fit, err := Linregress(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 0.01) || !almostEqual(fit.Intercept, 5, 0.05) {
+		t.Fatalf("noisy fit = %+v", fit)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R2 = %v, want >= 0.999 (the paper's sensor threshold)", fit.R2)
+	}
+}
+
+func TestPolyfitExactQuadratic(t *testing.T) {
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 2*x + 3*x*x
+	}
+	fit, err := Polyfit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, c := range fit.Coeffs {
+		if !almostEqual(c, want[i], 1e-8) {
+			t.Fatalf("coeff[%d] = %v, want %v", i, c, want[i])
+		}
+	}
+	if fit.Degree() != 2 {
+		t.Fatalf("Degree = %d, want 2", fit.Degree())
+	}
+	if !almostEqual(fit.Predict(10), 321, 1e-6) {
+		t.Fatalf("Predict(10) = %v, want 321", fit.Predict(10))
+	}
+}
+
+func TestPolyfitErrors(t *testing.T) {
+	if _, err := Polyfit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Fatal("want error: not enough points for degree")
+	}
+	if _, err := Polyfit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Fatal("want error: mismatched lengths")
+	}
+	if _, err := Polyfit([]float64{1, 2, 3}, []float64{1, 2, 3}, -1); err == nil {
+		t.Fatal("want error: negative degree")
+	}
+}
+
+// Property: the mean always lies between min and max.
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting every sample by a constant shifts the CI mean by the
+// same constant and leaves the half-width unchanged.
+func TestQuickCIShiftInvariance(t *testing.T) {
+	f := func(seed int64, shiftRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shift := float64(shiftRaw)
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = xs[i] + shift
+		}
+		a, err1 := ConfidenceInterval(xs, 0.95)
+		b, err2 := ConfidenceInterval(ys, 0.95)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(b.Mean, a.Mean+shift, 1e-9) && almostEqual(a.Half, b.Half, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a linear fit through any non-degenerate affine data recovers
+// the generating coefficients.
+func TestQuickLinregressRecovers(t *testing.T) {
+	f := func(seed int64, slopeRaw, interceptRaw int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := float64(slopeRaw) / 100
+		intercept := float64(interceptRaw) / 100
+		xs := make([]float64, 12)
+		ys := make([]float64, 12)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()
+			ys[i] = slope*xs[i] + intercept
+		}
+		fit, err := Linregress(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Slope, slope, 1e-6) && almostEqual(fit.Intercept, intercept, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: polynomial fit residual R2 is always <= 1 and the fit of exact
+// polynomial data achieves R2 ~ 1.
+func TestQuickPolyfitR2(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		xs := []float64{-3, -2, -1, 0, 1, 2, 3, 4}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = float64(a) + float64(b)*x + float64(c)*x*x
+		}
+		fit, err := Polyfit(xs, ys, 2)
+		if err != nil {
+			return false
+		}
+		return fit.R2 > 0.999999 && fit.R2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Fatalf("I_0 = %v, want 0", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Fatalf("I_1 = %v, want 1", got)
+	}
+	// I_x(1,1) = x for the uniform case.
+	for _, x := range []float64{0.1, 0.35, 0.5, 0.92} {
+		if got := regIncBeta(1, 1, x); !almostEqual(got, x, 1e-10) {
+			t.Fatalf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+}

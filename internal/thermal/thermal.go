@@ -1,0 +1,71 @@
+// Package thermal models the junction temperature of a package as a
+// first-order (lumped RC) system: temperature rises toward the
+// steady-state implied by the dissipated power and the package's thermal
+// resistance, with an exponential time constant.
+//
+// The thermal state feeds back into the power model (leakage grows with
+// temperature) and gates Turbo Boost, which the paper notes engages only
+// "if temperature, power, and current conditions allow" (Section 3.6).
+package thermal
+
+import (
+	"errors"
+	"math"
+)
+
+// AmbientC is the case/ambient temperature the model assumes.
+const AmbientC = 40
+
+// MaxJunctionC is the throttle threshold: above it, Turbo must disengage.
+const MaxJunctionC = 95
+
+// Model is a lumped thermal RC node.
+type Model struct {
+	// ResistanceCPerW is the junction-to-ambient thermal resistance.
+	ResistanceCPerW float64
+	// TimeConstantS is the RC time constant in seconds.
+	TimeConstantS float64
+
+	tempC float64
+}
+
+// New builds a thermal model sized for a part with the given TDP: at TDP
+// the steady-state junction temperature sits near (but below) the
+// throttle threshold, which is how vendors size their thermal envelopes.
+func New(tdpWatts float64) (*Model, error) {
+	if tdpWatts <= 0 {
+		return nil, errors.New("thermal: TDP must be positive")
+	}
+	return &Model{
+		ResistanceCPerW: (MaxJunctionC - 10 - AmbientC) / tdpWatts,
+		TimeConstantS:   12,
+		tempC:           AmbientC,
+	}, nil
+}
+
+// TempC returns the current junction temperature.
+func (m *Model) TempC() float64 { return m.tempC }
+
+// SteadyC returns the steady-state temperature at the given power.
+func (m *Model) SteadyC(watts float64) float64 {
+	return AmbientC + m.ResistanceCPerW*watts
+}
+
+// Step advances the model by dt seconds at the given dissipated power and
+// returns the new temperature.
+func (m *Model) Step(watts, dt float64) float64 {
+	if dt <= 0 {
+		return m.tempC
+	}
+	target := m.SteadyC(watts)
+	alpha := 1 - math.Exp(-dt/m.TimeConstantS)
+	m.tempC += (target - m.tempC) * alpha
+	return m.tempC
+}
+
+// Reset returns the junction to ambient, as between benchmark runs.
+func (m *Model) Reset() { m.tempC = AmbientC }
+
+// Throttling reports whether the junction has reached the throttle
+// threshold.
+func (m *Model) Throttling() bool { return m.tempC >= MaxJunctionC }

@@ -1,0 +1,144 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadTDP(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero TDP accepted")
+	}
+	if _, err := New(-5); err == nil {
+		t.Fatal("negative TDP accepted")
+	}
+}
+
+func TestStartsAtAmbient(t *testing.T) {
+	m, err := New(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TempC() != AmbientC {
+		t.Fatalf("initial temp = %v, want ambient %v", m.TempC(), AmbientC)
+	}
+}
+
+func TestSteadyStateAtTDPBelowThrottle(t *testing.T) {
+	for _, tdp := range []float64{4, 65, 130} {
+		m, err := New(tdp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steady := m.SteadyC(tdp)
+		if steady >= MaxJunctionC {
+			t.Errorf("TDP %v: steady %v at or above throttle %v", tdp, steady, MaxJunctionC)
+		}
+		if steady <= AmbientC {
+			t.Errorf("TDP %v: steady %v not above ambient", tdp, steady)
+		}
+	}
+}
+
+func TestStepApproachesSteady(t *testing.T) {
+	m, err := New(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const watts = 50
+	target := m.SteadyC(watts)
+	for i := 0; i < 1000; i++ {
+		m.Step(watts, 0.1)
+	}
+	if math.Abs(m.TempC()-target) > 0.1 {
+		t.Fatalf("temp %v did not converge to %v", m.TempC(), target)
+	}
+}
+
+func TestStepMonotoneWarming(t *testing.T) {
+	m, err := New(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.TempC()
+	for i := 0; i < 50; i++ {
+		cur := m.Step(60, 0.5)
+		if cur < prev {
+			t.Fatalf("warming not monotone at step %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestCoolingAfterLoad(t *testing.T) {
+	m, err := New(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		m.Step(60, 0.5)
+	}
+	hot := m.TempC()
+	for i := 0; i < 200; i++ {
+		m.Step(5, 0.5)
+	}
+	if m.TempC() >= hot {
+		t.Fatal("chip did not cool after load dropped")
+	}
+}
+
+func TestZeroDtIsNoOp(t *testing.T) {
+	m, err := New(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.TempC()
+	if got := m.Step(60, 0); got != before {
+		t.Fatalf("zero-dt step changed temp: %v", got)
+	}
+}
+
+func TestResetAndThrottling(t *testing.T) {
+	m, err := New(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive far beyond TDP until throttling.
+	for i := 0; i < 2000 && !m.Throttling(); i++ {
+		m.Step(500, 0.5)
+	}
+	if !m.Throttling() {
+		t.Fatal("sustained 500W did not reach throttle threshold")
+	}
+	m.Reset()
+	if m.TempC() != AmbientC || m.Throttling() {
+		t.Fatal("reset did not return to ambient")
+	}
+}
+
+// Property: temperature always stays between ambient and the steady state
+// of the maximum power applied.
+func TestQuickTempBounded(t *testing.T) {
+	f := func(powers []uint8) bool {
+		m, err := New(65)
+		if err != nil {
+			return false
+		}
+		maxP := 0.0
+		for _, raw := range powers {
+			p := float64(raw)
+			if p > maxP {
+				maxP = p
+			}
+			m.Step(p, 0.25)
+			if m.TempC() < AmbientC-1e-9 || m.TempC() > m.SteadyC(maxP)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

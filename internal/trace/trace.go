@@ -1,0 +1,176 @@
+// Package trace captures and analyzes power-over-time traces, the raw
+// material of the paper's methodology: the AVR logger samples each run
+// at 50 Hz and the paper computes averages over the trace. Beyond the
+// average, a trace exposes the phase structure of a workload — the
+// bursts, ramps, and steady plateaus that motivate the paper's call for
+// on-chip power meters that software can read *during* execution.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Sample is one logged point.
+type Sample struct {
+	// T is the sample's time offset from the run start, in seconds.
+	T float64
+	// Watts is the logged power.
+	Watts float64
+}
+
+// Trace is a time-ordered power log of one run.
+type Trace struct {
+	samples []Sample
+	clock   float64 // running time accumulator for Append
+}
+
+// Append logs a sample of the given duration; it is shaped to serve as
+// a sim.SampleFunc.
+func (tr *Trace) Append(watts, dtSeconds float64) {
+	if dtSeconds <= 0 {
+		return
+	}
+	tr.clock += dtSeconds
+	tr.samples = append(tr.samples, Sample{T: tr.clock, Watts: watts})
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.samples) }
+
+// Samples returns a copy of the logged samples.
+func (tr *Trace) Samples() []Sample {
+	out := make([]Sample, len(tr.samples))
+	copy(out, tr.samples)
+	return out
+}
+
+// Seconds returns the trace duration.
+func (tr *Trace) Seconds() float64 { return tr.clock }
+
+// Stats summarizes a trace.
+type Stats struct {
+	AvgWatts float64
+	MinWatts float64
+	MaxWatts float64
+	StdWatts float64
+	// Swing is (max-min)/avg: the workload's phase amplitude.
+	Swing float64
+}
+
+// Stats computes the trace summary. It errors on an empty trace.
+func (tr *Trace) Stats() (Stats, error) {
+	if len(tr.samples) == 0 {
+		return Stats{}, errors.New("trace: empty trace")
+	}
+	ws := make([]float64, len(tr.samples))
+	var prevT float64
+	var wattSeconds float64
+	for i, s := range tr.samples {
+		ws[i] = s.Watts
+		wattSeconds += s.Watts * (s.T - prevT)
+		prevT = s.T
+	}
+	st := Stats{
+		AvgWatts: wattSeconds / tr.clock,
+		MinWatts: stats.Min(ws),
+		MaxWatts: stats.Max(ws),
+	}
+	if len(ws) > 1 {
+		st.StdWatts = stats.StdDev(ws)
+	}
+	if st.AvgWatts > 0 {
+		st.Swing = (st.MaxWatts - st.MinWatts) / st.AvgWatts
+	}
+	return st, nil
+}
+
+// Phase is a contiguous stretch of roughly constant power.
+type Phase struct {
+	StartS   float64
+	EndS     float64
+	AvgWatts float64
+}
+
+// Phases segments the trace into power phases: a new phase starts when
+// the smoothed power departs from the current phase's mean by more than
+// the threshold fraction. minSeconds suppresses jitter-length phases.
+func (tr *Trace) Phases(threshold, minSeconds float64) ([]Phase, error) {
+	if len(tr.samples) == 0 {
+		return nil, errors.New("trace: empty trace")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("trace: threshold %v outside (0,1)", threshold)
+	}
+	var phases []Phase
+	cur := Phase{StartS: 0, AvgWatts: tr.samples[0].Watts}
+	n := 1.0
+	var prevT float64
+	for _, s := range tr.samples[1:] {
+		dev := math.Abs(s.Watts-cur.AvgWatts) / cur.AvgWatts
+		if dev > threshold && s.T-cur.StartS >= minSeconds {
+			cur.EndS = prevT
+			phases = append(phases, cur)
+			cur = Phase{StartS: prevT, AvgWatts: s.Watts}
+			n = 1
+		} else {
+			cur.AvgWatts += (s.Watts - cur.AvgWatts) / (n + 1)
+			n++
+		}
+		prevT = s.T
+	}
+	cur.EndS = tr.clock
+	phases = append(phases, cur)
+	return phases, nil
+}
+
+// Sparkline renders the trace as a fixed-width unicode-free ASCII strip
+// using the ramp " .:-=+*#", for terminal inspection.
+func (tr *Trace) Sparkline(width int) (string, error) {
+	if len(tr.samples) == 0 {
+		return "", errors.New("trace: empty trace")
+	}
+	if width < 1 {
+		width = 60
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		return "", err
+	}
+	ramp := []byte(" .:-=+*#")
+	span := st.MaxWatts - st.MinWatts
+	var sb strings.Builder
+	for col := 0; col < width; col++ {
+		// Time-proportional bucket average.
+		lo := tr.clock * float64(col) / float64(width)
+		hi := tr.clock * float64(col+1) / float64(width)
+		var sum float64
+		var cnt int
+		for _, s := range tr.samples {
+			if s.T > lo && s.T <= hi {
+				sum += s.Watts
+				cnt++
+			}
+		}
+		w := st.AvgWatts
+		if cnt > 0 {
+			w = sum / float64(cnt)
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((w - st.MinWatts) / span * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		sb.WriteByte(ramp[idx])
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func flatTrace(watts float64, n int) *Trace {
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		tr.Append(watts, 0.02)
+	}
+	return tr
+}
+
+func TestAppendAndLen(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(10, 0.02)
+	tr.Append(12, 0.02)
+	tr.Append(12, 0) // ignored
+	tr.Append(12, -1)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if math.Abs(tr.Seconds()-0.04) > 1e-12 {
+		t.Fatalf("Seconds = %v, want 0.04", tr.Seconds())
+	}
+	s := tr.Samples()
+	s[0].Watts = -1
+	if tr.Samples()[0].Watts == -1 {
+		t.Fatal("Samples returned shared state")
+	}
+}
+
+func TestStatsFlat(t *testing.T) {
+	st, err := flatTrace(20, 100).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.AvgWatts-20) > 1e-9 || st.MinWatts != 20 || st.MaxWatts != 20 {
+		t.Fatalf("flat stats wrong: %+v", st)
+	}
+	if st.Swing != 0 || st.StdWatts != 0 {
+		t.Fatalf("flat trace has swing: %+v", st)
+	}
+}
+
+func TestStatsTimeWeighted(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(10, 3) // 30 J
+	tr.Append(40, 1) // 40 J
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.AvgWatts-17.5) > 1e-9 {
+		t.Fatalf("time-weighted avg = %v, want 17.5", st.AvgWatts)
+	}
+	if math.Abs(st.Swing-30.0/17.5) > 1e-9 {
+		t.Fatalf("swing = %v", st.Swing)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	if _, err := (&Trace{}).Stats(); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestPhasesDetectsStep(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 100; i++ { // 2s at 20W
+		tr.Append(20, 0.02)
+	}
+	for i := 0; i < 100; i++ { // 2s at 40W
+		tr.Append(40, 0.02)
+	}
+	phases, err := tr.Phases(0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("%d phases, want 2: %+v", len(phases), phases)
+	}
+	if math.Abs(phases[0].AvgWatts-20) > 1 || math.Abs(phases[1].AvgWatts-40) > 1 {
+		t.Fatalf("phase means wrong: %+v", phases)
+	}
+	if math.Abs(phases[0].EndS-2) > 0.1 {
+		t.Fatalf("phase boundary at %v, want ~2s", phases[0].EndS)
+	}
+}
+
+func TestPhasesFlatIsOnePhase(t *testing.T) {
+	phases, err := flatTrace(25, 200).Phases(0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Fatalf("%d phases on a flat trace, want 1", len(phases))
+	}
+}
+
+func TestPhasesErrors(t *testing.T) {
+	tr := flatTrace(10, 10)
+	if _, err := tr.Phases(0, 0.1); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, err := tr.Phases(1.5, 0.1); err == nil {
+		t.Fatal("threshold above 1 accepted")
+	}
+	if _, err := (&Trace{}).Phases(0.2, 0.1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(10, 0.02)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Append(50, 0.02)
+	}
+	line, err := tr.Sparkline(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(line) != 40 {
+		t.Fatalf("sparkline width %d, want 40", len(line))
+	}
+	// The low half renders light, the high half dense.
+	if !strings.Contains(line[:15], " ") {
+		t.Fatalf("low phase not light: %q", line)
+	}
+	if !strings.Contains(line[25:], "#") {
+		t.Fatalf("high phase not dense: %q", line)
+	}
+	if _, err := (&Trace{}).Sparkline(10); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	// Degenerate width defaults rather than failing.
+	if l, err := tr.Sparkline(0); err != nil || len(l) != 60 {
+		t.Fatalf("default width: %d, %v", len(l), err)
+	}
+}
+
+// Property: the time-weighted average lies within [min, max] and energy
+// identity holds against a manual sum.
+func TestQuickStatsConsistent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tr := &Trace{}
+		var joules, seconds float64
+		for _, r := range raw {
+			w := float64(r%100) + 1
+			tr.Append(w, 0.02)
+			joules += w * 0.02
+			seconds += 0.02
+		}
+		st, err := tr.Stats()
+		if err != nil {
+			return false
+		}
+		if st.AvgWatts < st.MinWatts-1e-9 || st.AvgWatts > st.MaxWatts+1e-9 {
+			return false
+		}
+		return math.Abs(st.AvgWatts*seconds-joules) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
