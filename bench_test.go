@@ -388,6 +388,24 @@ func BenchmarkPowerBreakdown(b *testing.B) {
 	}
 }
 
+// BenchmarkFullGrid measures the study's dominant cost end to end: a
+// cold harness measuring all 45 configurations x 61 benchmarks, the
+// workload behind `fullstudy`. A fresh Study each iteration keeps the
+// measurement cache cold so the number tracks real regeneration time.
+func BenchmarkFullGrid(b *testing.B) {
+	space := ConfigSpace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewStudy(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.MeasureGrid(space, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFindings regenerates the full reproduction report: all
 // thirteen named findings checked against the measured dataset.
 func BenchmarkFindings(b *testing.B) {

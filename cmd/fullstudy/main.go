@@ -24,6 +24,7 @@ import (
 	"time"
 
 	powerperf "repro"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -33,7 +34,19 @@ func main() {
 	log.SetPrefix("fullstudy: ")
 	seed := flag.Int64("seed", 42, "study seed")
 	out := flag.String("out", "dataset", "output directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	start := time.Now()
 	study, err := powerperf.NewStudy(*seed)

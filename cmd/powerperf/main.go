@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	powerperf "repro"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -36,7 +37,19 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each artifact's data as CSV into this directory")
 	fullT2 := flag.Bool("full-table2", false, "aggregate Table 2 over all 45 configurations instead of the 8 stock ones")
 	plot := flag.Bool("plot", false, "also render ASCII charts for figures that have a graphical form")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	want := flag.Args()
 	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {

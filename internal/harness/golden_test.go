@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/jvm"
+	"repro/internal/native"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// goldenTol is the relative tolerance for the recorded golden values.
+// The compiled power kernel reassociates floating-point sums, so results
+// may drift from the recorded values by a few ulps (~1e-16 relative);
+// anything approaching 1e-9 indicates a real change to the model.
+const goldenTol = 1e-9
+
+func relClose(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	denom := math.Abs(want)
+	if denom == 0 {
+		denom = 1
+	}
+	if rel := math.Abs(got-want) / denom; rel > goldenTol {
+		t.Errorf("%s: got %.17g, want %.17g (rel err %.3g > %.0g)",
+			what, got, want, rel, goldenTol)
+	}
+}
+
+// simGoldens records Machine.Run results at seed 42 captured before the
+// power model was compiled into flat kernels. They pin the simulator's
+// numerical behavior: the kernel refactor and every later optimization
+// must reproduce these to within goldenTol.
+var simGoldens = []struct {
+	proc    string
+	bench   string
+	cfg     proc.Config
+	seconds float64
+	watts   float64
+	energyJ float64
+}{
+	{"Pentium4 (130)", "perlbench", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4, Turbo: false}, 907.48001313043505, 40.6170714583997, 36859.180540388377},
+	{"Pentium4 (130)", "mcf", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4, Turbo: false}, 4103.2000072422079, 34.275443131279346, 140638.99850449531},
+	{"Pentium4 (130)", "vips", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4, Turbo: false}, 167.31256239096615, 49.189853408176397, 8230.0804173579927},
+	{"Pentium4 (130)", "jess", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4, Turbo: false}, 1.5070081196765672, 45.55754122198649, 68.655584534033565},
+	{"Pentium4 (130)", "db", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4, Turbo: false}, 22.164181588967274, 41.066954708340319, 910.2154414615494},
+	{"Pentium4 (130)", "lusearch", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4, Turbo: false}, 13.857243791302055, 47.248081475897997, 654.72818368282117},
+	{"Pentium4 (130)", "pmd", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 2.4, Turbo: false}, 12.202871101004785, 42.772789686665661, 521.95083917676789},
+	{"Core2Q (65)", "perlbench", proc.Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4, Turbo: false}, 352.81058944386825, 54.940569522065474, 19383.614717461744},
+	{"Core2Q (65)", "mcf", proc.Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4, Turbo: false}, 2582.274234445094, 51.470995580084541, 132912.22570768962},
+	{"Core2Q (65)", "vips", proc.Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4, Turbo: false}, 28.581931009527207, 69.155743775563209, 1976.6046975056881},
+	{"Core2Q (65)", "jess", proc.Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4, Turbo: false}, 0.50283801169572029, 52.152253851945744, 26.224135632362866},
+	{"Core2Q (65)", "db", proc.Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4, Turbo: false}, 5.9892644210237975, 51.252884481023621, 306.96707749703751},
+	{"Core2Q (65)", "lusearch", proc.Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4, Turbo: false}, 2.7783551185427884, 59.480822045612754, 165.25884638556093},
+	{"Core2Q (65)", "pmd", proc.Config{Cores: 4, SMTWays: 1, ClockGHz: 2.4, Turbo: false}, 4.3249767580384635, 49.01102146578117, 211.97152872722779},
+	{"i7 (45)", "perlbench", proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67, Turbo: true}, 242.62026342374637, 27.009768486017684, 6553.1171450920137},
+	{"i7 (45)", "mcf", proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67, Turbo: true}, 1399.3948882985749, 21.254352455595171, 29743.232180456143},
+	{"i7 (45)", "vips", proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67, Turbo: true}, 18.988185293189883, 62.654721605599953, 1189.6994633403594},
+	{"i7 (45)", "jess", proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67, Turbo: true}, 0.38024859207736367, 27.263464863099603, 10.366894129344299},
+	{"i7 (45)", "db", proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67, Turbo: true}, 3.9079461824722523, 25.492116333668971, 99.6218187093002},
+	{"i7 (45)", "lusearch", proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67, Turbo: true}, 1.5099502867179138, 49.139776857311965, 74.198620154952508},
+	{"i7 (45)", "pmd", proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 2.67, Turbo: true}, 2.754069476242722, 33.999479810875755, 93.636929555263592},
+	{"i7 (45)", "perlbench", proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, 242.62026342374637, 20.805383589383787, 5047.8076470883843},
+	{"i7 (45)", "mcf", proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, 1399.3948882985749, 15.069085069833724, 21087.600618061686},
+	{"i7 (45)", "vips", proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, 58.360252032198943, 25.187385272019544, 1469.9421525071564},
+	{"i7 (45)", "jess", proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, 0.41005631082867022, 24.014554848179625, 9.847319767237293},
+	{"i7 (45)", "db", proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, 4.9382749078702437, 19.836633853222249, 97.958751213976853},
+	{"i7 (45)", "lusearch", proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, 4.5211294703450022, 21.904537198310134, 99.033248661548299},
+	{"i7 (45)", "pmd", proc.Config{Cores: 1, SMTWays: 1, ClockGHz: 2.67, Turbo: true}, 3.7737574910407563, 20.032055211149292, 75.596118414016658},
+	{"Atom (45)", "perlbench", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7, Turbo: false}, 1623.3580124891685, 2.2965155211497366, 3728.0668720641634},
+	{"Atom (45)", "mcf", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7, Turbo: false}, 4756.4591070842343, 2.0659131124614554, 9826.4312382120261},
+	{"Atom (45)", "vips", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7, Turbo: false}, 280.80460983676977, 2.7024351203160033, 758.85623956951929},
+	{"Atom (45)", "jess", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7, Turbo: false}, 2.774398488621252, 2.580094885752763, 7.1582113515318877},
+	{"Atom (45)", "db", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7, Turbo: false}, 26.52229255587493, 2.4093497769835959, 63.90147965459095},
+	{"Atom (45)", "lusearch", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7, Turbo: false}, 15.644577260014234, 2.6527504607856245, 41.50115953529906},
+	{"Atom (45)", "pmd", proc.Config{Cores: 1, SMTWays: 2, ClockGHz: 1.7, Turbo: false}, 16.627866065990844, 2.4823344709441906, 41.275925113852239},
+	{"i5 (32)", "perlbench", proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2, Turbo: false}, 575.07404409596984, 8.1486011950821471, 4686.0490429811434},
+	{"i5 (32)", "mcf", proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2, Turbo: false}, 2284.7042842650189, 7.3991868526678033, 16904.953902367532},
+	{"i5 (32)", "vips", proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2, Turbo: false}, 68.622400057563198, 11.995257381714405, 823.14335084144398},
+	{"i5 (32)", "jess", proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2, Turbo: false}, 0.87473648626000466, 9.7304806866420854, 8.511606485454136},
+	{"i5 (32)", "db", proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2, Turbo: false}, 8.6207520987924937, 9.468025585896946, 81.621501441042128},
+	{"i5 (32)", "lusearch", proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2, Turbo: false}, 4.2788857510105132, 11.178945357124999, 47.83342999992729},
+	{"i5 (32)", "pmd", proc.Config{Cores: 2, SMTWays: 2, ClockGHz: 1.2, Turbo: false}, 5.6543978727343474, 9.6174626746298113, 54.380960488528792},
+}
+
+// TestKernelMatchesGoldenRuns replays seed-42 simulator runs across a
+// spread of parts (hot Pentium 4, quad Core 2, Turbo-capable i7, low-power
+// Atom, downclocked i5) and workload types (SPEC int, PARSEC, SPECjvm,
+// DaCapo) against results recorded from the pre-kernel simulator.
+func TestKernelMatchesGoldenRuns(t *testing.T) {
+	for _, g := range simGoldens {
+		p, err := proc.ByName(g.proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.NewMachine(p, g.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.ByName(g.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spec sim.ExecSpec
+		if b.Managed() {
+			plan, err := jvm.NewPlan(b, g.cfg.Contexts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec = plan.Specs[plan.MeasuredIndex()]
+		} else {
+			spec, err = native.Spec(b, g.cfg.Contexts())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := m.Run(spec, 42, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := g.proc + "/" + g.bench + "/" + g.cfg.String()
+		relClose(t, id+" Seconds", res.Seconds, g.seconds)
+		relClose(t, id+" AvgWatts", res.AvgWatts, g.watts)
+		relClose(t, id+" EnergyJ", res.EnergyJ, g.energyJ)
+	}
+}
+
+// TestHarnessMatchesGoldenMeasurements pins the full methodology — JVM
+// warmup plan, sensor chain, logger, confidence intervals — at the study
+// seed against values recorded before the optimization work.
+func TestHarnessMatchesGoldenMeasurements(t *testing.T) {
+	goldens := []struct {
+		proc    string
+		bench   string
+		seconds float64
+		watts   float64
+		energyJ float64
+	}{
+		{"i7 (45)", "mcf", 1410.4102898920762, 21.131724888172933, 29804.172104354959},
+		{"i5 (32)", "lusearch", 2.4547282712228311, 25.747147378307524, 63.201858181177023},
+		{"Core2D (65)", "perlbench", 363.78043694136232, 24.639220124097022, 8963.2887869498245},
+	}
+	h, err := New(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldens {
+		p, err := proc.ByName(g.proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.ByName(g.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := h.Measure(b, proc.ConfiguredProcessor{Proc: p, Config: p.Stock()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := g.proc + "/" + g.bench
+		relClose(t, id+" Seconds", meas.Seconds, g.seconds)
+		relClose(t, id+" Watts", meas.Watts, g.watts)
+		relClose(t, id+" EnergyJ", meas.EnergyJ, g.energyJ)
+	}
+}

@@ -65,6 +65,12 @@ type Harness struct {
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+
+	// machines memoizes validated simulator machines per configuration:
+	// the study's grid re-measures each configuration dozens of times (61
+	// benchmarks), and a Machine is immutable once built.
+	mmu      sync.Mutex
+	machines map[string]*sim.Machine
 }
 
 // cacheEntry memoizes one measurement; the Once arbitrates concurrent
@@ -87,7 +93,30 @@ func New(seed int64) (*Harness, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: rig construction: %w", err)
 	}
-	return &Harness{rig: rig, seed: seed, cache: make(map[string]*cacheEntry)}, nil
+	return &Harness{
+		rig:      rig,
+		seed:     seed,
+		cache:    make(map[string]*cacheEntry),
+		machines: make(map[string]*sim.Machine),
+	}, nil
+}
+
+// machine returns the cached simulator machine for a configuration,
+// building and validating it on first use. Machines are read-only after
+// construction, so one instance serves concurrent measurements.
+func (h *Harness) machine(cp proc.ConfiguredProcessor) (*sim.Machine, error) {
+	key := cp.String()
+	h.mmu.Lock()
+	defer h.mmu.Unlock()
+	if m, ok := h.machines[key]; ok {
+		return m, nil
+	}
+	m, err := sim.NewMachine(cp.Proc, cp.Config)
+	if err != nil {
+		return nil, err
+	}
+	h.machines[key] = m
+	return m, nil
 }
 
 // Rig exposes the calibrated sensor rig (for validation reporting).
@@ -116,7 +145,7 @@ func (h *Harness) Measure(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*
 
 // measure runs the methodology uncached.
 func (h *Harness) measure(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*Measurement, error) {
-	machine, err := sim.NewMachine(cp.Proc, cp.Config)
+	machine, err := h.machine(cp)
 	if err != nil {
 		return nil, err
 	}
@@ -171,18 +200,25 @@ func (h *Harness) measureNative(b *workload.Benchmark, machine *sim.Machine, met
 	if err != nil {
 		return nil, err
 	}
+	// Plan once, replay per invocation: the prescribed runs differ only
+	// in their seeds, so they share one compiled Runner.
+	runner, err := machine.NewRunner(spec)
+	if err != nil {
+		return nil, err
+	}
 	runs := make([]RunSample, 0, n)
 	for r := 0; r < n; r++ {
 		seed := h.runSeed(b.Name, machine, r, 0)
-		lg, err := meter.NewLoggerSeeded(seed ^ 0x1091)
+		lg, err := meter.AcquireLogger(seed ^ 0x1091)
 		if err != nil {
 			return nil, err
 		}
-		res, err := machine.Run(spec, seed, lg.Sample)
+		res, err := runner.Run(seed, lg.Sample)
 		if err != nil {
 			return nil, err
 		}
 		tr, err := lg.Finish()
+		meter.ReleaseLogger(lg)
 		if err != nil {
 			return nil, err
 		}
@@ -198,28 +234,35 @@ func (h *Harness) measureManaged(b *workload.Benchmark, machine *sim.Machine, me
 	if err != nil {
 		return nil, err
 	}
+	// One compiled Runner per in-process iteration spec, replayed across
+	// all twenty invocations (Section 2.2's 20 x 5 methodology).
+	runners := make([]*sim.Runner, len(plan.Specs))
+	for it, spec := range plan.Specs {
+		if runners[it], err = machine.NewRunner(spec); err != nil {
+			return nil, err
+		}
+	}
 	runs := make([]RunSample, 0, jvm.Invocations)
 	for inv := 0; inv < jvm.Invocations; inv++ {
 		var sample RunSample
-		for it, spec := range plan.Specs {
+		for it := range plan.Specs {
 			measured := it == plan.MeasuredIndex()
 			seed := h.runSeed(b.Name, machine, inv, it)
 			var lg *sensor.Logger
+			var cb sim.SampleFunc
 			if measured {
-				if lg, err = meter.NewLoggerSeeded(seed ^ 0x1091); err != nil {
+				if lg, err = meter.AcquireLogger(seed ^ 0x1091); err != nil {
 					return nil, err
 				}
-			}
-			var cb sim.SampleFunc
-			if lg != nil {
 				cb = lg.Sample
 			}
-			res, err := machine.Run(spec, seed, cb)
+			res, err := runners[it].Run(seed, cb)
 			if err != nil {
 				return nil, err
 			}
 			if measured {
 				tr, err := lg.Finish()
+				meter.ReleaseLogger(lg)
 				if err != nil {
 					return nil, err
 				}

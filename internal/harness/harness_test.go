@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/jvm"
 	"repro/internal/proc"
@@ -327,6 +328,33 @@ func TestMeasureBatchEdgeCases(t *testing.T) {
 	}
 	if len(res) != 2 {
 		t.Fatalf("%d results", len(res))
+	}
+}
+
+func TestMeasureBatchFailingJobsDoNotDeadlock(t *testing.T) {
+	// Regression: the old producer-channel feed deadlocked when every
+	// worker exited early on an error, because nothing drained the
+	// producer's remaining sends. A batch where every job fails, driven
+	// by a single worker, is the sharpest reproducer: the worker bails
+	// on job 0 and the batch must still return promptly with the error.
+	h, _ := testHarness(t)
+	valid := GridJobs(proc.StockConfigs()[:1], workload.ByGroup(workload.JavaScalable)[:1])
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Bench: nil, CP: valid[0].CP} // nil benchmark always fails
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.MeasureBatch(jobs, 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("failing batch returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("MeasureBatch deadlocked on a failing batch")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/proc"
 	"repro/internal/workload"
@@ -34,17 +35,26 @@ func (h *Harness) MeasureBatch(jobs []Job, workers int) ([]*Measurement, error) 
 		workers = len(jobs)
 	}
 
+	// Workers claim jobs from an atomic index rather than a producer
+	// channel: a channel feed deadlocks the producer if every worker
+	// exits early on an error, since nothing drains the remaining sends.
 	results := make([]*Measurement, len(jobs))
-	idxCh := make(chan int)
 	errCh := make(chan error, workers)
+	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idxCh {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
 				m, err := h.Measure(jobs[i].Bench, jobs[i].CP)
 				if err != nil {
+					failed.Store(true)
 					select {
 					case errCh <- err:
 					default:
@@ -55,10 +65,6 @@ func (h *Harness) MeasureBatch(jobs []Job, workers int) ([]*Measurement, error) 
 			}
 		}()
 	}
-	for i := range jobs {
-		idxCh <- i
-	}
-	close(idxCh)
 	wg.Wait()
 	select {
 	case err := <-errCh:

@@ -1,0 +1,67 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+)
+
+func benchProc(b *testing.B) *proc.Processor {
+	b.Helper()
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPowerChip measures the full analytic chip-power evaluation —
+// the model the simulator used to call on every integration step before
+// segment kernels were compiled.
+func BenchmarkPowerChip(b *testing.B) {
+	p := benchProc(b)
+	op := stockOp(p)
+	loads := fullLoads(p, 0.7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Chip(p, op, loads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelEval measures the compiled per-step path that replaced
+// Chip in the integration loop: a handful of multiply-adds, with the
+// returned Breakdown passed by value so the loop never allocates.
+func BenchmarkKernelEval(b *testing.B) {
+	p := benchProc(b)
+	op := stockOp(p)
+	k, err := Compile(p, op, fullLoads(p, 0.7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var watts float64
+	for i := 0; i < b.N; i++ {
+		bd := k.Eval(55+float64(i%20), 1.0)
+		watts += bd.TotalWatts
+	}
+	_ = watts
+}
+
+// BenchmarkKernelCompile measures the one-time per-segment compilation
+// cost the planner pays to buy the Eval fast path.
+func BenchmarkKernelCompile(b *testing.B) {
+	p := benchProc(b)
+	op := stockOp(p)
+	loads := fullLoads(p, 0.7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(p, op, loads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package power
+
+import "repro/internal/proc"
+
+// Activity clamp bounds for the simulator's per-step load modulation: a
+// phase- and jitter-scaled core never switches less than a stalled front
+// end or more than 120% of nominal (the CoreLoad.Activity range).
+const (
+	ActivityFloor = 0.05
+	ActivityCeil  = 1.2
+)
+
+// Kernel is one operating point's power model compiled to flat
+// coefficients, so the simulator's integration loop can evaluate chip
+// power with a handful of multiply-adds instead of re-validating inputs
+// and re-deriving voltage/clock scaling and leakage terms on every 20 ms
+// step. A Kernel is compiled once per steady-state segment (Compile) and
+// evaluated once per step (Eval); Eval allocates nothing.
+//
+// The decomposition mirrors Chip exactly. With leakT(T) the temperature
+// leakage factor and s the per-step activity scale (phase x jitter):
+//
+//	Uncore = UncoreWatts
+//	Static = StaticCoeff * leakT(T)
+//	Gated  = GatedLeakCoeff * leakT(T) + GatedFixedWatts
+//	Dyn    = sum_j DynCoeff[j] * clamp(BaseAct[j]*s, floor, ceil)
+//
+// Only active cores contribute DynCoeff/BaseAct entries; idle and
+// BIOS-disabled cores fold into the gated constants because their load
+// never changes within a segment.
+type Kernel struct {
+	// ClockGHz and Volts record the compiled operating point.
+	ClockGHz float64
+	Volts    float64
+
+	// UncoreWatts is the shared-fabric power at this voltage.
+	UncoreWatts float64
+	// StaticCoeff scales with leakT: active-core leakage.
+	StaticCoeff float64
+	// GatedLeakCoeff scales with leakT: idle/disabled core residual leakage.
+	GatedLeakCoeff float64
+	// GatedFixedWatts is the temperature-independent clock-grid residual
+	// of idle enabled cores (pre-Nehalem parts).
+	GatedFixedWatts float64
+
+	// BaseAct and DynCoeff hold, per active core, the pre-jitter activity
+	// factor and the dynamic watts per unit of clamped activity.
+	BaseAct  []float64
+	DynCoeff []float64
+}
+
+// Compile validates the inputs once and flattens the power model for the
+// given operating point and per-core load picture. The temperature in op
+// is ignored: Eval takes the junction temperature per step.
+func Compile(p *proc.Processor, op Operating, loads []CoreLoad) (Kernel, error) {
+	// Reuse Chip's validation so a kernel can exist only for inputs Chip
+	// would accept.
+	if _, err := Chip(p, op, loads); err != nil {
+		return Kernel{}, err
+	}
+	m := p.Model
+	fStock := p.MaxClock()
+	vStock := p.VoltsAt(fStock)
+	vScale := (op.Volts / vStock) * (op.Volts / vStock)
+	fScale := op.ClockGHz / fStock
+
+	k := Kernel{
+		ClockGHz:    op.ClockGHz,
+		Volts:       op.Volts,
+		UncoreWatts: m.UncoreWatts * vScale,
+	}
+	for _, ld := range loads {
+		if !ld.Active {
+			if ld.Enabled {
+				k.GatedLeakCoeff += m.CoreStatWatts * (1 - m.GatingEff) * vScale
+				k.GatedFixedWatts += m.CoreDynWatts * m.IdleDynFrac * fScale * vScale
+			} else {
+				k.GatedLeakCoeff += m.CoreStatWatts * (1 - m.GatingEff) * 0.5 * vScale
+			}
+			continue
+		}
+		k.StaticCoeff += m.CoreStatWatts * vScale
+		// effectiveActivity is linear in ld.Activity, so the whole
+		// utilization/SMT product compiles into one coefficient.
+		unit := effectiveActivity(m, CoreLoad{
+			Active: true, Enabled: ld.Enabled, Activity: 1,
+			Utilization: ld.Utilization, SMTActive: ld.SMTActive,
+		})
+		k.BaseAct = append(k.BaseAct, ld.Activity)
+		k.DynCoeff = append(k.DynCoeff, m.CoreDynWatts*unit*fScale*vScale)
+	}
+	return k, nil
+}
+
+// Eval computes the chip's power breakdown at the given junction
+// temperature with every active core's activity scaled by actScale and
+// clamped to [ActivityFloor, ActivityCeil], matching the simulator's
+// per-step load modulation. It performs no validation and no allocation.
+func (k *Kernel) Eval(tempC, actScale float64) Breakdown {
+	leakT := 1 + leakTempCoeff*(tempC-nominalTempC)
+	if leakT < 0.5 {
+		leakT = 0.5
+	}
+	b := Breakdown{
+		UncoreWatts:     k.UncoreWatts,
+		CoreStaticWatts: k.StaticCoeff * leakT,
+		GatedWatts:      k.GatedLeakCoeff*leakT + k.GatedFixedWatts,
+	}
+	for i, c := range k.DynCoeff {
+		a := k.BaseAct[i] * actScale
+		if a > ActivityCeil {
+			a = ActivityCeil
+		}
+		if a < ActivityFloor {
+			a = ActivityFloor
+		}
+		b.CoreDynWatts += c * a
+	}
+	b.TotalWatts = b.UncoreWatts + b.CoreDynWatts + b.CoreStaticWatts + b.GatedWatts
+	return b
+}

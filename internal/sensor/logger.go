@@ -3,6 +3,8 @@ package sensor
 import (
 	"errors"
 	"math"
+
+	"repro/internal/fastrand"
 )
 
 // Logger models the AVR Stick data logger: it samples a calibrated sensor
@@ -12,8 +14,9 @@ import (
 // and then compute the average power consumption over the duration of the
 // benchmark").
 type Logger struct {
-	read func(amps float64) int
-	cal  Calibration
+	read   func(amps float64) int
+	reseed func(seed int64) // nil for loggers on the sensor's own stream
+	cal    Calibration
 
 	sumWatts float64 // watt-seconds
 	sumSq    float64 // watt^2-seconds
@@ -40,7 +43,13 @@ func NewLoggerSeeded(s *Sensor, cal Calibration, seed int64) (*Logger, error) {
 	if s == nil {
 		return nil, errors.New("sensor: nil sensor")
 	}
-	return newLogger(s.Reader(seed), cal)
+	rng := fastrand.New(seed)
+	l, err := newLogger(func(amps float64) int { return s.readWith(amps, rng) }, cal)
+	if err != nil {
+		return nil, err
+	}
+	l.reseed = rng.Seed
+	return l, nil
 }
 
 func newLogger(read func(float64) int, cal Calibration) (*Logger, error) {
@@ -48,6 +57,20 @@ func newLogger(read func(float64) int, cal Calibration) (*Logger, error) {
 		return nil, ErrBadCalibration
 	}
 	return &Logger{read: read, cal: cal, minWatts: math.Inf(1), maxWatts: math.Inf(-1)}, nil
+}
+
+// Reseed clears the accumulators and re-arms the logger's noise stream
+// from the seed, leaving it indistinguishable from a logger freshly built
+// by NewLoggerSeeded with that seed. It lets the harness pool loggers
+// across the study's many runs instead of building one per invocation.
+// Loggers on the sensor's own stream (NewLogger) cannot be reseeded.
+func (l *Logger) Reseed(seed int64) error {
+	if l.reseed == nil {
+		return errors.New("sensor: logger has no independent noise stream to reseed")
+	}
+	l.reseed(seed)
+	l.Reset()
+	return nil
 }
 
 // Sample senses the instantaneous chip power (supplied by the machine

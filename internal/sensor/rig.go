@@ -3,6 +3,7 @@ package sensor
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Rig models the lab bench used to calibrate and validate the full set of
@@ -14,11 +15,16 @@ type Rig struct {
 	meters map[string]*Meter
 }
 
-// Meter pairs a physical sensor with its accepted calibration.
+// Meter pairs a physical sensor with its accepted calibration. It keeps
+// a pool of reseedable loggers so the harness's tens of thousands of runs
+// (one logger each — a hundred per Java benchmark) recycle sample
+// accumulators instead of allocating fresh ones.
 type Meter struct {
 	Machine string
 	Sensor  *Sensor
 	Cal     Calibration
+
+	pool sync.Pool
 }
 
 // NewLogger creates a fresh logger over this meter's calibration, using
@@ -29,6 +35,26 @@ func (m *Meter) NewLogger() (*Logger, error) { return NewLogger(m.Sensor, m.Cal)
 // noise stream; concurrent measurement runs each take their own.
 func (m *Meter) NewLoggerSeeded(seed int64) (*Logger, error) {
 	return NewLoggerSeeded(m.Sensor, m.Cal, seed)
+}
+
+// AcquireLogger returns a pooled logger reseeded to the given stream, or
+// a fresh one when the pool is empty — numerically indistinguishable from
+// NewLoggerSeeded. Return it with ReleaseLogger once its trace is read.
+func (m *Meter) AcquireLogger(seed int64) (*Logger, error) {
+	if l, ok := m.pool.Get().(*Logger); ok {
+		if err := l.Reseed(seed); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	return NewLoggerSeeded(m.Sensor, m.Cal, seed)
+}
+
+// ReleaseLogger returns a logger obtained from AcquireLogger to the pool.
+func (m *Meter) ReleaseLogger(l *Logger) {
+	if l != nil {
+		m.pool.Put(l)
+	}
 }
 
 // NewRig builds and calibrates one meter per named machine. maxAmps maps a

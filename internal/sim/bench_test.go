@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+)
+
+// BenchmarkSimRun measures one seeded replay of a planned run — the
+// operation the harness repeats for every invocation of every benchmark
+// on every configuration, so it dominates the full study's wall time.
+// The Runner is built once, as the harness builds it once per spec; the
+// replay itself must not allocate (the kernel refactor's contract).
+func BenchmarkSimRun(b *testing.B) {
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(p, p.Stock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := m.NewRunner(scalableSpec(p.HWContexts()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(int64(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewRunner measures the planning cost the Runner pays once per
+// spec: segment planning, turbo solving, and power-kernel compilation.
+func BenchmarkNewRunner(b *testing.B) {
+	p, err := proc.ByName(proc.I7Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(p, p.Stock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := scalableSpec(p.HWContexts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.NewRunner(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -247,10 +247,28 @@ func (m *Machine) segmentFor(spec ExecSpec, threads, warmCores int) (segment, er
 		dtlbMPKI = 8
 	}
 
-	return segment{
-		rate: rate, loads: loads, op: op, activeCores: activeCores,
+	// Compile the segment's power model once: the integration loop then
+	// evaluates flat coefficients instead of re-deriving scaling and
+	// leakage terms per step. A segment boosted above the configured
+	// clock gets a second kernel at the base clock for thermal throttling.
+	sg := segment{
+		rate: rate, op: op, activeCores: activeCores,
 		missPerInstr: missPerInstr, dtlbMPKI: dtlbMPKI,
-	}, nil
+	}
+	if sg.kern, err = power.Compile(m.Proc, op, loads); err != nil {
+		return segment{}, err
+	}
+	sg.canThrottle = op.ClockGHz > m.Cfg.ClockGHz
+	if sg.canThrottle {
+		baseOp := power.Operating{
+			ClockGHz: m.Cfg.ClockGHz,
+			Volts:    m.Proc.VoltsAt(m.Cfg.ClockGHz),
+		}
+		if sg.kernThrottled, err = power.Compile(m.Proc, baseOp, loads); err != nil {
+			return segment{}, err
+		}
+	}
+	return sg, nil
 }
 
 // serviceModeFor decides where service threads land: an idle core if one

@@ -10,6 +10,11 @@
 // evolves the thermal state, resolves Turbo Boost, and samples power with
 // per-phase modulation. The substitution of this simulator for the
 // paper's physical fleet is documented in DESIGN.md.
+//
+// Planning and execution are split: a Runner pre-compiles each segment's
+// power model into flat coefficients (power.Kernel) once, and then
+// replays the run for any number of seeds with zero heap allocations per
+// integration step. Machine.Run remains the one-shot convenience path.
 package sim
 
 import (
@@ -19,6 +24,7 @@ import (
 	"math/rand"
 
 	"repro/internal/counters"
+	"repro/internal/fastrand"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/power"
@@ -143,91 +149,120 @@ type Result struct {
 // the harness wires it to the sensor logger.
 type SampleFunc func(trueWatts, dtSeconds float64)
 
-// segment is one steady-state portion of a run.
+// segment is one steady-state portion of a run, with its power model
+// pre-compiled for the integration loop.
 type segment struct {
 	workFrac    float64 // fraction of app work retired in this segment
 	rate        float64 // instructions per second
-	loads       []power.CoreLoad
 	op          power.Operating
 	activeCores int
+
+	// kern is the compiled power model at the segment's resolved (turbo)
+	// operating point; kernThrottled is the same load picture at the base
+	// clock, used when the junction saturates. canThrottle records whether
+	// the two differ (turbo headroom exists above the configured clock).
+	kern          power.Kernel
+	kernThrottled power.Kernel
+	canThrottle   bool
 
 	// Event rates for the hardware counters.
 	missPerInstr float64 // LLC misses per application instruction
 	dtlbMPKI     float64 // DTLB misses per kilo-instruction
 }
 
+// Runner is a planned run: the spec validated, segments resolved, and
+// each segment's power model compiled to flat coefficients. A Runner
+// replays the same spec under different seeds without re-planning, which
+// is exactly the harness's repeated-invocation methodology. A Runner is
+// not safe for concurrent use (it owns one RNG and one thermal state);
+// concurrent measurements each build their own.
+type Runner struct {
+	m    *Machine
+	spec ExecSpec
+	segs []segment
+
+	rng   *rand.Rand
+	therm *thermal.Model
+}
+
+// NewRunner validates the spec and plans its segments once.
+func (m *Machine) NewRunner(spec ExecSpec) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	segs, err := m.plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	therm, err := thermal.New(m.Proc.Spec.TDPWatts)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		m:     m,
+		spec:  spec,
+		segs:  segs,
+		rng:   fastrand.New(0),
+		therm: therm,
+	}, nil
+}
+
 // Run executes the spec. The seed makes the run deterministic; different
 // seeds model the paper's repeated invocations. sample may be nil.
 func (m *Machine) Run(spec ExecSpec, seed int64, sample SampleFunc) (Result, error) {
-	if err := spec.Validate(); err != nil {
-		return Result{}, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-
-	segs, err := m.plan(spec)
+	r, err := m.NewRunner(spec)
 	if err != nil {
 		return Result{}, err
 	}
+	return r.Run(seed, sample)
+}
+
+// Run replays the planned spec for one seed. The integration loop
+// performs no heap allocations: all per-step state lives in the compiled
+// kernels and the Runner's reusable RNG and thermal model.
+func (r *Runner) Run(seed int64, sample SampleFunc) (Result, error) {
+	r.rng.Seed(seed)
+	r.therm.Reset()
+	spec := r.spec
 
 	// Run-to-run jitter: one multiplicative draw per run, as JIT and GC
 	// placement decisions persist for a run's lifetime.
-	rateJitter := 1 + rng.NormFloat64()*spec.RateJitterSD
+	rateJitter := 1 + r.rng.NormFloat64()*spec.RateJitterSD
 	if rateJitter < 0.5 {
 		rateJitter = 0.5
 	}
-	powerJitter := 1 + rng.NormFloat64()*spec.PowerJitterSD
+	powerJitter := 1 + r.rng.NormFloat64()*spec.PowerJitterSD
 	if powerJitter < 0.7 {
 		powerJitter = 0.7
 	}
 
-	therm, err := thermal.New(m.Proc.Spec.TDPWatts)
-	if err != nil {
-		return Result{}, err
-	}
-
 	var res Result
 	var clockSeconds float64
-	for _, sg := range segs {
+	for si := range r.segs {
+		sg := &r.segs[si]
 		if sg.workFrac <= 0 {
 			continue
 		}
 		segWork := spec.Work * sg.workFrac
 		rate := sg.rate * rateJitter
 		if rate <= 0 {
-			return Result{}, fmt.Errorf("sim: non-positive rate on %s %s", m.Proc.Name, m.Cfg)
+			return Result{}, fmt.Errorf("sim: non-positive rate on %s %s", r.m.Proc.Name, r.m.Cfg)
 		}
 		segTime := segWork / rate
 		steps := stepsFor(segTime)
 		dt := segTime / float64(steps)
+		phasePeriod := math.Max(8, float64(steps)/3)
 		for i := 0; i < steps; i++ {
-			op := sg.op
-			op.TempC = therm.TempC()
 			// Thermal throttle: drop turbo when the junction saturates.
-			if therm.Throttling() && op.ClockGHz > m.Cfg.ClockGHz {
-				op.ClockGHz = m.Cfg.ClockGHz
-				op.Volts = m.Proc.VoltsAt(m.Cfg.ClockGHz)
+			k := &sg.kern
+			if sg.canThrottle && r.therm.Throttling() {
+				k = &sg.kernThrottled
 			}
-			phase := 1 + 0.06*math.Sin(2*math.Pi*float64(i)/math.Max(8, float64(steps)/3)) +
-				rng.NormFloat64()*0.02
-			loads := make([]power.CoreLoad, len(sg.loads))
-			copy(loads, sg.loads)
-			for j := range loads {
-				if loads[j].Active {
-					loads[j].Activity *= phase * powerJitter
-					if loads[j].Activity > 1.2 {
-						loads[j].Activity = 1.2
-					}
-					if loads[j].Activity < 0.05 {
-						loads[j].Activity = 0.05
-					}
-				}
-			}
-			bd, err := power.Chip(m.Proc, op, loads)
-			if err != nil {
-				return Result{}, err
-			}
+			phase := 1 + 0.06*math.Sin(2*math.Pi*float64(i)/phasePeriod) +
+				r.rng.NormFloat64()*0.02
+			bd := k.Eval(r.therm.TempC(), phase*powerJitter)
 			w := bd.TotalWatts
-			therm.Step(w, dt)
+			r.therm.Step(w, dt)
 			if sample != nil {
 				sample(w, dt)
 			}
@@ -239,7 +274,7 @@ func (m *Machine) Run(spec ExecSpec, seed int64, sample SampleFunc) (Result, err
 			if w > res.PeakWatts {
 				res.PeakWatts = w
 			}
-			clockSeconds += op.ClockGHz * dt
+			clockSeconds += k.ClockGHz * dt
 			res.Steps++
 		}
 		res.Seconds += segTime
