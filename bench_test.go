@@ -1,6 +1,7 @@
 package powerperf
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -400,7 +401,7 @@ func BenchmarkFullGrid(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.MeasureGrid(space, nil, 0); err != nil {
+		if _, err := s.MeasureGrid(context.Background(), space, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

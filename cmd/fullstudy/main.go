@@ -16,17 +16,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
 	powerperf "repro"
 	"repro/internal/profiling"
-	"repro/internal/report"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -48,6 +49,10 @@ func main() {
 		}
 	}()
 
+	// Interrupt aborts the grid at measurement-cell granularity.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	study, err := powerperf.NewStudy(*seed)
 	if err != nil {
@@ -58,63 +63,11 @@ func main() {
 	}
 
 	space := powerperf.ConfigSpace()
-	ref := study.Reference()
-
-	// Pre-warm the measurement cache across a worker pool; parallel and
-	// serial execution are numerically identical (every run seeds its
-	// own noise stream), so this is purely a wall-clock optimization.
 	log.Printf("measuring %d configurations x 61 benchmarks in parallel...", len(space))
-	if _, err := study.MeasureGrid(space, nil, 0); err != nil {
+	if err := writeCSV(ctx, filepath.Join(*out, "measurements.csv"), study.WriteMeasurementsCSV); err != nil {
 		log.Fatal(err)
 	}
-
-	measurements := report.NewTable(
-		"configuration", "benchmark", "suite", "group",
-		"seconds", "watts", "energy_j",
-		"perf_norm", "energy_norm",
-		"time_ci_rel", "power_ci_rel", "runs",
-		"cpi", "llc_mpki", "dtlb_mpki", "service_frac")
-	aggregates := report.NewTable(
-		"configuration", "group", "perf_norm", "watts", "energy_norm", "benchmarks")
-
-	for i, cp := range space {
-		log.Printf("[%2d/%d] %s", i+1, len(space), cp)
-		for _, b := range workload.All() {
-			m, err := study.Measure(b, cp)
-			if err != nil {
-				log.Fatal(err)
-			}
-			n, err := ref.Normalize(m)
-			if err != nil {
-				log.Fatal(err)
-			}
-			measurements.AddRow(
-				cp.String(), b.Name, string(b.Suite), b.Group.String(),
-				f(m.Seconds), f(m.Watts), f(m.EnergyJ),
-				f(n.Perf), f(n.Energy),
-				f(m.TimeCI.Relative()), f(m.PowerCI.Relative()),
-				fmt.Sprintf("%d", len(m.Runs)),
-				f(m.Counters.CPI()), f(m.Counters.LLCMPKI()),
-				f(m.Counters.DTLBMPKI()), f(m.Counters.ServiceFraction()))
-		}
-		res, err := study.MeasureConfig(cp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, g := range workload.Groups() {
-			gr := res.Groups[int(g)]
-			aggregates.AddRow(cp.String(), g.String(),
-				f(gr.Perf), f(gr.Watts), f(gr.Energy),
-				fmt.Sprintf("%d", gr.N))
-		}
-		aggregates.AddRow(cp.String(), "Average",
-			f(res.PerfW), f(res.WattsW), f(res.EnergyW), "61")
-	}
-
-	if err := writeCSV(filepath.Join(*out, "measurements.csv"), measurements); err != nil {
-		log.Fatal(err)
-	}
-	if err := writeCSV(filepath.Join(*out, "aggregates.csv"), aggregates); err != nil {
+	if err := writeCSV(ctx, filepath.Join(*out, "aggregates.csv"), study.WriteAggregatesCSV); err != nil {
 		log.Fatal(err)
 	}
 	manifest := fmt.Sprintf(
@@ -126,15 +79,15 @@ func main() {
 	log.Printf("wrote %s in %s", *out, time.Since(start).Round(time.Millisecond))
 }
 
-func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+type streamFunc = func(ctx context.Context, w io.Writer, cps []powerperf.ConfiguredProcessor, workers int) error
 
-func writeCSV(path string, tbl *report.Table) error {
+func writeCSV(ctx context.Context, path string, stream streamFunc) error {
 	fd, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer fd.Close()
-	if err := tbl.WriteCSV(fd); err != nil {
+	if err := stream(ctx, fd, nil, 0); err != nil {
 		return err
 	}
 	return fd.Close()

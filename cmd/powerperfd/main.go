@@ -1,0 +1,92 @@
+// Command powerperfd is the long-running study service: an HTTP JSON API
+// that serves measurements, the paper's tables and figures, and the
+// companion dataset from a memoized measurement cache. The determinism
+// contract (a measurement is a pure function of benchmark, processor,
+// config, and seed) makes the cache exact — identical requests are
+// computed once and served from memory thereafter.
+//
+// Usage:
+//
+//	powerperfd [-addr :8722] [-seed 42] [-workers N] [-queue 1024]
+//	           [-cache-cells 10980]
+//
+// Endpoints:
+//
+//	POST /v1/measure            {"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}
+//	GET  /v1/experiments        list artifact ids
+//	GET  /v1/experiments/{id}   e.g. table4, figure9, findings
+//	GET  /v1/dataset            measurements.csv (?table=aggregates for the other file)
+//	GET  /healthz               liveness; 503 while draining
+//	GET  /statsz                cache hit rate, queue depth, in-flight workers
+//
+// SIGINT/SIGTERM starts a graceful shutdown: new work is rejected,
+// queued and in-flight cells drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powerperfd: ")
+	addr := flag.String("addr", ":8722", "listen address")
+	seed := flag.Int64("seed", 42, "daemon study seed (experiments, dataset, default measure seed)")
+	workers := flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "bounded measurement queue depth")
+	cacheCells := flag.Int("cache-cells", 0, "measurement cache capacity in cells (0 = 4 study grids)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown limit")
+	flag.Parse()
+
+	srv := service.NewServer(service.Options{
+		Seed:          *seed,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cacheCells,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (seed %d)", *addr, *seed)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown: draining (limit %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Flip to draining first so /healthz goes unhealthy and new API work
+	// is rejected while in-flight handlers finish under Shutdown.
+	done := make(chan struct{})
+	go func() { srv.Drain(); close(done) }()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	select {
+	case <-done:
+		log.Printf("shutdown: drained cleanly")
+	case <-shutdownCtx.Done():
+		log.Printf("shutdown: drain limit hit, exiting with work queued")
+	}
+}

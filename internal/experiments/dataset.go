@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// MeasurementsHeader is the column set of the companion dataset's
+// measurements.csv, shared by the fullstudy generator and the powerperfd
+// dataset endpoint so both emit byte-identical files.
+var MeasurementsHeader = []string{
+	"configuration", "benchmark", "suite", "group",
+	"seconds", "watts", "energy_j",
+	"perf_norm", "energy_norm",
+	"time_ci_rel", "power_ci_rel", "runs",
+	"cpi", "llc_mpki", "dtlb_mpki", "service_frac",
+}
+
+// AggregatesHeader is the column set of aggregates.csv.
+var AggregatesHeader = []string{
+	"configuration", "group", "perf_norm", "watts", "energy_norm", "benchmarks",
+}
+
+// fmtG renders dataset numbers the way the companion CSV does.
+func fmtG(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// StreamMeasurementsCSV measures the cross product of cps and all 61
+// benchmarks and streams measurements.csv rows to w as configurations
+// complete, flushing at configuration boundaries so HTTP clients see
+// incremental progress. Nil cps selects the paper's 45 configurations.
+// The grid is pre-warmed through the worker pool (workers <= 0 selects
+// GOMAXPROCS); ctx aborts at measurement-cell granularity.
+func StreamMeasurementsCSV(ctx context.Context, c *Context, cps []proc.ConfiguredProcessor, w io.Writer, workers int) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if cps == nil {
+		cps = proc.ConfigSpace()
+	}
+	if _, err := c.H.MeasureBatch(ctx, harness.GridJobs(cps, nil), workers); err != nil {
+		return err
+	}
+	s, err := report.NewCSVStream(w, MeasurementsHeader...)
+	if err != nil {
+		return err
+	}
+	for _, cp := range cps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, b := range workload.All() {
+			m, err := c.H.Measure(b, cp)
+			if err != nil {
+				return err
+			}
+			n, err := c.Ref.Normalize(m)
+			if err != nil {
+				return err
+			}
+			if err := s.WriteRow(
+				cp.String(), b.Name, string(b.Suite), b.Group.String(),
+				fmtG(m.Seconds), fmtG(m.Watts), fmtG(m.EnergyJ),
+				fmtG(n.Perf), fmtG(n.Energy),
+				fmtG(m.TimeCI.Relative()), fmtG(m.PowerCI.Relative()),
+				fmt.Sprintf("%d", len(m.Runs)),
+				fmtG(m.Counters.CPI()), fmtG(m.Counters.LLCMPKI()),
+				fmtG(m.Counters.DTLBMPKI()), fmtG(m.Counters.ServiceFraction()),
+			); err != nil {
+				return err
+			}
+		}
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}
+
+// StreamAggregatesCSV streams aggregates.csv rows (per-group and
+// equally weighted averages per configuration, Section 2.6) to w. Nil
+// cps selects the paper's 45 configurations.
+func StreamAggregatesCSV(ctx context.Context, c *Context, cps []proc.ConfiguredProcessor, w io.Writer, workers int) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if cps == nil {
+		cps = proc.ConfigSpace()
+	}
+	if _, err := c.H.MeasureBatch(ctx, harness.GridJobs(cps, nil), workers); err != nil {
+		return err
+	}
+	s, err := report.NewCSVStream(w, AggregatesHeader...)
+	if err != nil {
+		return err
+	}
+	for _, cp := range cps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := c.H.MeasureConfig(cp, c.Ref, nil)
+		if err != nil {
+			return err
+		}
+		for _, g := range workload.Groups() {
+			gr := res.Groups[int(g)]
+			if err := s.WriteRow(cp.String(), g.String(),
+				fmtG(gr.Perf), fmtG(gr.Watts), fmtG(gr.Energy),
+				fmt.Sprintf("%d", gr.N)); err != nil {
+				return err
+			}
+		}
+		if err := s.WriteRow(cp.String(), "Average",
+			fmtG(res.PerfW), fmtG(res.WattsW), fmtG(res.EnergyW), "61"); err != nil {
+			return err
+		}
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/workload"
+)
+
+// TestMeasureBatchCanceledBeforeStart pins the contract that a batch
+// launched under an already-dead context does no measurement work and
+// reports the context's error.
+func TestMeasureBatchCanceledBeforeStart(t *testing.T) {
+	h, err := New(91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := h.MeasureBatch(ctx, GridJobs(nil, nil), 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("canceled batch returned %d results", len(res))
+	}
+}
+
+// TestMeasureBatchReturnsPromptlyOnCancel is the regression test for the
+// mid-batch abort: before MeasureBatch took a context, a caller had no
+// way to stop a running grid. The full 45x61 grid takes seconds on a cold
+// harness; cancelling a few milliseconds in must return well before the
+// grid could complete.
+func TestMeasureBatchReturnsPromptlyOnCancel(t *testing.T) {
+	h, err := New(92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := h.MeasureBatch(ctx, GridJobs(proc.ConfigSpace(), nil), 2)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled (after %s)", err, time.Since(start))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("MeasureBatch did not return after cancellation")
+	}
+}
+
+// determinismCells samples the (benchmark, processor, config) space
+// across suites (SPEC int, PARSEC, SPECjvm, DaCapo), microarchitectures,
+// and non-stock configurations.
+func determinismCells(t *testing.T) []Job {
+	t.Helper()
+	cells := []struct {
+		bench string
+		proc  string
+		cfg   *proc.Config // nil selects stock
+	}{
+		{"perlbench", proc.Pentium4Name, nil},
+		{"mcf", proc.I7Name, nil},
+		{"vips", proc.Atom45Name, nil},
+		{"jess", proc.I5Name, nil},
+		{"lusearch", proc.Core2Q65Name, nil},
+		{"pmd", proc.Core2D45Name, nil},
+		{"db", proc.AtomD45Name, nil},
+		{"compress", proc.I7Name, &proc.Config{Cores: 2, SMTWays: 1, ClockGHz: 2.67, Turbo: false}},
+		{"xalan", proc.I7Name, &proc.Config{Cores: 4, SMTWays: 2, ClockGHz: 1.60, Turbo: false}},
+		{"fluidanimate", proc.Core2D65Name, nil},
+	}
+	jobs := make([]Job, 0, len(cells))
+	for _, c := range cells {
+		p, err := proc.ByName(c.proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.ByName(c.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := p.Stock()
+		if c.cfg != nil {
+			cfg = *c.cfg
+		}
+		if err := p.Validate(cfg); err != nil {
+			t.Fatalf("%s %s: %v", c.proc, cfg, err)
+		}
+		jobs = append(jobs, Job{Bench: b, CP: proc.ConfiguredProcessor{Proc: p, Config: cfg}})
+	}
+	return jobs
+}
+
+// sameMeasurement asserts bit-identity (==, not tolerance) of two
+// measurements including every underlying run sample.
+func sameMeasurement(t *testing.T, what string, a, b *Measurement) {
+	t.Helper()
+	if a.Seconds != b.Seconds || a.Watts != b.Watts || a.EnergyJ != b.EnergyJ {
+		t.Fatalf("%s: aggregates differ: %v/%v/%v vs %v/%v/%v",
+			what, a.Seconds, a.Watts, a.EnergyJ, b.Seconds, b.Watts, b.EnergyJ)
+	}
+	if a.TimeCI != b.TimeCI || a.PowerCI != b.PowerCI {
+		t.Fatalf("%s: confidence intervals differ", what)
+	}
+	if len(a.Runs) != len(b.Runs) {
+		t.Fatalf("%s: %d vs %d runs", what, len(a.Runs), len(b.Runs))
+	}
+	for i := range a.Runs {
+		if a.Runs[i] != b.Runs[i] {
+			t.Fatalf("%s: run %d differs: %+v vs %+v", what, i, a.Runs[i], b.Runs[i])
+		}
+	}
+}
+
+// TestDeterminismContract is the property test behind the service cache:
+// for a spread of cells, serial Measure, parallel MeasureBatch, and the
+// uncached path on independent same-seed harnesses are bit-identical.
+// The (benchmark, processor, config, seed) tuple fully determines the
+// result, which is what lets powerperfd treat it as a cache key.
+func TestDeterminismContract(t *testing.T) {
+	const seed = 42
+	jobs := determinismCells(t)
+
+	serial, err := New(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := parallel.MeasureBatch(context.Background(), jobs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		id := j.Bench.Name + " on " + j.CP.String()
+		want, err := serial.Measure(j.Bench, j.CP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMeasurement(t, id+" (serial vs parallel)", want, batch[i])
+		got, err := fresh.MeasureUncached(j.Bench, j.CP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMeasurement(t, id+" (serial vs uncached)", want, got)
+		again, err := fresh.MeasureUncached(j.Bench, j.CP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMeasurement(t, id+" (uncached twice)", got, again)
+	}
+}

@@ -1,0 +1,198 @@
+// Golden coverage for every experiment generator: each of the paper's
+// artifacts (T2-T5, F1-F12, and the Section 3/7 analyses) is rendered at
+// seed 42 and compared field-by-field against recorded values at 1e-9
+// relative tolerance. This file is an external test package so it can
+// import experiments (which imports harness) without a cycle.
+//
+// Regenerate the recorded values after an intentional model change with:
+//
+//	go test ./internal/harness/ -run TestExperimentGoldens -update
+package harness_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite testdata/experiments_golden.json from the current model")
+
+const expGoldenTol = 1e-9
+
+const expGoldenPath = "testdata/experiments_golden.json"
+
+// experimentGenerators mirrors the powerperfd registry: every artifact
+// the repository can produce, keyed by its service id.
+var experimentGenerators = map[string]func(*experiments.Context) (any, error){
+	"table2":          func(c *experiments.Context) (any, error) { return experiments.Table2(c, nil) },
+	"table3":          func(*experiments.Context) (any, error) { return experiments.Table3(), nil },
+	"table4":          func(c *experiments.Context) (any, error) { return experiments.Table4(c) },
+	"table5":          func(c *experiments.Context) (any, error) { return experiments.Table5(c) },
+	"figure1":         func(c *experiments.Context) (any, error) { return experiments.Figure1(c) },
+	"figure2":         func(c *experiments.Context) (any, error) { return experiments.Figure2(c) },
+	"figure3":         func(c *experiments.Context) (any, error) { return experiments.Figure3(c) },
+	"figure4":         func(c *experiments.Context) (any, error) { return experiments.Figure4(c) },
+	"figure5":         func(c *experiments.Context) (any, error) { return experiments.Figure5(c) },
+	"figure6":         func(c *experiments.Context) (any, error) { return experiments.Figure6(c) },
+	"figure7":         func(c *experiments.Context) (any, error) { return experiments.Figure7(c) },
+	"figure8":         func(c *experiments.Context) (any, error) { return experiments.Figure8(c) },
+	"figure9":         func(c *experiments.Context) (any, error) { return experiments.Figure9(c) },
+	"figure10":        func(c *experiments.Context) (any, error) { return experiments.Figure10(c) },
+	"figure11":        func(c *experiments.Context) (any, error) { return experiments.Figure11(c) },
+	"figure12":        func(c *experiments.Context) (any, error) { return experiments.Figure12(c) },
+	"section31":       func(c *experiments.Context) (any, error) { return experiments.Section31(c) },
+	"findings":        func(c *experiments.Context) (any, error) { return experiments.Findings(c) },
+	"jvmcomparison":   func(c *experiments.Context) (any, error) { return experiments.JVMComparison(c) },
+	"metercomparison": func(c *experiments.Context) (any, error) { return experiments.MeterComparison(c) },
+	"kernelbug":       func(c *experiments.Context) (any, error) { return experiments.KernelBug(c) },
+	"heapsweep":       func(c *experiments.Context) (any, error) { return experiments.HeapSweep(c) },
+	"scaling":         func(c *experiments.Context) (any, error) { return experiments.ScalingAnalysis(c) },
+	"breakdown":       func(c *experiments.Context) (any, error) { return experiments.PowerBreakdown(c) },
+}
+
+// renderExperiments produces the golden document: every artifact at seed
+// 42, decoded back from JSON so the comparison sees exactly the persisted
+// representation.
+func renderExperiments(t *testing.T) map[string]any {
+	t.Helper()
+	c, err := experiments.NewContext(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(experimentGenerators))
+	for id := range experimentGenerators {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make(map[string]any, len(ids))
+	for _, id := range ids {
+		res, err := experimentGenerators[id](c)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", id, err)
+		}
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("%s: unmarshal: %v", id, err)
+		}
+		out[id] = v
+	}
+	return out
+}
+
+// compareJSON walks two decoded JSON trees, requiring identical shape,
+// exact equality for strings/bools/nulls, and expGoldenTol relative
+// agreement for numbers.
+func compareJSON(t *testing.T, path string, got, want any) {
+	t.Helper()
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			t.Errorf("%s: got %T, want object", path, got)
+			return
+		}
+		if len(g) != len(w) {
+			t.Errorf("%s: got %d keys, want %d", path, len(g), len(w))
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				t.Errorf("%s.%s: missing", path, k)
+				continue
+			}
+			compareJSON(t, path+"."+k, gv, wv)
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			t.Errorf("%s: got %T, want array", path, got)
+			return
+		}
+		if len(g) != len(w) {
+			t.Errorf("%s: got len %d, want %d", path, len(g), len(w))
+			return
+		}
+		for i := range w {
+			compareJSON(t, fmt.Sprintf("%s[%d]", path, i), g[i], w[i])
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			t.Errorf("%s: got %T, want number", path, got)
+			return
+		}
+		denom := math.Abs(w)
+		if denom == 0 {
+			denom = 1
+		}
+		if rel := math.Abs(g-w) / denom; rel > expGoldenTol {
+			t.Errorf("%s: got %.17g, want %.17g (rel err %.3g > %.0g)", path, g, w, rel, expGoldenTol)
+		}
+	default:
+		if got != want {
+			t.Errorf("%s: got %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestExperimentGoldens pins every experiment generator against the
+// recorded seed-42 values.
+func TestExperimentGoldens(t *testing.T) {
+	got := renderExperiments(t)
+
+	if *updateGoldens {
+		doc, err := json.MarshalIndent(struct {
+			Seed        int64          `json:"seed"`
+			Experiments map[string]any `json:"experiments"`
+		}{42, got}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(expGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(expGoldenPath, append(doc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d experiments)", expGoldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(expGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var want struct {
+		Seed        int64          `json:"seed"`
+		Experiments map[string]any `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Seed != 42 {
+		t.Fatalf("golden seed %d, want 42", want.Seed)
+	}
+	if len(want.Experiments) != len(experimentGenerators) {
+		t.Fatalf("golden records %d experiments, registry has %d (regenerate with -update)",
+			len(want.Experiments), len(experimentGenerators))
+	}
+	for id := range experimentGenerators {
+		wv, ok := want.Experiments[id]
+		if !ok {
+			t.Errorf("%s: not recorded (regenerate with -update)", id)
+			continue
+		}
+		compareJSON(t, id, got[id], wv)
+	}
+}

@@ -143,6 +143,19 @@ func (h *Harness) Measure(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*
 	return e.m, e.err
 }
 
+// MeasureUncached runs the full methodology without consulting or
+// populating the harness's internal memo. Long-running callers that
+// manage their own bounded cache (the powerperfd service) use it so the
+// harness does not grow an unbounded shadow copy of every measurement;
+// results are bit-identical to Measure's because every run seeds its own
+// noise streams from its identity, not from shared state.
+func (h *Harness) MeasureUncached(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*Measurement, error) {
+	if b == nil {
+		return nil, errors.New("harness: nil benchmark")
+	}
+	return h.measure(b, cp)
+}
+
 // measure runs the methodology uncached.
 func (h *Harness) measure(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*Measurement, error) {
 	machine, err := h.machine(cp)

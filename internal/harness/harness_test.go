@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -299,7 +300,7 @@ func TestMeasureBatchParallelMatchesSerial(t *testing.T) {
 		}
 		want = append(want, m)
 	}
-	got, err := parallel.MeasureBatch(jobs, 8)
+	got, err := parallel.MeasureBatch(context.Background(), jobs, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,12 +318,12 @@ func TestMeasureBatchParallelMatchesSerial(t *testing.T) {
 
 func TestMeasureBatchEdgeCases(t *testing.T) {
 	h, _ := testHarness(t)
-	if res, err := h.MeasureBatch(nil, 4); err != nil || res != nil {
+	if res, err := h.MeasureBatch(context.Background(), nil, 4); err != nil || res != nil {
 		t.Fatalf("empty batch: %v, %v", res, err)
 	}
 	// Workers clamped to job count; default workers.
 	jobs := GridJobs(proc.StockConfigs()[:1], workload.ByGroup(workload.JavaScalable)[:2])
-	res, err := h.MeasureBatch(jobs, 0)
+	res, err := h.MeasureBatch(context.Background(), jobs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestMeasureBatchFailingJobsDoNotDeadlock(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := h.MeasureBatch(jobs, 1)
+		_, err := h.MeasureBatch(context.Background(), jobs, 1)
 		done <- err
 	}()
 	select {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,10 +24,16 @@ type Job struct {
 // byte-identical results — the property that lets the full 45x61 study
 // regenerate quickly without giving up the paper's reproducibility.
 //
-// workers <= 0 selects GOMAXPROCS. The first error cancels the batch.
-func (h *Harness) MeasureBatch(jobs []Job, workers int) ([]*Measurement, error) {
+// workers <= 0 selects GOMAXPROCS. The first error cancels the batch, as
+// does ctx: workers stop claiming jobs once the context is done and the
+// batch returns ctx.Err() promptly (in-flight cells finish their current
+// measurement first — a cell is the cancellation granularity).
+func (h *Harness) MeasureBatch(ctx context.Context, jobs []Job, workers int) ([]*Measurement, error) {
 	if len(jobs) == 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -49,7 +56,7 @@ func (h *Harness) MeasureBatch(jobs []Job, workers int) ([]*Measurement, error) 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() {
+				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				m, err := h.Measure(jobs[i].Bench, jobs[i].CP)
@@ -70,6 +77,9 @@ func (h *Harness) MeasureBatch(jobs []Job, workers int) ([]*Measurement, error) 
 	case err := <-errCh:
 		return nil, err
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for i, m := range results {
 		if m == nil {

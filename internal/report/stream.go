@@ -1,0 +1,74 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+// CSVStream writes CSV incrementally: header first, then one row at a
+// time. Unlike Table, which buffers every row to compute column widths,
+// a stream holds nothing, so a long-running producer (the powerperfd
+// dataset endpoint, the full-study generator) can emit rows as they are
+// measured. Output is byte-identical to Table.WriteCSV fed the same
+// header and rows.
+type CSVStream struct {
+	cw     *csv.Writer
+	ncols  int
+	closed bool
+}
+
+// NewCSVStream writes the header immediately and returns the stream.
+func NewCSVStream(w io.Writer, header ...string) (*CSVStream, error) {
+	if len(header) == 0 {
+		return nil, errors.New("report: CSV stream needs a header")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	return &CSVStream{cw: cw, ncols: len(header)}, nil
+}
+
+// WriteRow appends one row. Row width must match the header: a stream
+// cannot pad retroactively the way Table does, so a mismatch is an error
+// rather than silent misalignment.
+func (s *CSVStream) WriteRow(cells ...string) error {
+	if s.closed {
+		return errors.New("report: write to closed CSV stream")
+	}
+	if len(cells) != s.ncols {
+		return errors.New("report: CSV row width does not match header")
+	}
+	return s.cw.Write(cells)
+}
+
+// Flush pushes buffered rows to the underlying writer; callers streaming
+// over HTTP flush at row-group boundaries so clients see progress.
+func (s *CSVStream) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// Close flushes and marks the stream done. Further writes fail.
+func (s *CSVStream) Close() error {
+	s.closed = true
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// JSONStream writes newline-delimited JSON (one document per line), the
+// streaming-friendly JSON framing: each record is valid on its own, so a
+// consumer can process a partial transfer.
+type JSONStream struct {
+	enc *json.Encoder
+}
+
+// NewJSONStream wraps w as an NDJSON record stream.
+func NewJSONStream(w io.Writer) *JSONStream {
+	return &JSONStream{enc: json.NewEncoder(w)}
+}
+
+// Write emits one record followed by a newline.
+func (s *JSONStream) Write(record any) error { return s.enc.Encode(record) }

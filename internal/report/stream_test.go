@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCSVStreamMatchesTable pins the byte-identity contract: a stream fed
+// the same header and rows as a buffered Table produces the same CSV.
+// The powerperfd dataset endpoint relies on this to serve the committed
+// dataset files byte-for-byte.
+func TestCSVStreamMatchesTable(t *testing.T) {
+	header := []string{"configuration", "benchmark", "watts"}
+	rows := [][]string{
+		{"i7 (45) 4C2T@2.67GHz+T", "mcf", "21.1317"},
+		{"Atom (45) 1C2T@1.7GHz", "with,comma", "2.0659"},
+		{"i5 (32) 2C2T@1.2GHz", `with"quote`, "9.4680"},
+	}
+
+	tbl := NewTable(header...)
+	for _, r := range rows {
+		tbl.AddRow(r...)
+	}
+	var want strings.Builder
+	if err := tbl.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got strings.Builder
+	s, err := NewCSVStream(&got, header...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := s.WriteRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("stream output differs from Table.WriteCSV:\n%q\nvs\n%q", got.String(), want.String())
+	}
+}
+
+func TestCSVStreamErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := NewCSVStream(&sb); err == nil {
+		t.Fatal("headerless stream accepted")
+	}
+	s, err := NewCSVStream(&sb, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteRow("only-one"); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteRow("x", "y"); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+}
+
+func TestJSONStreamNDJSON(t *testing.T) {
+	var sb strings.Builder
+	js := NewJSONStream(&sb)
+	type rec struct {
+		Name  string  `json:"name"`
+		Watts float64 `json:"watts"`
+	}
+	if err := js.Write(rec{"mcf", 21.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Write(rec{"jess", 27.26}); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"name\":\"mcf\",\"watts\":21.25}\n{\"name\":\"jess\",\"watts\":27.26}\n"
+	if sb.String() != want {
+		t.Fatalf("NDJSON output %q, want %q", sb.String(), want)
+	}
+}

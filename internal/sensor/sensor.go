@@ -195,6 +195,13 @@ func (s *Sensor) CalibrateWith(refAmps []float64) (Calibration, error) {
 	if len(refAmps) < 2 {
 		return Calibration{}, errors.New("sensor: need at least two reference currents")
 	}
+	// A current source cannot emit NaN or infinity; rejecting them here
+	// keeps the fit (and every Watts conversion derived from it) finite.
+	for i, amps := range refAmps {
+		if math.IsNaN(amps) || math.IsInf(amps, 0) {
+			return Calibration{}, fmt.Errorf("sensor: reference current %d is not finite", i)
+		}
+	}
 	codes := make([]float64, len(refAmps))
 	for i, amps := range refAmps {
 		const reads = 32
@@ -207,6 +214,14 @@ func (s *Sensor) CalibrateWith(refAmps []float64) (Calibration, error) {
 	slope, intercept, r2, err := fitLine(codes, refAmps)
 	if err != nil {
 		return Calibration{}, fmt.Errorf("sensor: calibration fit: %w", err)
+	}
+	// Finite references can still overflow the least-squares sums (e.g.
+	// currents near MaxFloat64); a non-finite fit is a failed calibration,
+	// never a usable one.
+	if math.IsNaN(slope) || math.IsInf(slope, 0) ||
+		math.IsNaN(intercept) || math.IsInf(intercept, 0) ||
+		math.IsNaN(r2) || math.IsInf(r2, 0) {
+		return Calibration{}, errors.New("sensor: calibration fit is not finite")
 	}
 	cal := Calibration{
 		CodeToAmps: linearFit{Slope: slope, Intercept: intercept},

@@ -1,0 +1,194 @@
+// Package service implements powerperfd, the long-running measurement
+// daemon: an HTTP JSON API over the study harness with a sharded,
+// singleflight-deduplicated, LRU-bounded measurement cache.
+//
+// The cache is sound because of the repository's determinism contract
+// (DESIGN.md): a measurement is a pure function of the (benchmark,
+// processor, config, seed) tuple — every run derives its noise and
+// jitter streams from that identity, never from shared state — so a
+// cached cell is bit-identical to a recomputed one, and identical
+// requests can be computed once and served from memory forever.
+package service
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the shard count: enough to keep lock contention off the
+// request path at the tested concurrency (32+ clients), small enough
+// that per-shard LRU capacity stays meaningful.
+const cacheShards = 16
+
+// Cache is a sharded LRU keyed by string with singleflight fills: the
+// first requester of a key computes it while concurrent requesters for
+// the same key wait for that one computation. Failed fills are not
+// cached — errors are observed by the waiters of that fill and the next
+// request recomputes.
+type Cache struct {
+	shards [cacheShards]shard
+	// perShard is the max completed entries per shard; total capacity is
+	// perShard * cacheShards.
+	perShard int
+
+	hits      atomic.Int64 // served from a completed entry
+	misses    atomic.Int64 // fills started
+	coalesced atomic.Int64 // waited on another requester's fill
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     list.List // front = most recently used; values are *entry
+}
+
+// entry is one cache slot. done is closed when the fill completes; val
+// and err are immutable afterwards.
+type entry struct {
+	key  string
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func (e *entry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewCache builds a cache bounded to roughly capacity completed entries
+// (rounded up to a multiple of the shard count). capacity <= 0 selects
+// an effectively unbounded cache.
+func NewCache(capacity int) *Cache {
+	per := 0
+	if capacity > 0 {
+		per = (capacity + cacheShards - 1) / cacheShards
+		if per < 1 {
+			per = 1
+		}
+	}
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// GetOrCompute returns the cached value for key, or computes it via fn.
+// Exactly one concurrent caller runs fn per key (singleflight); the
+// others wait for it, subject to their own ctx. The computing caller is
+// not cancellable once the fill starts — a deterministic fill is worth
+// completing because every future request for the key reuses it.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		e := el.Value.(*entry)
+		if e.completed() {
+			s.lru.MoveToFront(el)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e.val, e.err
+		}
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	el := s.lru.PushFront(e)
+	s.entries[key] = el
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	e.val, e.err = fn()
+	close(e.done)
+
+	s.mu.Lock()
+	if e.err != nil {
+		// Errors are not cached: drop the entry so the next request
+		// retries the fill.
+		if cur, ok := s.entries[key]; ok && cur == el {
+			s.lru.Remove(el)
+			delete(s.entries, key)
+		}
+	} else if c.perShard > 0 {
+		// Evict completed entries from the LRU tail. In-flight fills are
+		// pinned: they rotate to the front, and the bounded scan keeps the
+		// loop finite even if every resident entry is in flight.
+		for scanned, max := 0, s.lru.Len(); s.lru.Len() > c.perShard && scanned < max; scanned++ {
+			tail := s.lru.Back()
+			te := tail.Value.(*entry)
+			if !te.completed() {
+				s.lru.MoveToFront(tail)
+				continue
+			}
+			s.lru.Remove(tail)
+			delete(s.entries, te.key)
+			c.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	return e.val, e.err
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.perShard * cacheShards,
+	}
+}
+
+// HitRate is hits / (hits + misses + coalesced), 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiments"
+)
+
+// maxRequestBytes bounds a request body; the largest legitimate measure
+// request (MaxCells fully explicit cells) fits comfortably.
+const maxRequestBytes = 4 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/measure            measure a batch of cells (cached)
+//	GET  /v1/experiments        list experiment ids
+//	GET  /v1/experiments/{id}   regenerate one paper artifact (cached)
+//	GET  /v1/dataset            stream the full-study CSV
+//	GET  /healthz               liveness (503 while draining)
+//	GET  /statsz                cache/queue/request counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/dataset", s.handleDataset)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// writeJSON renders v with a fixed encoder configuration so equivalent
+// states produce byte-identical bodies.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	s.reqMeasure.Add(1)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	req, cells, err := DecodeMeasureRequest(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	seed := s.opts.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	// Fan the cells out: claim-by-index across a bounded set of request
+	// goroutines. Real computation is admitted by the shared worker
+	// pool; these goroutines mostly wait on cache fills, so the cap only
+	// bounds bookkeeping, not parallelism.
+	results := make([]CellResult, len(cells))
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	fan := len(cells)
+	if fan > 64 {
+		fan = 64
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for g := 0; g < fan; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) || ctx.Err() != nil {
+					return
+				}
+				res, err := s.measureCell(ctx, seed, cells[i])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					cancel()
+					return
+				}
+				results[i] = *res
+			}
+		}()
+	}
+	wg.Wait()
+	if v := firstErr.Load(); v != nil {
+		err := v.(error)
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "draining")
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// Client went away; nothing useful to write.
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, MeasureResponse{Seed: seed, Cells: results})
+}
+
+// experimentRegistry maps URL ids to the paper's artifact generators.
+// Table 3 is static specification data; everything else measures through
+// the shared daemon-seed context.
+var experimentRegistry = map[string]func(*experiments.Context) (any, error){
+	"table2":   func(c *experiments.Context) (any, error) { return experiments.Table2(c, nil) },
+	"table3":   func(*experiments.Context) (any, error) { return experiments.Table3(), nil },
+	"table4":   func(c *experiments.Context) (any, error) { return experiments.Table4(c) },
+	"table5":   func(c *experiments.Context) (any, error) { return experiments.Table5(c) },
+	"figure1":  func(c *experiments.Context) (any, error) { return experiments.Figure1(c) },
+	"figure2":  func(c *experiments.Context) (any, error) { return experiments.Figure2(c) },
+	"figure3":  func(c *experiments.Context) (any, error) { return experiments.Figure3(c) },
+	"figure4":  func(c *experiments.Context) (any, error) { return experiments.Figure4(c) },
+	"figure5":  func(c *experiments.Context) (any, error) { return experiments.Figure5(c) },
+	"figure6":  func(c *experiments.Context) (any, error) { return experiments.Figure6(c) },
+	"figure7":  func(c *experiments.Context) (any, error) { return experiments.Figure7(c) },
+	"figure8":  func(c *experiments.Context) (any, error) { return experiments.Figure8(c) },
+	"figure9":  func(c *experiments.Context) (any, error) { return experiments.Figure9(c) },
+	"figure10": func(c *experiments.Context) (any, error) { return experiments.Figure10(c) },
+	"figure11": func(c *experiments.Context) (any, error) { return experiments.Figure11(c) },
+	"figure12": func(c *experiments.Context) (any, error) { return experiments.Figure12(c) },
+	// Section 7 extras: analyses beyond the numbered artifacts.
+	"section31":       func(c *experiments.Context) (any, error) { return experiments.Section31(c) },
+	"findings":        func(c *experiments.Context) (any, error) { return experiments.Findings(c) },
+	"jvmcomparison":   func(c *experiments.Context) (any, error) { return experiments.JVMComparison(c) },
+	"metercomparison": func(c *experiments.Context) (any, error) { return experiments.MeterComparison(c) },
+	"kernelbug":       func(c *experiments.Context) (any, error) { return experiments.KernelBug(c) },
+	"heapsweep":       func(c *experiments.Context) (any, error) { return experiments.HeapSweep(c) },
+	"scaling":         func(c *experiments.Context) (any, error) { return experiments.ScalingAnalysis(c) },
+	"breakdown":       func(c *experiments.Context) (any, error) { return experiments.PowerBreakdown(c) },
+}
+
+// ExperimentIDs lists the registry in stable order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experimentRegistry))
+	for id := range experimentRegistry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (s *Server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
+	s.reqExperiments.Add(1)
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []string `json:"experiments"`
+	}{ExperimentIDs()})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.reqExperiments.Add(1)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	id := r.PathValue("id")
+	body, err := s.experimentJSON(r.Context(), id)
+	switch {
+	case errors.Is(err, errNotFound):
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// experimentJSON returns the rendered artifact, cached by id: the
+// generators draw on the shared measurement context, so each artifact is
+// computed once per daemon lifetime.
+func (s *Server) experimentJSON(ctx context.Context, id string) ([]byte, error) {
+	gen, ok := experimentRegistry[id]
+	if !ok {
+		return nil, errNotFound
+	}
+	v, err := s.cache.GetOrCompute(ctx, "exp|"+id, func() (any, error) {
+		return s.pool.Do(ctx, func() (any, error) {
+			c, err := s.experimentsContext()
+			if err != nil {
+				return nil, err
+			}
+			res, err := gen(c)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(struct {
+				ID     string `json:"id"`
+				Seed   int64  `json:"seed"`
+				Result any    `json:"result"`
+			}{id, s.opts.Seed, res})
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
+// flushWriter pushes chunks through to the client as soon as the CSV
+// stream flushes, so a dataset download shows progress rather than
+// buffering 2700 rows.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	s.reqDataset.Add(1)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		table = "measurements"
+	}
+	var stream func(context.Context, *experiments.Context) error
+	switch table {
+	case "measurements":
+		stream = func(ctx context.Context, c *experiments.Context) error {
+			return experiments.StreamMeasurementsCSV(ctx, c, nil, flushWriter{w, flusherOf(w)}, s.opts.Workers)
+		}
+	case "aggregates":
+		stream = func(ctx context.Context, c *experiments.Context) error {
+			return experiments.StreamAggregatesCSV(ctx, c, nil, flushWriter{w, flusherOf(w)}, s.opts.Workers)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown table %q (want measurements or aggregates)", table))
+		return
+	}
+	c, err := s.experimentsContext()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", table+".csv"))
+	// The status line is committed before streaming; a mid-stream error
+	// can only abort the connection, which the CSV's missing final rows
+	// make detectable.
+	if err := stream(r.Context(), c); err != nil {
+		_ = err // connection-level failure; nothing more to write
+	}
+}
+
+func flusherOf(w http.ResponseWriter) http.Flusher {
+	f, _ := w.(http.Flusher)
+	return f
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{"draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

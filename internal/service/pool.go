@@ -1,0 +1,106 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrDraining is returned for work submitted after shutdown began.
+var ErrDraining = errors.New("service: draining, not accepting new work")
+
+// workPool executes submitted closures on a fixed set of workers fed by
+// a bounded queue. The queue bound is the daemon's admission control:
+// when it is full, Do blocks with the caller's context, so overload
+// turns into request latency (and eventually client timeouts) rather
+// than unbounded goroutine or memory growth.
+type workPool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu       sync.RWMutex
+	draining bool
+
+	inflight atomic.Int64 // closures currently executing
+	workers  int
+}
+
+func newWorkPool(workers, depth int) *workPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &workPool{queue: make(chan func(), depth), workers: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				p.inflight.Add(1)
+				fn()
+				p.inflight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Do runs fn on the pool and waits for its result. Enqueueing respects
+// ctx (a caller can give up while the queue is full); once enqueued the
+// closure always runs to completion and Do waits for it — the fills this
+// pool exists for are deterministic and cacheable, so abandoning one
+// mid-flight would only waste the work.
+func (p *workPool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
+	type result struct {
+		val any
+		err error
+	}
+	done := make(chan result, 1)
+	task := func() {
+		val, err := fn()
+		done <- result{val, err}
+	}
+
+	// The read lock is held across the (possibly blocking) send: Close
+	// closes the queue only under the write lock, which it cannot take
+	// while any sender is in flight, so a send on a closed channel is
+	// impossible. Readers do not starve each other, and the workers keep
+	// consuming, so a full queue resolves to space or to ctx expiry.
+	p.mu.RLock()
+	if p.draining {
+		p.mu.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case p.queue <- task:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	r := <-done
+	return r.val, r.err
+}
+
+// QueueDepth reports queued (not yet executing) tasks.
+func (p *workPool) QueueDepth() int { return len(p.queue) }
+
+// Inflight reports closures currently executing.
+func (p *workPool) Inflight() int64 { return p.inflight.Load() }
+
+// Close drains the pool: new Do calls fail with ErrDraining, queued and
+// in-flight closures run to completion, then the workers exit.
+func (p *workPool) Close() {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return
+	}
+	p.draining = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

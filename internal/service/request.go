@@ -1,0 +1,147 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/proc"
+	"repro/internal/workload"
+)
+
+// MaxCells bounds one measure request to two full study grids: enough to
+// regenerate the whole dataset in one call, small enough that a single
+// request cannot queue unbounded work.
+const MaxCells = 2 * 45 * 61
+
+// ConfigJSON is the wire form of a BIOS-style hardware configuration.
+type ConfigJSON struct {
+	Cores    int     `json:"cores"`
+	SMTWays  int     `json:"smt"`
+	ClockGHz float64 `json:"clock_ghz"`
+	Turbo    bool    `json:"turbo"`
+}
+
+// CellRequest names one measurement cell. A nil Config selects the
+// processor's stock configuration.
+type CellRequest struct {
+	Benchmark string      `json:"benchmark"`
+	Processor string      `json:"processor"`
+	Config    *ConfigJSON `json:"config,omitempty"`
+}
+
+// MeasureRequest is the POST /v1/measure body: a batch of cells measured
+// under one study seed. A nil Seed selects the daemon's seed.
+type MeasureRequest struct {
+	Seed  *int64        `json:"seed,omitempty"`
+	Cells []CellRequest `json:"cells"`
+}
+
+// CellResult is one measured cell as served to clients: the request
+// identity echoed back (with the resolved configuration) plus the
+// aggregated methodology outputs. Field order is fixed, so two servers
+// answering the same request produce byte-identical JSON.
+type CellResult struct {
+	Benchmark  string     `json:"benchmark"`
+	Processor  string     `json:"processor"`
+	Config     ConfigJSON `json:"config"`
+	Suite      string     `json:"suite"`
+	Group      string     `json:"group"`
+	Runs       int        `json:"runs"`
+	Seconds    float64    `json:"seconds"`
+	Watts      float64    `json:"watts"`
+	EnergyJ    float64    `json:"energy_j"`
+	TimeCIRel  float64    `json:"time_ci_rel"`
+	PowerCIRel float64    `json:"power_ci_rel"`
+}
+
+// MeasureResponse is the POST /v1/measure reply, cells in request order.
+type MeasureResponse struct {
+	Seed  int64        `json:"seed"`
+	Cells []CellResult `json:"cells"`
+}
+
+// cell is a validated, resolved measurement cell.
+type cell struct {
+	bench *workload.Benchmark
+	cp    proc.ConfiguredProcessor
+}
+
+// DecodeMeasureRequest strictly parses and validates a measure request
+// body: unknown fields are rejected, every cell must name a known
+// benchmark and processor, and explicit configurations must pass the
+// part's BIOS validation. It never panics on arbitrary input (fuzzed by
+// FuzzConfigParse).
+func DecodeMeasureRequest(r io.Reader) (*MeasureRequest, []cell, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req MeasureRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("service: decode request: %w", err)
+	}
+	// A second document in the body is as malformed as a bad first one.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, nil, errors.New("service: trailing data after request body")
+	}
+	cells, err := resolveCells(req.Cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, cells, nil
+}
+
+// resolveCells validates request cells against the fleet and workload.
+func resolveCells(reqs []CellRequest) ([]cell, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("service: request names no cells")
+	}
+	if len(reqs) > MaxCells {
+		return nil, fmt.Errorf("service: %d cells exceeds the %d-cell request bound", len(reqs), MaxCells)
+	}
+	cells := make([]cell, 0, len(reqs))
+	for i, cr := range reqs {
+		b, err := workload.ByName(cr.Benchmark)
+		if err != nil {
+			return nil, fmt.Errorf("service: cell %d: %w", i, err)
+		}
+		p, err := proc.ByName(cr.Processor)
+		if err != nil {
+			return nil, fmt.Errorf("service: cell %d: %w", i, err)
+		}
+		cfg := p.Stock()
+		if cr.Config != nil {
+			cfg = proc.Config{
+				Cores:    cr.Config.Cores,
+				SMTWays:  cr.Config.SMTWays,
+				ClockGHz: cr.Config.ClockGHz,
+				Turbo:    cr.Config.Turbo,
+			}
+			if !isFinite(cfg.ClockGHz) {
+				return nil, fmt.Errorf("service: cell %d: non-finite clock", i)
+			}
+			if err := p.Validate(cfg); err != nil {
+				return nil, fmt.Errorf("service: cell %d: %w", i, err)
+			}
+		}
+		cells = append(cells, cell{bench: b, cp: proc.ConfiguredProcessor{Proc: p, Config: cfg}})
+	}
+	return cells, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// cellKey is the cache key of one cell: exactly the determinism
+// contract's tuple. The clock is rendered round-trip exact so two
+// configurations differing below the display precision cannot collide.
+func cellKey(seed int64, c cell) string {
+	return fmt.Sprintf("m|%d|%s|%s|%d|%d|%.17g|%t",
+		seed, c.bench.Name, c.cp.Proc.Name,
+		c.cp.Config.Cores, c.cp.Config.SMTWays, c.cp.Config.ClockGHz, c.cp.Config.Turbo)
+}
+
+// configJSON renders a resolved configuration back to the wire form.
+func configJSON(cfg proc.Config) ConfigJSON {
+	return ConfigJSON{Cores: cfg.Cores, SMTWays: cfg.SMTWays, ClockGHz: cfg.ClockGHz, Turbo: cfg.Turbo}
+}

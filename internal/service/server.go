@@ -1,0 +1,256 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/workload"
+)
+
+// Options configures a Server. The zero value selects sane defaults.
+type Options struct {
+	// Seed is the daemon's study seed: the default for measure requests,
+	// and the seed of the experiments and dataset endpoints. Defaults to
+	// 42, the committed dataset's seed.
+	Seed int64
+	// Workers is the measurement worker count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the measurement queue; <= 0 selects 1024.
+	QueueDepth int
+	// CacheCapacity bounds the measurement cache in cells; <= 0 selects
+	// 4 full study grids (about 11k cells).
+	CacheCapacity int
+	// HarnessCapacity bounds how many per-seed harnesses stay resident;
+	// <= 0 selects 4.
+	HarnessCapacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = 4 * 45 * 61
+	}
+	if o.HarnessCapacity <= 0 {
+		o.HarnessCapacity = 4
+	}
+	return o
+}
+
+// Server is the powerperfd core: the measurement cache, the worker pool,
+// per-seed harnesses, and the lazily built experiments context. It is
+// wired to HTTP by Handler (handlers.go).
+type Server struct {
+	opts  Options
+	cache *Cache
+	pool  *workPool
+
+	harnesses *harnessCache
+
+	// expOnce builds the experiments context (harness + normalization
+	// reference at the daemon seed) on first use; experiments and
+	// dataset requests share it the way the paper's analyses share one
+	// dataset.
+	expOnce sync.Once
+	expCtx  *experiments.Context
+	expErr  error
+
+	start    time.Time
+	draining atomic.Bool
+
+	reqMeasure     atomic.Int64
+	reqExperiments atomic.Int64
+	reqDataset     atomic.Int64
+}
+
+// NewServer builds a server; no measurement work happens until the first
+// request.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:      opts,
+		cache:     NewCache(opts.CacheCapacity),
+		pool:      newWorkPool(opts.Workers, opts.QueueDepth),
+		harnesses: newHarnessCache(opts.HarnessCapacity),
+		start:     time.Now(),
+	}
+}
+
+// Drain begins graceful shutdown: health goes unhealthy, new API work is
+// rejected, queued and in-flight cells run to completion. It returns
+// once the pool is idle. Safe to call more than once.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.pool.Close()
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// measureCell computes (or serves from cache) one cell under one seed.
+func (s *Server) measureCell(ctx context.Context, seed int64, c cell) (*CellResult, error) {
+	v, err := s.cache.GetOrCompute(ctx, cellKey(seed, c), func() (any, error) {
+		return s.pool.Do(ctx, func() (any, error) {
+			h, err := s.harnesses.get(seed)
+			if err != nil {
+				return nil, err
+			}
+			m, err := h.MeasureUncached(c.bench, c.cp)
+			if err != nil {
+				return nil, err
+			}
+			return cellResult(c, m), nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CellResult), nil
+}
+
+// cellResult flattens a measurement into the wire form.
+func cellResult(c cell, m *harness.Measurement) *CellResult {
+	return &CellResult{
+		Benchmark:  c.bench.Name,
+		Processor:  c.cp.Proc.Name,
+		Config:     configJSON(c.cp.Config),
+		Suite:      string(c.bench.Suite),
+		Group:      c.bench.Group.String(),
+		Runs:       len(m.Runs),
+		Seconds:    m.Seconds,
+		Watts:      m.Watts,
+		EnergyJ:    m.EnergyJ,
+		TimeCIRel:  m.TimeCI.Relative(),
+		PowerCIRel: m.PowerCI.Relative(),
+	}
+}
+
+// experimentsContext returns the shared daemon-seed experiments context,
+// building it (rig calibration plus the 61x4 normalization reference) on
+// first use.
+func (s *Server) experimentsContext() (*experiments.Context, error) {
+	s.expOnce.Do(func() {
+		s.expCtx, s.expErr = experiments.NewContext(s.opts.Seed)
+	})
+	return s.expCtx, s.expErr
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	Seed     int64      `json:"seed"`
+	UptimeS  float64    `json:"uptime_s"`
+	Draining bool       `json:"draining"`
+	Cache    CacheStats `json:"cache"`
+	HitRate  float64    `json:"cache_hit_rate"`
+	Queue    QueueStats `json:"queue"`
+	Requests ReqStats   `json:"requests"`
+}
+
+// QueueStats reports worker-pool pressure.
+type QueueStats struct {
+	Depth    int   `json:"depth"`
+	Capacity int   `json:"capacity"`
+	Inflight int64 `json:"inflight_workers"`
+	Workers  int   `json:"workers"`
+}
+
+// ReqStats counts requests per endpoint family.
+type ReqStats struct {
+	Measure     int64 `json:"measure"`
+	Experiments int64 `json:"experiments"`
+	Dataset     int64 `json:"dataset"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	cs := s.cache.Stats()
+	return Stats{
+		Seed:     s.opts.Seed,
+		UptimeS:  time.Since(s.start).Seconds(),
+		Draining: s.draining.Load(),
+		Cache:    cs,
+		HitRate:  cs.HitRate(),
+		Queue: QueueStats{
+			Depth:    s.pool.QueueDepth(),
+			Capacity: s.opts.QueueDepth,
+			Inflight: s.pool.Inflight(),
+			Workers:  s.pool.workers,
+		},
+		Requests: ReqStats{
+			Measure:     s.reqMeasure.Load(),
+			Experiments: s.reqExperiments.Load(),
+			Dataset:     s.reqDataset.Load(),
+		},
+	}
+}
+
+// harnessCache is a small LRU of per-seed harnesses. Building a harness
+// calibrates the whole sensor rig, so residents are worth keeping, but
+// seeds arrive from requests and must not accumulate without bound.
+type harnessCache struct {
+	mu  sync.Mutex
+	cap int
+	ent map[int64]*list.Element
+	lru list.List // values are *harnessEntry
+}
+
+type harnessEntry struct {
+	seed int64
+	once sync.Once
+	h    *harness.Harness
+	err  error
+}
+
+func newHarnessCache(capacity int) *harnessCache {
+	return &harnessCache{cap: capacity, ent: make(map[int64]*list.Element)}
+}
+
+func (hc *harnessCache) get(seed int64) (*harness.Harness, error) {
+	hc.mu.Lock()
+	el, ok := hc.ent[seed]
+	if ok {
+		hc.lru.MoveToFront(el)
+	} else {
+		el = hc.lru.PushFront(&harnessEntry{seed: seed})
+		hc.ent[seed] = el
+		for hc.lru.Len() > hc.cap {
+			tail := hc.lru.Back()
+			delete(hc.ent, tail.Value.(*harnessEntry).seed)
+			hc.lru.Remove(tail)
+		}
+	}
+	e := el.Value.(*harnessEntry)
+	hc.mu.Unlock()
+	// Calibration happens outside the lock; Once arbitrates concurrent
+	// first users of a seed.
+	e.once.Do(func() { e.h, e.err = harness.New(e.seed) })
+	if e.err != nil {
+		return nil, fmt.Errorf("service: harness for seed %d: %w", e.seed, e.err)
+	}
+	return e.h, nil
+}
+
+// Guard: the stock config space and workload must stay consistent with
+// MaxCells (two full grids); a drift here would silently shrink the
+// request bound.
+var _ = func() struct{} {
+	if MaxCells < len(proc.ConfigSpace())*len(workload.All()) {
+		panic("service: MaxCells below one full study grid")
+	}
+	return struct{}{}
+}()
+
+// errNotFound marks unknown experiment ids for a 404 rather than 500.
+var errNotFound = errors.New("service: not found")

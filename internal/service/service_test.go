@@ -1,0 +1,443 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/workload"
+)
+
+// sharedSrv amortizes one daemon (and its measurement cache) across the
+// package's endpoint tests, the way a real powerperfd amortizes across
+// requests. Tests that need fresh counters build their own Server.
+var (
+	sharedOnce sync.Once
+	sharedSrv  *Server
+	sharedHTTP *httptest.Server
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedSrv = NewServer(Options{Seed: 42})
+		sharedHTTP = httptest.NewServer(sharedSrv.Handler())
+	})
+	return sharedSrv, sharedHTTP
+}
+
+func postMeasure(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/measure", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func statsOf(t *testing.T, url string) Stats {
+	t.Helper()
+	code, b := get(t, url+"/statsz")
+	if code != http.StatusOK {
+		t.Fatalf("statsz: %d %s", code, b)
+	}
+	var st Stats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+const twoCellBody = `{"cells":[
+	{"benchmark":"mcf","processor":"i7 (45)"},
+	{"benchmark":"jess","processor":"i5 (32)","config":{"cores":2,"smt":2,"clock_ghz":1.2,"turbo":false}}
+]}`
+
+// TestMeasureRepeatServedFromCache pins the acceptance criterion: a
+// repeated POST /v1/measure for the same cells is served from cache (no
+// recomputation, observed via the statsz miss counter) and is
+// byte-identical to the first response.
+func TestMeasureRepeatServedFromCache(t *testing.T) {
+	srv := NewServer(Options{Seed: 42, Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	code, first := postMeasure(t, ts.URL, twoCellBody)
+	if code != http.StatusOK {
+		t.Fatalf("first POST: %d %s", code, first)
+	}
+	st1 := statsOf(t, ts.URL)
+	if st1.Cache.Misses != 2 || st1.Cache.Hits != 0 {
+		t.Fatalf("after first POST: %+v", st1.Cache)
+	}
+
+	code, second := postMeasure(t, ts.URL, twoCellBody)
+	if code != http.StatusOK {
+		t.Fatalf("second POST: %d %s", code, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat response differs:\n%s\nvs\n%s", first, second)
+	}
+	st2 := statsOf(t, ts.URL)
+	if st2.Cache.Misses != 2 {
+		t.Fatalf("repeat recomputed: misses %d -> %d", st1.Cache.Misses, st2.Cache.Misses)
+	}
+	if st2.Cache.Hits != 2 {
+		t.Fatalf("repeat not served from cache: hits = %d, want 2", st2.Cache.Hits)
+	}
+	if st2.HitRate <= 0 {
+		t.Fatalf("hit rate %v, want > 0", st2.HitRate)
+	}
+}
+
+// TestTwoServersBitIdentical is the service half of the determinism
+// property: two independent daemons (separate rigs, separate caches)
+// filling their caches for the same cells serve byte-identical bodies.
+func TestTwoServersBitIdentical(t *testing.T) {
+	var bodies [2][]byte
+	for i := range bodies {
+		srv := NewServer(Options{Seed: 42, Workers: 2})
+		ts := httptest.NewServer(srv.Handler())
+		code, b := postMeasure(t, ts.URL, twoCellBody)
+		if code != http.StatusOK {
+			t.Fatalf("server %d: %d %s", i, code, b)
+		}
+		bodies[i] = b
+		ts.Close()
+		srv.Drain()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("independent cache fills differ:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+}
+
+// TestMeasureMatchesHarness cross-checks the service path against a
+// direct harness measurement at the same seed: the wire numbers are the
+// measurement's numbers, bit-identical through JSON round-trip.
+func TestMeasureMatchesHarness(t *testing.T) {
+	_, ts := testServer(t)
+	body := `{"seed":7,"cells":[{"benchmark":"vips","processor":"Atom (45)"}]}`
+	code, b := postMeasure(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("%d %s", code, b)
+	}
+	var resp MeasureResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seed != 7 || len(resp.Cells) != 1 {
+		t.Fatalf("response %+v", resp)
+	}
+
+	h, err := harness.New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proc.ByName("Atom (45)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := workload.ByName("vips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.Measure(bench, proc.ConfiguredProcessor{Proc: p, Config: p.Stock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.Cells[0]
+	if got.Seconds != m.Seconds || got.Watts != m.Watts || got.EnergyJ != m.EnergyJ {
+		t.Fatalf("service %v/%v/%v vs harness %v/%v/%v",
+			got.Seconds, got.Watts, got.EnergyJ, m.Seconds, m.Watts, m.EnergyJ)
+	}
+	if got.Runs != len(m.Runs) || got.TimeCIRel != m.TimeCI.Relative() || got.PowerCIRel != m.PowerCI.Relative() {
+		t.Fatalf("wire metadata mismatch: %+v", got)
+	}
+}
+
+// TestConcurrentLoadOverlappingKeys is the race-lane acceptance test: 32
+// goroutines hammer one daemon with overlapping keys; every identical
+// request must observe a byte-identical body, the singleflight path must
+// coalesce concurrent fills, and /statsz must report a positive hit rate
+// afterwards.
+func TestConcurrentLoadOverlappingKeys(t *testing.T) {
+	srv := NewServer(Options{Seed: 42, Workers: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	// Four distinct bodies over a pool of cells; 32 goroutines x 3
+	// rounds means every body is requested ~24 times concurrently.
+	cells := []string{
+		`{"benchmark":"jess","processor":"i5 (32)"}`,
+		`{"benchmark":"db","processor":"AtomD (45)"}`,
+		`{"benchmark":"vips","processor":"Core2Q (65)"}`,
+		`{"benchmark":"pmd","processor":"Core2D (45)"}`,
+		`{"benchmark":"lusearch","processor":"i7 (45)"}`,
+	}
+	bodies := make([]string, 4)
+	for i := range bodies {
+		// Overlapping subsets: body i holds cells i and i+1.
+		bodies[i] = fmt.Sprintf(`{"cells":[%s,%s]}`, cells[i], cells[i+1])
+	}
+
+	const goroutines = 32
+	const rounds = 3
+	got := make([][rounds][]byte, goroutines)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				resp, err := http.Post(ts.URL+"/v1/measure", "application/json",
+					strings.NewReader(bodies[(g+r)%len(bodies)]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d round %d: %d %s", g, r, resp.StatusCode, b)
+					return
+				}
+				got[g][r] = b
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Same body index -> byte-identical response, across all goroutines
+	// and rounds.
+	want := make(map[int][]byte)
+	for g := 0; g < goroutines; g++ {
+		for r := 0; r < rounds; r++ {
+			idx := (g + r) % len(bodies)
+			if want[idx] == nil {
+				want[idx] = got[g][r]
+				continue
+			}
+			if !bytes.Equal(got[g][r], want[idx]) {
+				t.Fatalf("goroutine %d round %d: body %d diverged", g, r, idx)
+			}
+		}
+	}
+
+	st := statsOf(t, ts.URL)
+	if st.HitRate <= 0 {
+		t.Fatalf("hit rate %v after concurrent load, want > 0", st.HitRate)
+	}
+	// 5 distinct cells total; everything else must have been coalesced
+	// or served from cache.
+	if st.Cache.Misses != 5 {
+		t.Fatalf("%d fills for 5 distinct cells", st.Cache.Misses)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed JSON", `{"cells":`},
+		{"unknown field", `{"cellz":[]}`},
+		{"no cells", `{"cells":[]}`},
+		{"unknown benchmark", `{"cells":[{"benchmark":"nope","processor":"i7 (45)"}]}`},
+		{"unknown processor", `{"cells":[{"benchmark":"mcf","processor":"i9 (7)"}]}`},
+		{"invalid config", `{"cells":[{"benchmark":"mcf","processor":"i7 (45)","config":{"cores":9,"smt":1,"clock_ghz":2.67,"turbo":false}}]}`},
+		{"turbo below max clock", `{"cells":[{"benchmark":"mcf","processor":"i7 (45)","config":{"cores":4,"smt":2,"clock_ghz":1.6,"turbo":true}}]}`},
+		{"trailing garbage", `{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]} {"again":true}`},
+	}
+	for _, tc := range cases {
+		code, b := postMeasure(t, ts.URL, tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, code, b)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(b, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q not JSON", tc.name, b)
+		}
+	}
+
+	// Cell-count bound.
+	var sb strings.Builder
+	sb.WriteString(`{"cells":[`)
+	for i := 0; i <= MaxCells; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"benchmark":"mcf","processor":"i7 (45)"}`)
+	}
+	sb.WriteString(`]}`)
+	if code, _ := postMeasure(t, ts.URL, sb.String()); code != http.StatusBadRequest {
+		t.Errorf("oversized request: status %d, want 400", code)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+
+	code, b := get(t, ts.URL+"/v1/experiments")
+	if code != http.StatusOK {
+		t.Fatalf("index: %d %s", code, b)
+	}
+	var idx struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := json.Unmarshal(b, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Experiments) != len(experimentRegistry) {
+		t.Fatalf("index lists %d ids, registry has %d", len(idx.Experiments), len(experimentRegistry))
+	}
+
+	if code, b := get(t, ts.URL+"/v1/experiments/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d %s", code, b)
+	}
+
+	// table3 is static specification data; table2 measures through the
+	// shared context. Both must be valid JSON and stable across fetches.
+	for _, id := range []string{"table3", "table2"} {
+		code, first := get(t, ts.URL+"/v1/experiments/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d %s", id, code, first)
+		}
+		var doc struct {
+			ID     string          `json:"id"`
+			Seed   int64           `json:"seed"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(first, &doc); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if doc.ID != id || doc.Seed != 42 || len(doc.Result) == 0 {
+			t.Fatalf("%s: doc %+v", id, doc)
+		}
+		_, second := get(t, ts.URL+"/v1/experiments/"+id)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s: repeated fetch differs", id)
+		}
+	}
+}
+
+// TestDatasetEndpointMatchesCommittedDataset pins the acceptance
+// criterion: the dataset regenerated through the service path is
+// byte-identical to the committed seed-42 companion files.
+func TestDatasetEndpointMatchesCommittedDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 45x61 grid in -short mode")
+	}
+	_, ts := testServer(t)
+	for table, file := range map[string]string{
+		"measurements": "measurements.csv",
+		"aggregates":   "aggregates.csv",
+	} {
+		code, got := get(t, ts.URL+"/v1/dataset?table="+table)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d", table, code)
+		}
+		want, err := os.ReadFile(filepath.Join("..", "..", "dataset", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: service bytes differ from committed dataset/%s (%d vs %d bytes)",
+				table, file, len(got), len(want))
+		}
+	}
+	if code, _ := get(t, ts.URL+"/v1/dataset?table=nope"); code != http.StatusBadRequest {
+		t.Fatalf("unknown table accepted: %d", code)
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	srv := NewServer(Options{Seed: 42, Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	code, b := postMeasure(t, ts.URL, `{"cells":[{"benchmark":"jess","processor":"i5 (32)"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("measure before drain: %d %s", code, b)
+	}
+
+	srv.Drain()
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", code)
+	}
+	if code, _ = postMeasure(t, ts.URL, `{"cells":[{"benchmark":"jess","processor":"i5 (32)"}]}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("measure while draining: %d, want 503", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/experiments/table3"); code != http.StatusServiceUnavailable {
+		t.Fatalf("experiment while draining: %d, want 503", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/dataset"); code != http.StatusServiceUnavailable {
+		t.Fatalf("dataset while draining: %d, want 503", code)
+	}
+	// statsz stays observable for post-mortem.
+	st := statsOf(t, ts.URL)
+	if !st.Draining {
+		t.Fatal("statsz does not report draining")
+	}
+}
+
+// TestHarnessCacheEviction exercises the per-seed harness LRU: more
+// distinct seeds than capacity must still serve correct results.
+func TestHarnessCacheEviction(t *testing.T) {
+	hc := newHarnessCache(2)
+	for _, seed := range []int64{1, 2, 3, 1, 2} {
+		h, err := hc.get(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == nil {
+			t.Fatalf("seed %d: nil harness", seed)
+		}
+	}
+	if n := hc.lru.Len(); n != 2 {
+		t.Fatalf("%d harnesses resident, capacity 2", n)
+	}
+}

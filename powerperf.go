@@ -33,7 +33,9 @@
 package powerperf
 
 import (
+	"context"
 	"errors"
+	"io"
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
@@ -273,12 +275,13 @@ func (s *Study) PowerBreakdown() (*experiments.BreakdownResult, error) {
 // returns the measurements in grid order. Nil arguments select the eight
 // stock configurations and all 61 benchmarks. Parallel execution is
 // numerically identical to serial: every run derives its own noise and
-// jitter streams from its identity.
-func (s *Study) MeasureGrid(cps []ConfiguredProcessor, benches []*Benchmark, workers int) ([]*Measurement, error) {
+// jitter streams from its identity. Cancelling ctx aborts the batch at
+// cell granularity.
+func (s *Study) MeasureGrid(ctx context.Context, cps []ConfiguredProcessor, benches []*Benchmark, workers int) ([]*Measurement, error) {
 	if s == nil || s.ctx == nil {
 		return nil, errors.New("powerperf: nil study")
 	}
-	return s.ctx.H.MeasureBatch(harness.GridJobs(cps, benches), workers)
+	return s.ctx.H.MeasureBatch(ctx, harness.GridJobs(cps, benches), workers)
 }
 
 // Findings evaluates the paper's thirteen named findings (Workload 1-4,
@@ -286,4 +289,26 @@ func (s *Study) MeasureGrid(cps []ConfiguredProcessor, benches []*Benchmark, wor
 // report in programmatic form.
 func (s *Study) Findings() (*experiments.FindingsResult, error) {
 	return experiments.Findings(s.ctx)
+}
+
+// WriteMeasurementsCSV streams the companion dataset's measurements.csv
+// (every benchmark on every configuration of cps; nil selects the 45
+// study configurations) to w, flushing per configuration. The bytes are
+// identical to the committed dataset for the same seed — the dataset
+// files, the fullstudy command, and the powerperfd dataset endpoint all
+// share this writer.
+func (s *Study) WriteMeasurementsCSV(ctx context.Context, w io.Writer, cps []ConfiguredProcessor, workers int) error {
+	if s == nil || s.ctx == nil {
+		return errors.New("powerperf: nil study")
+	}
+	return experiments.StreamMeasurementsCSV(ctx, s.ctx, cps, w, workers)
+}
+
+// WriteAggregatesCSV streams the companion dataset's aggregates.csv
+// (Section 2.6 group and weighted averages per configuration) to w.
+func (s *Study) WriteAggregatesCSV(ctx context.Context, w io.Writer, cps []ConfiguredProcessor, workers int) error {
+	if s == nil || s.ctx == nil {
+		return errors.New("powerperf: nil study")
+	}
+	return experiments.StreamAggregatesCSV(ctx, s.ctx, cps, w, workers)
 }

@@ -1,6 +1,7 @@
 package powerperf
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -256,7 +257,7 @@ func TestMeasureGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	cps := []ConfiguredProcessor{{Proc: atom, Config: atom.Stock()}}
-	res, err := s.MeasureGrid(cps, BenchmarksByGroup(JavaScalable), 4)
+	res, err := s.MeasureGrid(context.Background(), cps, BenchmarksByGroup(JavaScalable), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestMeasureGrid(t *testing.T) {
 		t.Fatalf("%d results, want 5", len(res))
 	}
 	var nilStudy *Study
-	if _, err := nilStudy.MeasureGrid(nil, nil, 0); err == nil {
+	if _, err := nilStudy.MeasureGrid(context.Background(), nil, nil, 0); err == nil {
 		t.Fatal("nil study accepted")
 	}
 }
