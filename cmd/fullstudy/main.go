@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	fullstudy [-seed N] [-out DIR]
+//	fullstudy [-seed N] [-out DIR] [-backends URL,URL,...]
+//
+// With -backends the study runs remotely against a fleet of powerperfd
+// instances through the cluster coordinator: cells shard across the
+// backends by rendezvous hash, stragglers hedge to a second backend,
+// failures retry and fail over — and the CSVs are byte-identical to a
+// local run, because every cell is a pure function of its identity no
+// matter which backend computes it.
 //
 // Writes:
 //
@@ -24,9 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	powerperf "repro"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
 	"repro/internal/profiling"
 )
 
@@ -35,6 +45,8 @@ func main() {
 	log.SetPrefix("fullstudy: ")
 	seed := flag.Int64("seed", 42, "study seed")
 	out := flag.String("out", "dataset", "output directory")
+	backends := flag.String("backends", "", "comma-separated powerperfd base URLs; when set, measure remotely")
+	hedgeDelay := flag.Duration("hedge-delay", 400*time.Millisecond, "duplicate a straggling batch to a second backend after this long (cluster mode; 0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -54,7 +66,7 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	study, err := powerperf.NewStudy(*seed)
+	measurements, aggregates, err := streamers(ctx, *seed, *backends, *hedgeDelay)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,10 +76,10 @@ func main() {
 
 	space := powerperf.ConfigSpace()
 	log.Printf("measuring %d configurations x 61 benchmarks in parallel...", len(space))
-	if err := writeCSV(ctx, filepath.Join(*out, "measurements.csv"), study.WriteMeasurementsCSV); err != nil {
+	if err := writeCSV(ctx, filepath.Join(*out, "measurements.csv"), measurements); err != nil {
 		log.Fatal(err)
 	}
-	if err := writeCSV(ctx, filepath.Join(*out, "aggregates.csv"), study.WriteAggregatesCSV); err != nil {
+	if err := writeCSV(ctx, filepath.Join(*out, "aggregates.csv"), aggregates); err != nil {
 		log.Fatal(err)
 	}
 	manifest := fmt.Sprintf(
@@ -79,7 +91,50 @@ func main() {
 	log.Printf("wrote %s in %s", *out, time.Since(start).Round(time.Millisecond))
 }
 
-type streamFunc = func(ctx context.Context, w io.Writer, cps []powerperf.ConfiguredProcessor, workers int) error
+type streamFunc = func(ctx context.Context, w io.Writer) error
+
+// streamers builds the two CSV writers, local (in-process harness) or
+// remote (cluster coordinator over powerperfd backends). Both produce
+// byte-identical files at the same seed.
+func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time.Duration) (measurements, aggregates streamFunc, err error) {
+	if backends == "" {
+		study, err := powerperf.NewStudy(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(ctx context.Context, w io.Writer) error {
+				return study.WriteMeasurementsCSV(ctx, w, nil, 0)
+			}, func(ctx context.Context, w io.Writer) error {
+				return study.WriteAggregatesCSV(ctx, w, nil, 0)
+			}, nil
+	}
+
+	urls := strings.Split(backends, ",")
+	cl, err := cluster.New(urls, cluster.Options{Seed: seed, HedgeDelay: hedgeDelay})
+	if err != nil {
+		return nil, nil, err
+	}
+	cl.StartProber(ctx, 2*time.Second)
+	log.Printf("measuring through %d backends: %s", len(cl.Backends()), strings.Join(cl.Backends(), ", "))
+	ref, err := cl.Reference(ctx, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("building normalization reference: %w", err)
+	}
+	logStats := func() {
+		st := cl.Stats()
+		log.Printf("cluster: %d batches, %d cells, %d retries, %d hedges (%d won), %d failovers, %d breaker opens",
+			st.BatchesSent, st.CellsMeasured, st.Retries, st.HedgesFired, st.HedgeWins, st.Failovers, st.BreakerOpens)
+	}
+	return func(ctx context.Context, w io.Writer) error {
+			err := experiments.StreamMeasurementsCSVFrom(ctx, cl, ref, nil, w, 0)
+			logStats()
+			return err
+		}, func(ctx context.Context, w io.Writer) error {
+			err := experiments.StreamAggregatesCSVFrom(ctx, cl, ref, nil, w, 0)
+			logStats()
+			return err
+		}, nil
+}
 
 func writeCSV(ctx context.Context, path string, stream streamFunc) error {
 	fd, err := os.Create(path)
@@ -87,7 +142,7 @@ func writeCSV(ctx context.Context, path string, stream streamFunc) error {
 		return err
 	}
 	defer fd.Close()
-	if err := stream(ctx, fd, nil, 0); err != nil {
+	if err := stream(ctx, fd); err != nil {
 		return err
 	}
 	return fd.Close()

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	powerperfd [-addr :8722] [-seed 42] [-workers N] [-queue 1024]
-//	           [-cache-cells 10980]
+//	           [-cache-cells 10980] [-read-timeout 30s]
+//	           [-write-timeout 15m] [-idle-timeout 2m]
 //
 // Endpoints:
 //
@@ -17,7 +18,8 @@
 //	GET  /v1/experiments/{id}   e.g. table4, figure9, findings
 //	GET  /v1/dataset            measurements.csv (?table=aggregates for the other file)
 //	GET  /healthz               liveness; 503 while draining
-//	GET  /statsz                cache hit rate, queue depth, in-flight workers
+//	GET  /statsz                cache hit rate, shard occupancy, queue depth
+//	GET  /metricsz              the same counters in Prometheus text format
 //
 // SIGINT/SIGTERM starts a graceful shutdown: new work is rejected,
 // queued and in-flight cells drain, then the listener closes.
@@ -46,6 +48,9 @@ func main() {
 	queue := flag.Int("queue", 1024, "bounded measurement queue depth")
 	cacheCells := flag.Int("cache-cells", 0, "measurement cache capacity in cells (0 = 4 study grids)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown limit")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration to read a full request, header plus body (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 15*time.Minute, "max duration to write a full response; must cover a cold dataset stream (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection closes (0 = none)")
 	flag.Parse()
 
 	srv := service.NewServer(service.Options{
@@ -54,10 +59,18 @@ func main() {
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCells,
 	})
+	// Slow-client protection: bound every phase of a connection's life,
+	// not just the header read, so a stalled peer cannot pin a
+	// goroutine and connection forever. The write timeout is generous
+	// because a cold /v1/dataset response measures the full grid while
+	// streaming.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

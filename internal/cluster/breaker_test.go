@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, 5*time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.Ready() || b.State() != "closed" {
+		t.Fatal("new breaker should be closed and ready")
+	}
+
+	b.Failure()
+	b.Failure()
+	if !b.Ready() {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.Failure()
+	if b.Ready() || b.State() != "open" {
+		t.Fatalf("breaker should be open after 3 failures, state=%s", b.State())
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("opens=%d, want 1", got)
+	}
+
+	// A success mid-run resets the consecutive count.
+	now = now.Add(6 * time.Second)
+	if !b.Ready() || b.State() != "half-open" {
+		t.Fatalf("cooldown elapsed: want half-open and ready, state=%s", b.State())
+	}
+
+	// A failed half-open trial re-arms the cooldown immediately — no
+	// fresh run of consecutive failures needed — and counts as an open.
+	b.Failure()
+	if b.Ready() || b.State() != "open" {
+		t.Fatalf("failed trial should re-open, state=%s", b.State())
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("opens=%d, want 2 after failed trial", got)
+	}
+
+	// A successful trial closes it and resets the failure count.
+	now = now.Add(6 * time.Second)
+	b.Success()
+	if !b.Ready() || b.State() != "closed" {
+		t.Fatalf("success should close, state=%s", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if !b.Ready() {
+		t.Fatal("failure count should have reset on success")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if !b.Ready() || b.Opens() != 0 {
+		t.Fatalf("interleaved successes must prevent tripping: ready=%v opens=%d", b.Ready(), b.Opens())
+	}
+}

@@ -1,0 +1,200 @@
+// Package cluster is the scale-out layer over powerperfd: a coordinator
+// that runs study workloads against N backends, sharding cells with
+// rendezvous hashing and wrapping every request in retries, a
+// per-backend circuit breaker, tail-latency hedging, and failover.
+//
+// The whole layer leans on the repository's determinism contract: a
+// measurement is a pure function of the (benchmark, processor, config,
+// seed) tuple, bit-identical wherever it is computed. That makes every
+// resilience tactic trivially correct — a retried, hedged, or failed-
+// over cell returns exactly the bytes the first attempt would have, so
+// the coordinator can duplicate work freely and take whichever answer
+// arrives first, and backend caches deduplicate whatever the duplicated
+// work recomputes.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Client is a typed HTTP client for one powerperfd backend.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration // per-request deadline; <= 0 means none
+}
+
+// NewClient builds a client for the backend at base (e.g.
+// "http://127.0.0.1:8722"). A nil hc selects http.DefaultClient;
+// timeout is the per-request deadline applied on top of the caller's
+// context.
+func NewClient(base string, hc *http.Client, timeout time.Duration) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: hc, timeout: timeout}
+}
+
+// Base returns the backend base URL.
+func (c *Client) Base() string { return c.base }
+
+// backendError is a failed HTTP exchange with a backend. Status is 0
+// for transport-level failures (connection refused, timeout).
+type backendError struct {
+	Backend string
+	Status  int
+	Msg     string
+}
+
+func (e *backendError) Error() string {
+	if e.Status == 0 {
+		return fmt.Sprintf("cluster: %s: %s", e.Backend, e.Msg)
+	}
+	return fmt.Sprintf("cluster: %s: HTTP %d: %s", e.Backend, e.Status, e.Msg)
+}
+
+// permanent reports whether err can never succeed on another backend or
+// attempt: client-side mistakes (4xx validation errors) are permanent,
+// transport failures and 5xx/503 responses are not.
+func permanent(err error) bool {
+	var be *backendError
+	if errors.As(err, &be) {
+		return be.Status >= 400 && be.Status < 500 &&
+			be.Status != http.StatusRequestTimeout && be.Status != http.StatusTooManyRequests
+	}
+	return false
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("cluster: marshal request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("cluster: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Surface the caller's cancellation as such; everything else is
+		// a transport failure attributable to the backend.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &backendError{Backend: c.base, Msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg := resp.Status
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if b, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
+			if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
+				msg = eb.Error
+			}
+		}
+		return &backendError{Backend: c.base, Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return &backendError{Backend: c.base, Msg: "decode response: " + err.Error()}
+	}
+	return nil
+}
+
+// Measure posts a batch measure request and returns the response.
+func (c *Client) Measure(ctx context.Context, req *service.MeasureRequest) (*service.MeasureResponse, error) {
+	var resp service.MeasureResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/measure", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Cells) != len(req.Cells) {
+		return nil, &backendError{Backend: c.base,
+			Msg: fmt.Sprintf("response has %d cells, want %d", len(resp.Cells), len(req.Cells))}
+	}
+	return &resp, nil
+}
+
+// Healthz probes the backend's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats fetches the backend's /statsz counters.
+func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
+	var st service.Stats
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// MeasurementFromCell reconstructs the harness Measurement from a
+// full-detail wire cell. Benchmark and processor resolve to the same
+// process-wide workload and fleet instances a local harness would use,
+// and every float64 round-trips through JSON exactly, so the
+// reconstruction is bit-identical to a local measurement.
+func MeasurementFromCell(cr *service.CellResult) (*harness.Measurement, error) {
+	if cr.Full == nil {
+		return nil, fmt.Errorf("cluster: cell %s/%s lacks full detail", cr.Benchmark, cr.Processor)
+	}
+	b, err := workload.ByName(cr.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reconstruct cell: %w", err)
+	}
+	p, err := proc.ByName(cr.Processor)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reconstruct cell: %w", err)
+	}
+	m := &harness.Measurement{
+		Bench: b,
+		CP: proc.ConfiguredProcessor{Proc: p, Config: proc.Config{
+			Cores:    cr.Config.Cores,
+			SMTWays:  cr.Config.SMTWays,
+			ClockGHz: cr.Config.ClockGHz,
+			Turbo:    cr.Config.Turbo,
+		}},
+		Runs:     make([]harness.RunSample, len(cr.Full.RunSamples)),
+		Seconds:  cr.Seconds,
+		Watts:    cr.Watts,
+		EnergyJ:  cr.EnergyJ,
+		Counters: cr.Full.Counters.Counters(),
+		TimeCI:   cr.Full.TimeCI.CI(),
+		PowerCI:  cr.Full.PowerCI.CI(),
+	}
+	for i, r := range cr.Full.RunSamples {
+		m.Runs[i] = harness.RunSample{Seconds: r.Seconds, Watts: r.Watts, Counters: r.Counters.Counters()}
+	}
+	return m, nil
+}

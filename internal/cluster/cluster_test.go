@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/service"
+)
+
+// deadable simulates a backend process death: once dead, every new
+// request is severed without a response (the client sees a transport
+// error, exactly as with a killed process), while the wrapped service
+// keeps running so in-flight compute drains harmlessly.
+type deadable struct {
+	h    http.Handler
+	dead atomic.Bool
+}
+
+func (d *deadable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	d.h.ServeHTTP(w, r)
+}
+
+func newBackend(t *testing.T, opts service.Options) (*service.Server, *httptest.Server, *deadable) {
+	t.Helper()
+	srv := service.NewServer(opts)
+	d := &deadable{h: srv.Handler()}
+	ts := httptest.NewServer(d)
+	t.Cleanup(ts.Close)
+	return srv, ts, d
+}
+
+func stockJobs(t *testing.T, n int) []harness.Job {
+	t.Helper()
+	cps := proc.StockConfigs()
+	if n > len(cps) {
+		n = len(cps)
+	}
+	return harness.GridJobs(cps[:n], nil)
+}
+
+// TestClusterMatchesLocalHarness is the contract test: a single-backend
+// cluster returns measurements deeply equal to a local harness at the
+// same seed — same runs, counters, and confidence intervals, bit for
+// bit.
+func TestClusterMatchesLocalHarness(t *testing.T) {
+	_, ts, _ := newBackend(t, service.Options{Seed: 42})
+	cl, err := New([]string{ts.URL}, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stockJobs(t, 2)
+	remote, err := cl.MeasureBatch(context.Background(), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := harness.New(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := h.MeasureBatch(context.Background(), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("got %d measurements, want %d", len(remote), len(local))
+	}
+	for i := range local {
+		if !reflect.DeepEqual(remote[i], local[i]) {
+			t.Fatalf("job %d (%s on %s): remote measurement differs from local",
+				i, jobs[i].Bench.Name, jobs[i].CP)
+		}
+	}
+	if st := cl.Stats(); st.CellsMeasured != int64(len(jobs)) {
+		t.Fatalf("cells_measured=%d, want %d", st.CellsMeasured, len(jobs))
+	}
+}
+
+// TestClusterStudyByteIdenticalAfterBackendDeath is the acceptance
+// test: a 3-backend cluster regenerates the full seed-42 study, one
+// backend is killed partway through, and the merged CSVs still match
+// the committed dataset byte for byte — the determinism contract makes
+// retry plus failover invisible in the output.
+func TestClusterStudyByteIdenticalAfterBackendDeath(t *testing.T) {
+	var victim *deadable
+	var victimTS *httptest.Server
+	var victimCells atomic.Int64
+	killAt := int64(150)
+
+	hooks := &service.Hooks{BeforeMeasure: func(seed int64, bench, processor string) error {
+		if victimCells.Add(1) == killAt {
+			victim.dead.Store(true)
+			victimTS.CloseClientConnections()
+		}
+		return nil
+	}}
+
+	_, ts0, d0 := newBackend(t, service.Options{Seed: 42, Hooks: hooks})
+	victim, victimTS = d0, ts0
+	_, ts1, _ := newBackend(t, service.Options{Seed: 42})
+	_, ts2, _ := newBackend(t, service.Options{Seed: 42})
+
+	cl, err := New([]string{ts0.URL, ts1.URL, ts2.URL}, Options{
+		Seed:             42,
+		MaxAttempts:      3,
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour, // dead stays dead for this test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	ref, err := cl.Reference(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mbuf, abuf bytes.Buffer
+	if err := experiments.StreamMeasurementsCSVFrom(ctx, cl, ref, nil, &mbuf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.StreamAggregatesCSVFrom(ctx, cl, ref, nil, &abuf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if !victim.dead.Load() {
+		t.Fatalf("victim backend was never killed (computed %d cells, kill at %d)", victimCells.Load(), killAt)
+	}
+
+	for file, got := range map[string][]byte{
+		"measurements.csv": mbuf.Bytes(),
+		"aggregates.csv":   abuf.Bytes(),
+	} {
+		want, err := os.ReadFile(filepath.Join("..", "..", "dataset", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: cluster bytes differ from committed dataset/%s (%d vs %d bytes)",
+				file, file, len(got), len(want))
+		}
+	}
+
+	st := cl.Stats()
+	if st.Failovers == 0 {
+		t.Errorf("expected failovers after backend death, got 0; stats %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Errorf("expected retries after backend death, got 0; stats %+v", st)
+	}
+	if st.BreakerOpens == 0 {
+		t.Errorf("expected the dead backend's breaker to open, got 0 opens; stats %+v", st)
+	}
+
+	// The resilience counters must also be scrapeable.
+	var metrics bytes.Buffer
+	cl.WriteMetrics(&metrics)
+	for _, want := range []string{
+		"powerperf_cluster_retries_total",
+		"powerperf_cluster_failovers_total",
+		"powerperf_cluster_breaker_opens_total",
+		"powerperf_cluster_hedges_fired_total",
+	} {
+		if !bytes.Contains(metrics.Bytes(), []byte(want)) {
+			t.Errorf("cluster metrics missing %s", want)
+		}
+	}
+}
+
+// TestClusterHedging makes one backend straggle and asserts the
+// coordinator hedges its batches to the fast backend, wins there, and
+// still returns measurements identical to a local harness.
+func TestClusterHedging(t *testing.T) {
+	slowHooks := &service.Hooks{BeforeMeasure: func(seed int64, bench, processor string) error {
+		time.Sleep(40 * time.Millisecond)
+		return nil
+	}}
+	_, slow, _ := newBackend(t, service.Options{Seed: 42, Hooks: slowHooks})
+	_, fast, _ := newBackend(t, service.Options{Seed: 42})
+
+	cl, err := New([]string{slow.URL, fast.URL}, Options{
+		Seed:       42,
+		HedgeDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stockJobs(t, 1)
+	remote, err := cl.MeasureBatch(context.Background(), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := cl.Stats()
+	if st.HedgesFired == 0 {
+		t.Errorf("expected hedges against the straggling backend, got 0; stats %+v", st)
+	}
+	if st.HedgeWins == 0 {
+		t.Errorf("expected at least one hedge win, got 0; stats %+v", st)
+	}
+
+	h, err := harness.New(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := h.MeasureBatch(context.Background(), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if !reflect.DeepEqual(remote[i], local[i]) {
+			t.Fatalf("job %d: hedged measurement differs from local", i)
+		}
+	}
+}
+
+// TestClusterBreakerFedByHealthz verifies the /healthz prober trips an
+// unhealthy backend's breaker, traffic routes around it, and a
+// recovered backend rejoins.
+func TestClusterBreakerFedByHealthz(t *testing.T) {
+	_, good, _ := newBackend(t, service.Options{Seed: 42})
+	var healthy atomic.Bool
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(sick.Close)
+
+	cl, err := New([]string{good.URL, sick.URL}, Options{
+		Seed:             42,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cl.ProbeHealth(ctx)
+	cl.ProbeHealth(ctx)
+
+	st := cl.Stats()
+	var sickState string
+	for _, b := range st.Backends {
+		if b.URL == sick.URL {
+			sickState = b.State
+		}
+	}
+	if sickState != "open" {
+		t.Fatalf("sick backend breaker state %q, want open; stats %+v", sickState, st)
+	}
+	if st.BreakerOpens == 0 {
+		t.Fatalf("expected breaker opens from health probes, got 0")
+	}
+
+	// With the breaker open, the whole batch routes to the good backend.
+	jobs := stockJobs(t, 1)
+	ms, err := cl.MeasureBatch(ctx, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(jobs) {
+		t.Fatalf("got %d measurements, want %d", len(ms), len(jobs))
+	}
+
+	// Recovery: a healthy probe closes the breaker.
+	healthy.Store(true)
+	cl.ProbeHealth(ctx)
+	for _, b := range cl.Stats().Backends {
+		if b.URL == sick.URL && b.State != "closed" {
+			t.Fatalf("recovered backend breaker state %q, want closed", b.State)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/service"
+)
+
+// measureOnce performs one hedged batch exchange: the request goes to
+// primary, and if no answer has arrived after the hedge delay, a
+// duplicate of the same batch goes to hedge (the cells' next-ranked
+// live backend). The first successful response wins and the loser's
+// request is cancelled; by the determinism contract both responses are
+// bit-identical, so taking the earlier one can never change the study's
+// bytes — hedging buys back tail latency, nothing else. Whatever the
+// loser computed before cancellation stays in its backend's cache,
+// deduplicating any later retry.
+//
+// A hedge of "" (no live second backend) or a non-positive delay
+// degrades to a plain exchange. Breakers are fed per backend: each
+// response, win or lose, is evidence about the backend that produced
+// it.
+func (cl *Cluster) measureOnce(ctx context.Context, primary, hedge string, req *service.MeasureRequest) (*service.MeasureResponse, string, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type exchange struct {
+		resp    *service.MeasureResponse
+		backend string
+		err     error
+	}
+	ch := make(chan exchange, 2)
+	launch := func(backend string) {
+		go func() {
+			resp, err := cl.clients[backend].Measure(cctx, req)
+			ch <- exchange{resp, backend, err}
+		}()
+	}
+
+	launch(primary)
+	inflight := 1
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if hedge != "" && cl.opts.HedgeDelay > 0 {
+		hedgeTimer = time.NewTimer(cl.opts.HedgeDelay)
+		hedgeC = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+
+	fireHedge := func() {
+		hedgeC = nil
+		if hedge == "" || !cl.breakers[hedge].Ready() {
+			return
+		}
+		cl.hedgesFired.Add(1)
+		launch(hedge)
+		inflight++
+	}
+
+	var lastErr error
+	for {
+		select {
+		case ex := <-ch:
+			inflight--
+			if ex.err == nil {
+				cl.breakers[ex.backend].Success()
+				if ex.backend != primary {
+					cl.hedgeWins.Add(1)
+				}
+				return ex.resp, ex.backend, nil
+			}
+			if cctx.Err() == nil || ctx.Err() != nil {
+				// A real failure (not our own cancellation of the loser):
+				// feed the breaker unless the request itself was invalid.
+				if !permanent(ex.err) && ctx.Err() == nil {
+					cl.breakers[ex.backend].Failure()
+				}
+				lastErr = ex.err
+			}
+			if permanent(ex.err) {
+				return nil, "", ex.err
+			}
+			if inflight == 0 {
+				// Primary failed with the hedge never fired: fire it now
+				// as an immediate failover attempt rather than waiting
+				// out the timer.
+				if hedgeC != nil {
+					fireHedge()
+					if inflight > 0 {
+						continue
+					}
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, "", err
+				}
+				return nil, "", lastErr
+			}
+		case <-hedgeC:
+			fireHedge()
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+	}
+}

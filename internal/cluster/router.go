@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Router shards cells across backends with rendezvous (highest-random-
+// weight) hashing: every (key, member) pair gets a pseudo-random score,
+// and a key belongs to the member with the highest score. Two properties
+// make it the right fit here:
+//
+//   - Stability: a key's owner depends only on the member set, so every
+//     coordinator (and every retry) routes the same cell to the same
+//     backend, keeping that backend's LRU shard hot for exactly its
+//     slice of the study grid.
+//
+//   - Minimal disruption: removing a member only reassigns the keys that
+//     member owned — each to its second-ranked backend — so failover
+//     after a backend death re-spreads only the dead backend's cells.
+type Router struct {
+	members []string
+}
+
+// NewRouter builds a router over the given members, deduplicated; order
+// does not matter (scores, not positions, decide ownership).
+func NewRouter(members []string) *Router {
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	return &Router{members: uniq}
+}
+
+// Members returns the member set in sorted order.
+func (r *Router) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// score is the rendezvous weight of key on member. FNV-64a over
+// member NUL key: cheap, stateless, and uniform enough that a 45x61
+// grid spreads within a few percent of even (see FuzzRoute).
+func score(member, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Rank returns the members ordered by descending score for key: Rank[0]
+// is the key's owner, Rank[1] its failover target, and so on. Ties break
+// by member name so the order is total and deterministic.
+func (r *Router) Rank(key string) []string {
+	ranked := append([]string(nil), r.members...)
+	scores := make(map[string]uint64, len(ranked))
+	for _, m := range ranked {
+		scores[m] = score(m, key)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Route returns key's owner, or "" for an empty member set.
+func (r *Router) Route(key string) string {
+	var best string
+	var bestScore uint64
+	for _, m := range r.members {
+		s := score(m, key)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// RouteExcluding returns key's highest-ranked owner not in excluded, or
+// "" when every member is excluded — the failover routing step.
+func (r *Router) RouteExcluding(key string, excluded map[string]bool) string {
+	var best string
+	var bestScore uint64
+	for _, m := range r.members {
+		if excluded[m] {
+			continue
+		}
+		s := score(m, key)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}

@@ -30,6 +30,15 @@ var AggregatesHeader = []string{
 // fmtG renders dataset numbers the way the companion CSV does.
 func fmtG(v float64) string { return fmt.Sprintf("%.6g", v) }
 
+// Source is a measurement provider for the dataset streamers: the local
+// harness satisfies it directly, and the cluster coordinator satisfies
+// it over HTTP. The determinism contract makes the two interchangeable —
+// both return bit-identical measurements for the same cells, so the
+// streamed CSVs are byte-identical regardless of the source.
+type Source interface {
+	MeasureBatch(ctx context.Context, jobs []harness.Job, workers int) ([]*harness.Measurement, error)
+}
+
 // StreamMeasurementsCSV measures the cross product of cps and all 61
 // benchmarks and streams measurements.csv rows to w as configurations
 // complete, flushing at configuration boundaries so HTTP clients see
@@ -40,26 +49,35 @@ func StreamMeasurementsCSV(ctx context.Context, c *Context, cps []proc.Configure
 	if err := c.check(); err != nil {
 		return err
 	}
+	return StreamMeasurementsCSVFrom(ctx, c.H, c.Ref, cps, w, workers)
+}
+
+// StreamMeasurementsCSVFrom is StreamMeasurementsCSV over any Source.
+func StreamMeasurementsCSVFrom(ctx context.Context, src Source, ref *harness.Reference, cps []proc.ConfiguredProcessor, w io.Writer, workers int) error {
 	if cps == nil {
 		cps = proc.ConfigSpace()
 	}
-	if _, err := c.H.MeasureBatch(ctx, harness.GridJobs(cps, nil), workers); err != nil {
+	jobs := harness.GridJobs(cps, nil)
+	ms, err := src.MeasureBatch(ctx, jobs, workers)
+	if err != nil {
 		return err
 	}
 	s, err := report.NewCSVStream(w, MeasurementsHeader...)
 	if err != nil {
 		return err
 	}
+	// GridJobs iterates configurations outer, benchmarks inner — the
+	// row order of the committed dataset — so the batch result is the
+	// row stream.
+	i := 0
 	for _, cp := range cps {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		for _, b := range workload.All() {
-			m, err := c.H.Measure(b, cp)
-			if err != nil {
-				return err
-			}
-			n, err := c.Ref.Normalize(m)
+			m := ms[i]
+			i++
+			n, err := ref.Normalize(m)
 			if err != nil {
 				return err
 			}
@@ -89,11 +107,31 @@ func StreamAggregatesCSV(ctx context.Context, c *Context, cps []proc.ConfiguredP
 	if err := c.check(); err != nil {
 		return err
 	}
+	return StreamAggregatesCSVFrom(ctx, c.H, c.Ref, cps, w, workers)
+}
+
+// StreamAggregatesCSVFrom is StreamAggregatesCSV over any Source.
+func StreamAggregatesCSVFrom(ctx context.Context, src Source, ref *harness.Reference, cps []proc.ConfiguredProcessor, w io.Writer, workers int) error {
 	if cps == nil {
 		cps = proc.ConfigSpace()
 	}
-	if _, err := c.H.MeasureBatch(ctx, harness.GridJobs(cps, nil), workers); err != nil {
+	jobs := harness.GridJobs(cps, nil)
+	ms, err := src.MeasureBatch(ctx, jobs, workers)
+	if err != nil {
 		return err
+	}
+	// Index the batch so AggregateConfig can consume it as a MeasureFunc
+	// in its own (group-major) order.
+	byCell := make(map[string]*harness.Measurement, len(ms))
+	for i, m := range ms {
+		byCell[jobs[i].Bench.Name+"|"+jobs[i].CP.String()] = m
+	}
+	lookup := func(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*harness.Measurement, error) {
+		m, ok := byCell[b.Name+"|"+cp.String()]
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s on %s missing from batch", b.Name, cp)
+		}
+		return m, nil
 	}
 	s, err := report.NewCSVStream(w, AggregatesHeader...)
 	if err != nil {
@@ -103,7 +141,7 @@ func StreamAggregatesCSV(ctx context.Context, c *Context, cps []proc.ConfiguredP
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		res, err := c.H.MeasureConfig(cp, c.Ref, nil)
+		res, err := harness.AggregateConfig(cp, lookup, ref, nil)
 		if err != nil {
 			return err
 		}

@@ -18,10 +18,15 @@ type Reference struct {
 	EnergyJ map[string]float64
 }
 
-// Reference measures all 61 benchmarks on the four stock reference
-// processors and builds the normalization table. The harness cache makes
-// repeated calls cheap.
-func (h *Harness) Reference() (*Reference, error) {
+// MeasureFunc is a measurement source: the harness's own Measure, or a
+// remote source (the cluster client) that returns bit-identical
+// measurements by the determinism contract.
+type MeasureFunc func(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*Measurement, error)
+
+// ReferenceCells lists the (benchmark, reference processor) grid the
+// normalization table is built from, in the order BuildReference
+// consumes it.
+func ReferenceCells() ([]proc.ConfiguredProcessor, error) {
 	refs := make([]proc.ConfiguredProcessor, 0, 4)
 	for _, name := range proc.ReferenceNames() {
 		p, err := proc.ByName(name)
@@ -30,6 +35,19 @@ func (h *Harness) Reference() (*Reference, error) {
 		}
 		refs = append(refs, proc.ConfiguredProcessor{Proc: p, Config: p.Stock()})
 	}
+	return refs, nil
+}
+
+// BuildReference builds the Section 2.6 normalization table from any
+// measurement source. The accumulation order is fixed (benchmarks outer,
+// reference processors in ReferenceNames order inner), so every source
+// that returns bit-identical measurements produces a bit-identical
+// table.
+func BuildReference(measure MeasureFunc) (*Reference, error) {
+	refs, err := ReferenceCells()
+	if err != nil {
+		return nil, err
+	}
 	out := &Reference{
 		Seconds: make(map[string]float64, 61),
 		EnergyJ: make(map[string]float64, 61),
@@ -37,7 +55,7 @@ func (h *Harness) Reference() (*Reference, error) {
 	for _, b := range workload.All() {
 		var times, watts []float64
 		for _, cp := range refs {
-			m, err := h.Measure(b, cp)
+			m, err := measure(b, cp)
 			if err != nil {
 				return nil, err
 			}
@@ -49,6 +67,13 @@ func (h *Harness) Reference() (*Reference, error) {
 		out.EnergyJ[b.Name] = stats.Mean(watts) * t
 	}
 	return out, nil
+}
+
+// Reference measures all 61 benchmarks on the four stock reference
+// processors and builds the normalization table. The harness cache makes
+// repeated calls cheap.
+func (h *Harness) Reference() (*Reference, error) {
+	return BuildReference(h.Measure)
 }
 
 // Normalized is one benchmark's reference-normalized result.
@@ -110,6 +135,14 @@ type ConfigResult struct {
 // configuration and aggregates per Section 2.6. Passing nil groups
 // selects all four.
 func (h *Harness) MeasureConfig(cp proc.ConfiguredProcessor, ref *Reference, groups []workload.Group) (*ConfigResult, error) {
+	return AggregateConfig(cp, h.Measure, ref, groups)
+}
+
+// AggregateConfig aggregates one configuration per Section 2.6 from any
+// measurement source, with the same accumulation order as MeasureConfig
+// (groups outer, each group's benchmarks in workload order inner) so
+// results are bit-identical across sources.
+func AggregateConfig(cp proc.ConfiguredProcessor, measure MeasureFunc, ref *Reference, groups []workload.Group) (*ConfigResult, error) {
 	if ref == nil {
 		return nil, errors.New("harness: nil reference")
 	}
@@ -122,7 +155,7 @@ func (h *Harness) MeasureConfig(cp proc.ConfiguredProcessor, ref *Reference, gro
 	for _, g := range groups {
 		var perfs, watts, energies []float64
 		for _, b := range workload.ByGroup(g) {
-			m, err := h.Measure(b, cp)
+			m, err := measure(b, cp)
 			if err != nil {
 				return nil, err
 			}

@@ -153,13 +153,25 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, er
 // Len returns the number of resident entries.
 func (c *Cache) Len() int {
 	n := 0
+	for _, l := range c.ShardLens() {
+		n += l
+	}
+	return n
+}
+
+// ShardLens returns the resident entry count of every shard, in shard
+// order — the per-shard occupancy view /statsz and /metricsz expose so
+// operators can see whether the rendezvous routing keeps each backend's
+// key space (and therefore its shards) evenly loaded.
+func (c *Cache) ShardLens() []int {
+	lens := make([]int, cacheShards)
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += s.lru.Len()
+		lens[i] = s.lru.Len()
 		s.mu.Unlock()
 	}
-	return n
+	return lens
 }
 
 // CacheStats is a point-in-time counter snapshot.
@@ -170,17 +182,24 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Capacity  int   `json:"capacity"`
+	Shards    []int `json:"shard_entries"`
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
+	shards := c.ShardLens()
+	n := 0
+	for _, l := range shards {
+		n += l
+	}
 	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
+		Entries:   n,
 		Capacity:  c.perShard * cacheShards,
+		Shards:    shards,
 	}
 }
 

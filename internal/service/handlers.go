@@ -25,6 +25,7 @@ const maxRequestBytes = 4 << 20
 //	GET  /v1/dataset            stream the full-study CSV
 //	GET  /healthz               liveness (503 while draining)
 //	GET  /statsz                cache/queue/request counters
+//	GET  /metricsz              the same counters, Prometheus text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
@@ -33,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/dataset", s.handleDataset)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux
 }
 
@@ -68,6 +70,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
+	full := req.Detail == DetailFull
 
 	// Fan the cells out: claim-by-index across a bounded set of request
 	// goroutines. Real computation is admitted by the shared worker
@@ -92,13 +95,13 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 				if i >= len(cells) || ctx.Err() != nil {
 					return
 				}
-				res, err := s.measureCell(ctx, seed, cells[i])
+				m, err := s.measureCell(ctx, seed, cells[i])
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					cancel()
 					return
 				}
-				results[i] = *res
+				results[i] = *cellResult(cells[i], m, full)
 			}
 		}()
 	}

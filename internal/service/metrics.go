@@ -1,0 +1,60 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// handleMetricsz renders the server counters in the Prometheus text
+// exposition format, so cluster tests and fleet operators can scrape
+// backend load with stock tooling. Families are emitted in a fixed
+// order; everything here is also in /statsz as JSON.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	var b strings.Builder
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	gauge("powerperfd_uptime_seconds", "Seconds since the daemon started.", st.UptimeS)
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	gauge("powerperfd_draining", "1 while graceful shutdown is in progress.", draining)
+
+	counter("powerperfd_cache_hits_total", "Measure cells served from a completed cache entry.", st.Cache.Hits)
+	counter("powerperfd_cache_misses_total", "Measure cell fills started.", st.Cache.Misses)
+	counter("powerperfd_cache_coalesced_total", "Measure cells that waited on another requester's fill (duplicate suppression).", st.Cache.Coalesced)
+	counter("powerperfd_cache_evictions_total", "Completed cache entries evicted by the LRU bound.", st.Cache.Evictions)
+	gauge("powerperfd_cache_entries", "Resident cache entries.", float64(st.Cache.Entries))
+	gauge("powerperfd_cache_capacity", "Cache capacity in cells.", float64(st.Cache.Capacity))
+
+	name := "powerperfd_cache_shard_entries"
+	fmt.Fprintf(&b, "# HELP %s Resident entries per cache shard.\n# TYPE %s gauge\n", name, name)
+	for i, l := range st.Cache.Shards {
+		fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", name, i, l)
+	}
+
+	gauge("powerperfd_queue_depth", "Measurement tasks queued, not yet executing.", float64(st.Queue.Depth))
+	gauge("powerperfd_queue_capacity", "Bounded measurement queue capacity.", float64(st.Queue.Capacity))
+	gauge("powerperfd_inflight_workers", "Measurement closures currently executing.", float64(st.Queue.Inflight))
+	gauge("powerperfd_workers", "Measurement worker count.", float64(st.Queue.Workers))
+
+	name = "powerperfd_requests_total"
+	fmt.Fprintf(&b, "# HELP %s Requests per endpoint family.\n# TYPE %s counter\n", name, name)
+	fmt.Fprintf(&b, "%s{endpoint=\"measure\"} %d\n", name, st.Requests.Measure)
+	fmt.Fprintf(&b, "%s{endpoint=\"experiments\"} %d\n", name, st.Requests.Experiments)
+	fmt.Fprintf(&b, "%s{endpoint=\"dataset\"} %d\n", name, st.Requests.Dataset)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -7,7 +7,9 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/counters"
 	"repro/internal/proc"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -33,28 +35,75 @@ type CellRequest struct {
 }
 
 // MeasureRequest is the POST /v1/measure body: a batch of cells measured
-// under one study seed. A nil Seed selects the daemon's seed.
+// under one study seed. A nil Seed selects the daemon's seed. Detail
+// selects the response shape: "" or "summary" returns the aggregated
+// outputs only; "full" additionally returns every run sample, the mean
+// counters, and both confidence intervals — enough for a client to
+// reconstruct the harness Measurement bit-identically.
 type MeasureRequest struct {
-	Seed  *int64        `json:"seed,omitempty"`
-	Cells []CellRequest `json:"cells"`
+	Seed   *int64        `json:"seed,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+	Cells  []CellRequest `json:"cells"`
 }
+
+// DetailFull requests the reconstruction-grade response shape.
+const DetailFull = "full"
 
 // CellResult is one measured cell as served to clients: the request
 // identity echoed back (with the resolved configuration) plus the
 // aggregated methodology outputs. Field order is fixed, so two servers
-// answering the same request produce byte-identical JSON.
+// answering the same request produce byte-identical JSON. Full is only
+// populated for detail=full requests; Go's JSON float encoding is
+// shortest-round-trip, so the float64s a full-detail client decodes are
+// bit-identical to the ones the backend measured.
 type CellResult struct {
-	Benchmark  string     `json:"benchmark"`
-	Processor  string     `json:"processor"`
-	Config     ConfigJSON `json:"config"`
-	Suite      string     `json:"suite"`
-	Group      string     `json:"group"`
-	Runs       int        `json:"runs"`
-	Seconds    float64    `json:"seconds"`
-	Watts      float64    `json:"watts"`
-	EnergyJ    float64    `json:"energy_j"`
-	TimeCIRel  float64    `json:"time_ci_rel"`
-	PowerCIRel float64    `json:"power_ci_rel"`
+	Benchmark  string      `json:"benchmark"`
+	Processor  string      `json:"processor"`
+	Config     ConfigJSON  `json:"config"`
+	Suite      string      `json:"suite"`
+	Group      string      `json:"group"`
+	Runs       int         `json:"runs"`
+	Seconds    float64     `json:"seconds"`
+	Watts      float64     `json:"watts"`
+	EnergyJ    float64     `json:"energy_j"`
+	TimeCIRel  float64     `json:"time_ci_rel"`
+	PowerCIRel float64     `json:"power_ci_rel"`
+	Full       *CellDetail `json:"full,omitempty"`
+}
+
+// CellDetail is the reconstruction-grade tail of a full-detail cell: the
+// complete methodology output beyond the summary fields.
+type CellDetail struct {
+	RunSamples []RunJSON    `json:"run_samples"`
+	Counters   CountersJSON `json:"counters"`
+	TimeCI     CIJSON       `json:"time_ci"`
+	PowerCI    CIJSON       `json:"power_ci"`
+}
+
+// RunJSON is one measured invocation on the wire.
+type RunJSON struct {
+	Seconds  float64      `json:"seconds"`
+	Watts    float64      `json:"watts"`
+	Counters CountersJSON `json:"counters"`
+}
+
+// CountersJSON is the wire form of the architectural event counters.
+type CountersJSON struct {
+	Cycles              float64 `json:"cycles"`
+	Instructions        float64 `json:"instructions"`
+	AppInstructions     float64 `json:"app_instructions"`
+	ServiceInstructions float64 `json:"service_instructions"`
+	LLCMisses           float64 `json:"llc_misses"`
+	DTLBMisses          float64 `json:"dtlb_misses"`
+	BranchInstructions  float64 `json:"branch_instructions"`
+}
+
+// CIJSON is the wire form of a confidence interval.
+type CIJSON struct {
+	Mean  float64 `json:"mean"`
+	Half  float64 `json:"half"`
+	Level float64 `json:"level"`
+	N     int     `json:"n"`
 }
 
 // MeasureResponse is the POST /v1/measure reply, cells in request order.
@@ -84,6 +133,11 @@ func DecodeMeasureRequest(r io.Reader) (*MeasureRequest, []cell, error) {
 	// A second document in the body is as malformed as a bad first one.
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
 		return nil, nil, errors.New("service: trailing data after request body")
+	}
+	switch req.Detail {
+	case "", "summary", DetailFull:
+	default:
+		return nil, nil, fmt.Errorf("service: unknown detail %q (want summary or full)", req.Detail)
 	}
 	cells, err := resolveCells(req.Cells)
 	if err != nil {
@@ -144,4 +198,40 @@ func cellKey(seed int64, c cell) string {
 // configJSON renders a resolved configuration back to the wire form.
 func configJSON(cfg proc.Config) ConfigJSON {
 	return ConfigJSON{Cores: cfg.Cores, SMTWays: cfg.SMTWays, ClockGHz: cfg.ClockGHz, Turbo: cfg.Turbo}
+}
+
+// CountersToJSON converts counters to the wire form.
+func CountersToJSON(c counters.Counters) CountersJSON {
+	return CountersJSON{
+		Cycles:              c.Cycles,
+		Instructions:        c.Instructions,
+		AppInstructions:     c.AppInstructions,
+		ServiceInstructions: c.ServiceInstructions,
+		LLCMisses:           c.LLCMisses,
+		DTLBMisses:          c.DTLBMisses,
+		BranchInstructions:  c.BranchInstructions,
+	}
+}
+
+// Counters converts the wire form back to counters.
+func (c CountersJSON) Counters() counters.Counters {
+	return counters.Counters{
+		Cycles:              c.Cycles,
+		Instructions:        c.Instructions,
+		AppInstructions:     c.AppInstructions,
+		ServiceInstructions: c.ServiceInstructions,
+		LLCMisses:           c.LLCMisses,
+		DTLBMisses:          c.DTLBMisses,
+		BranchInstructions:  c.BranchInstructions,
+	}
+}
+
+// CIToJSON converts a confidence interval to the wire form.
+func CIToJSON(ci stats.CI) CIJSON {
+	return CIJSON{Mean: ci.Mean, Half: ci.Half, Level: ci.Level, N: ci.N}
+}
+
+// CI converts the wire form back to a confidence interval.
+func (c CIJSON) CI() stats.CI {
+	return stats.CI{Mean: c.Mean, Half: c.Half, Level: c.Level, N: c.N}
 }

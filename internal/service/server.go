@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,11 +32,25 @@ type Options struct {
 	// HarnessCapacity bounds how many per-seed harnesses stay resident;
 	// <= 0 selects 4.
 	HarnessCapacity int
+	// Hooks injects faults and latency into the measurement path for
+	// tests; nil in production.
+	Hooks *Hooks
+}
+
+// Hooks are test seams. BeforeMeasure runs inside the worker pool before
+// each uncached cell computation: sleeping there simulates a straggling
+// backend, returning an error simulates a failing one. It is never
+// called on cache hits, mirroring where real latency and faults live.
+type Hooks struct {
+	BeforeMeasure func(seed int64, benchmark, processor string) error
 }
 
 func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 1024
@@ -100,29 +115,33 @@ func (s *Server) Drain() {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // measureCell computes (or serves from cache) one cell under one seed.
-func (s *Server) measureCell(ctx context.Context, seed int64, c cell) (*CellResult, error) {
+// The cache holds the full harness Measurement, so one resident entry
+// serves both summary and full-detail requests.
+func (s *Server) measureCell(ctx context.Context, seed int64, c cell) (*harness.Measurement, error) {
 	v, err := s.cache.GetOrCompute(ctx, cellKey(seed, c), func() (any, error) {
 		return s.pool.Do(ctx, func() (any, error) {
+			if s.opts.Hooks != nil && s.opts.Hooks.BeforeMeasure != nil {
+				if err := s.opts.Hooks.BeforeMeasure(seed, c.bench.Name, c.cp.Proc.Name); err != nil {
+					return nil, err
+				}
+			}
 			h, err := s.harnesses.get(seed)
 			if err != nil {
 				return nil, err
 			}
-			m, err := h.MeasureUncached(c.bench, c.cp)
-			if err != nil {
-				return nil, err
-			}
-			return cellResult(c, m), nil
+			return h.MeasureUncached(c.bench, c.cp)
 		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*CellResult), nil
+	return v.(*harness.Measurement), nil
 }
 
-// cellResult flattens a measurement into the wire form.
-func cellResult(c cell, m *harness.Measurement) *CellResult {
-	return &CellResult{
+// cellResult flattens a measurement into the wire form; full selects the
+// reconstruction-grade shape.
+func cellResult(c cell, m *harness.Measurement, full bool) *CellResult {
+	res := &CellResult{
 		Benchmark:  c.bench.Name,
 		Processor:  c.cp.Proc.Name,
 		Config:     configJSON(c.cp.Config),
@@ -135,6 +154,19 @@ func cellResult(c cell, m *harness.Measurement) *CellResult {
 		TimeCIRel:  m.TimeCI.Relative(),
 		PowerCIRel: m.PowerCI.Relative(),
 	}
+	if full {
+		d := &CellDetail{
+			RunSamples: make([]RunJSON, len(m.Runs)),
+			Counters:   CountersToJSON(m.Counters),
+			TimeCI:     CIToJSON(m.TimeCI),
+			PowerCI:    CIToJSON(m.PowerCI),
+		}
+		for i, r := range m.Runs {
+			d.RunSamples[i] = RunJSON{Seconds: r.Seconds, Watts: r.Watts, Counters: CountersToJSON(r.Counters)}
+		}
+		res.Full = d
+	}
+	return res
 }
 
 // experimentsContext returns the shared daemon-seed experiments context,

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/harness"
@@ -439,5 +440,115 @@ func TestHarnessCacheEviction(t *testing.T) {
 	}
 	if n := hc.lru.Len(); n != 2 {
 		t.Fatalf("%d harnesses resident, capacity 2", n)
+	}
+}
+
+// TestMeasureFullDetail verifies the reconstruction-grade response
+// shape: detail=full carries every run sample, the mean counters, and
+// both confidence intervals, while the default shape stays unchanged
+// (no "full" key on the wire).
+func TestMeasureFullDetail(t *testing.T) {
+	_, ts := testServer(t)
+
+	code, body := postMeasure(t, ts.URL, `{"detail":"full","cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("full-detail POST: %d %s", code, body)
+	}
+	var resp MeasureResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	cell := resp.Cells[0]
+	if cell.Full == nil {
+		t.Fatal("detail=full response lacks the full block")
+	}
+	if len(cell.Full.RunSamples) != cell.Runs || cell.Runs == 0 {
+		t.Fatalf("full detail has %d run samples, summary says %d runs", len(cell.Full.RunSamples), cell.Runs)
+	}
+	if cell.Full.TimeCI.N != cell.Runs || cell.Full.TimeCI.Level != 0.95 {
+		t.Fatalf("time CI %+v inconsistent with %d runs", cell.Full.TimeCI, cell.Runs)
+	}
+	if cell.Full.Counters.Instructions <= 0 {
+		t.Fatalf("full detail counters empty: %+v", cell.Full.Counters)
+	}
+
+	code, body = postMeasure(t, ts.URL, `{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("summary POST: %d %s", code, body)
+	}
+	if bytes.Contains(body, []byte(`"full"`)) {
+		t.Fatalf("summary response leaks the full block: %s", body)
+	}
+
+	if code, body := postMeasure(t, ts.URL, `{"detail":"nope","cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`); code != http.StatusBadRequest {
+		t.Fatalf("bad detail: %d %s, want 400", code, body)
+	}
+}
+
+// TestMetricsz verifies the Prometheus exposition endpoint serves the
+// cache, shard, queue, and request families with parseable lines.
+func TestMetricsz(t *testing.T) {
+	_, ts := testServer(t)
+	// Ensure at least one measured cell so counters are nonzero.
+	if code, b := postMeasure(t, ts.URL, `{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`); code != http.StatusOK {
+		t.Fatalf("measure: %d %s", code, b)
+	}
+
+	code, body := get(t, ts.URL+"/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz: %d", code)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"powerperfd_uptime_seconds",
+		"powerperfd_cache_hits_total",
+		"powerperfd_cache_misses_total",
+		"powerperfd_cache_coalesced_total",
+		"powerperfd_cache_shard_entries{shard=\"0\"}",
+		"powerperfd_cache_shard_entries{shard=\"15\"}",
+		"powerperfd_queue_depth",
+		"powerperfd_requests_total{endpoint=\"measure\"}",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("metricsz missing %s", family)
+		}
+	}
+	// Spot-check a value: the shard entries must sum to the statsz
+	// entry count.
+	st := statsOf(t, ts.URL)
+	sum := 0
+	for _, n := range st.Cache.Shards {
+		sum += n
+	}
+	if len(st.Cache.Shards) != 16 || sum != st.Cache.Entries {
+		t.Errorf("statsz shard occupancy %v (sum %d) inconsistent with %d entries",
+			st.Cache.Shards, sum, st.Cache.Entries)
+	}
+}
+
+// TestHooksInjectFaults verifies the test seam: a hook error surfaces
+// as a 500 and is not cached, so the next request recomputes cleanly.
+func TestHooksInjectFaults(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	srv := NewServer(Options{Seed: 42, Workers: 2, Hooks: &Hooks{
+		BeforeMeasure: func(seed int64, bench, processor string) error {
+			if fail.Load() {
+				return fmt.Errorf("injected fault for %s on %s", bench, processor)
+			}
+			return nil
+		},
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	body := `{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`
+	if code, b := postMeasure(t, ts.URL, body); code != http.StatusInternalServerError {
+		t.Fatalf("faulted measure: %d %s, want 500", code, b)
+	}
+	fail.Store(false)
+	if code, b := postMeasure(t, ts.URL, body); code != http.StatusOK {
+		t.Fatalf("post-fault measure: %d %s, want 200 (errors must not be cached)", code, b)
 	}
 }
