@@ -109,8 +109,13 @@ func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time
 			}, nil
 	}
 
-	urls := strings.Split(backends, ",")
-	cl, err := cluster.New(urls, cluster.Options{Seed: seed, HedgeDelay: hedgeDelay})
+	var urls []string
+	for _, u := range strings.Split(backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	cl, err := cluster.New(urls, cluster.Options{Seed: &seed, HedgeDelay: hedgeDelay})
 	if err != nil {
 		return nil, nil, err
 	}

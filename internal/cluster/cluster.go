@@ -21,9 +21,10 @@ import (
 
 // Options configures a Cluster. The zero value selects sane defaults.
 type Options struct {
-	// Seed is the study seed sent with every measure request. Defaults
-	// to 42, the committed dataset's seed.
-	Seed int64
+	// Seed is the study seed sent with every measure request. nil
+	// defaults to 42, the committed dataset's seed; a pointer (rather
+	// than treating 0 as unset) keeps seed 0 a usable seed.
+	Seed *int64
 	// BatchSize is the number of cells per measure request; <= 0 selects
 	// 61, one configuration's full benchmark row.
 	BatchSize int
@@ -57,8 +58,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults(backends int) Options {
-	if o.Seed == 0 {
-		o.Seed = 42
+	if o.Seed == nil {
+		s := int64(42)
+		o.Seed = &s
 	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 61
@@ -96,6 +98,7 @@ func (o Options) withDefaults(backends int) Options {
 // CSV streamers in particular — runs unchanged against a fleet.
 type Cluster struct {
 	opts     Options
+	seed     int64
 	router   *Router
 	clients  map[string]*Client
 	breakers map[string]*Breaker
@@ -124,6 +127,7 @@ func New(backends []string, opts Options) (*Cluster, error) {
 	}
 	cl := &Cluster{
 		opts:     opts,
+		seed:     *opts.Seed,
 		router:   router,
 		clients:  make(map[string]*Client, len(members)),
 		breakers: make(map[string]*Breaker, len(members)),
@@ -181,9 +185,17 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	var firstErr atomic.Value
+	// Mutex, not atomic.Value: concurrent failures carry heterogeneous
+	// concrete error types, which atomic.Value.CompareAndSwap rejects by
+	// panicking.
+	var errMu sync.Mutex
+	var firstErr error
 	fail := func(err error) {
-		firstErr.CompareAndSwap(nil, err)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
 		cancel()
 	}
 
@@ -199,7 +211,7 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 	dispatch = func(idxs []int, excluded map[string]bool) {
 		groups := make(map[string][]int)
 		for _, i := range idxs {
-			key := routeKey(cl.opts.Seed, jobs[i])
+			key := routeKey(cl.seed, jobs[i])
 			be := cl.router.RouteExcluding(key, excluded)
 			if be == "" {
 				fail(fmt.Errorf("cluster: no live backend for %s on %s (all %d excluded)",
@@ -243,7 +255,7 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 			fail(ctx.Err())
 			return
 		}
-		err := cl.tryBatch(ctx, backend, idxs, jobs, out)
+		err := cl.tryBatch(ctx, backend, idxs, jobs, out, excluded)
 		<-sem
 		if err == nil {
 			return
@@ -270,8 +282,11 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 	dispatch(seq(len(jobs)), nil)
 	wg.Wait()
 
-	if v := firstErr.Load(); v != nil {
-		return nil, v.(error)
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -304,16 +319,16 @@ func (e errBreakerOpen) Error() string {
 
 // tryBatch runs one chunk against one backend with retries and hedging,
 // writing reconstructed measurements into out on success.
-func (cl *Cluster) tryBatch(ctx context.Context, backend string, idxs []int, jobs []harness.Job, out []*harness.Measurement) error {
+func (cl *Cluster) tryBatch(ctx context.Context, backend string, idxs []int, jobs []harness.Job, out []*harness.Measurement, excluded map[string]bool) error {
 	req := &service.MeasureRequest{
-		Seed:   &cl.opts.Seed,
+		Seed:   &cl.seed,
 		Detail: service.DetailFull,
 		Cells:  make([]service.CellRequest, len(idxs)),
 	}
 	for i, idx := range idxs {
 		req.Cells[i] = cellRequest(jobs[idx])
 	}
-	hedge := cl.hedgeTarget(backend, jobs[idxs[0]])
+	hedge := cl.hedgeTarget(backend, jobs[idxs[0]], excluded)
 
 	var lastErr error
 	for attempt := 0; attempt < cl.opts.MaxAttempts; attempt++ {
@@ -354,13 +369,15 @@ func (cl *Cluster) tryBatch(ctx context.Context, backend string, idxs []int, job
 // hedgeTarget picks the duplicate destination for a straggling batch:
 // the batch's next-ranked backend (every cell in a chunk shares its
 // first rank, so the representative job's second rank is the natural
-// second home for the whole chunk).
-func (cl *Cluster) hedgeTarget(primary string, j harness.Job) string {
+// second home for the whole chunk). Members already excluded by
+// failover are skipped — hedging to a backend known dead would waste
+// the duplicate and buy back no tail latency.
+func (cl *Cluster) hedgeTarget(primary string, j harness.Job, excluded map[string]bool) string {
 	if cl.opts.HedgeDelay <= 0 || len(cl.clients) < 2 {
 		return ""
 	}
-	for _, m := range cl.router.Rank(routeKey(cl.opts.Seed, j)) {
-		if m != primary {
+	for _, m := range cl.router.Rank(routeKey(cl.seed, j)) {
+		if m != primary && !excluded[m] {
 			return m
 		}
 	}

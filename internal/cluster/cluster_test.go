@@ -43,6 +43,9 @@ func newBackend(t *testing.T, opts service.Options) (*service.Server, *httptest.
 	return srv, ts, d
 }
 
+// seedPtr builds a cluster Options seed pointer.
+func seedPtr(v int64) *int64 { return &v }
+
 func stockJobs(t *testing.T, n int) []harness.Job {
 	t.Helper()
 	cps := proc.StockConfigs()
@@ -58,7 +61,7 @@ func stockJobs(t *testing.T, n int) []harness.Job {
 // bit.
 func TestClusterMatchesLocalHarness(t *testing.T) {
 	_, ts, _ := newBackend(t, service.Options{Seed: 42})
-	cl, err := New([]string{ts.URL}, Options{Seed: 42})
+	cl, err := New([]string{ts.URL}, Options{Seed: seedPtr(42)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +118,7 @@ func TestClusterStudyByteIdenticalAfterBackendDeath(t *testing.T) {
 	_, ts2, _ := newBackend(t, service.Options{Seed: 42})
 
 	cl, err := New([]string{ts0.URL, ts1.URL, ts2.URL}, Options{
-		Seed:             42,
+		Seed:             seedPtr(42),
 		MaxAttempts:      3,
 		BackoffBase:      5 * time.Millisecond,
 		BackoffMax:       50 * time.Millisecond,
@@ -196,7 +199,7 @@ func TestClusterHedging(t *testing.T) {
 	_, fast, _ := newBackend(t, service.Options{Seed: 42})
 
 	cl, err := New([]string{slow.URL, fast.URL}, Options{
-		Seed:       42,
+		Seed:       seedPtr(42),
 		HedgeDelay: 10 * time.Millisecond,
 	})
 	if err != nil {
@@ -247,7 +250,7 @@ func TestClusterBreakerFedByHealthz(t *testing.T) {
 	t.Cleanup(sick.Close)
 
 	cl, err := New([]string{good.URL, sick.URL}, Options{
-		Seed:             42,
+		Seed:             seedPtr(42),
 		BreakerThreshold: 2,
 		BreakerCooldown:  time.Hour,
 	})

@@ -84,7 +84,11 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		fan = 64
 	}
 	var next atomic.Int64
-	var firstErr atomic.Value
+	// Mutex, not atomic.Value: measureCell failures carry heterogeneous
+	// concrete error types, which atomic.Value.CompareAndSwap rejects by
+	// panicking.
+	var errMu sync.Mutex
+	var firstErr error
 	var wg sync.WaitGroup
 	for g := 0; g < fan; g++ {
 		wg.Add(1)
@@ -97,7 +101,11 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 				}
 				m, err := s.measureCell(ctx, seed, cells[i])
 				if err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
 					cancel()
 					return
 				}
@@ -106,8 +114,10 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
-	if v := firstErr.Load(); v != nil {
-		err := v.(error)
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	if err != nil {
 		switch {
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, "draining")
