@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fullstudy [-seed N] [-out DIR] [-backends URL,URL,...]
+//	fullstudy [-seed N] [-out DIR] [-backends URL,URL,...] [-trace-out trace.json]
 //
 // With -backends the study runs remotely against a fleet of powerperfd
 // instances through the cluster coordinator: cells shard across the
@@ -14,6 +14,12 @@
 // failures retry and fail over — and the CSVs are byte-identical to a
 // local run, because every cell is a pure function of its identity no
 // matter which backend computes it.
+//
+// With -trace-out the run records spans of every batch, cell, and (in
+// cluster mode) routing/retry/hedge/failover decision, and writes them
+// as Chrome trace-event JSON — load the file in chrome://tracing or
+// Perfetto for a flame view of where the study spent its time. Tracing
+// never changes the dataset's bytes.
 //
 // Writes:
 //
@@ -27,7 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,26 +44,34 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/profiling"
+	"repro/internal/telemetry"
 )
 
+var logger = telemetry.Logger("fullstudy")
+
+func fatal(msg string, err error) {
+	logger.Error(msg, slog.Any("error", err))
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fullstudy: ")
 	seed := flag.Int64("seed", 42, "study seed")
 	out := flag.String("out", "dataset", "output directory")
 	backends := flag.String("backends", "", "comma-separated powerperfd base URLs; when set, measure remotely")
 	hedgeDelay := flag.Duration("hedge-delay", 400*time.Millisecond, "duplicate a straggling batch to a second backend after this long (cluster mode; 0 disables)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's spans to this file")
+	traceBuffer := flag.Int("trace-buffer", 65536, "completed spans retained for -trace-out")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
-		log.Fatal(err)
+		fatal("profiling", err)
 	}
 	defer func() {
 		if err := stopProfiling(); err != nil {
-			log.Fatal(err)
+			fatal("profiling", err)
 		}
 	}()
 
@@ -65,43 +79,57 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(*traceBuffer)
+	}
+
 	start := time.Now()
-	measurements, aggregates, err := streamers(ctx, *seed, *backends, *hedgeDelay)
+	measurements, aggregates, err := streamers(ctx, *seed, *backends, *hedgeDelay, tracer)
 	if err != nil {
-		log.Fatal(err)
+		fatal("setup", err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		fatal("output directory", err)
 	}
 
 	space := powerperf.ConfigSpace()
-	log.Printf("measuring %d configurations x 61 benchmarks in parallel...", len(space))
+	logger.Info("measuring", slog.Int("configurations", len(space)), slog.Int("benchmarks", 61))
 	if err := writeCSV(ctx, filepath.Join(*out, "measurements.csv"), measurements); err != nil {
-		log.Fatal(err)
+		fatal("measurements.csv", err)
 	}
 	if err := writeCSV(ctx, filepath.Join(*out, "aggregates.csv"), aggregates); err != nil {
-		log.Fatal(err)
+		fatal("aggregates.csv", err)
 	}
 	manifest := fmt.Sprintf(
 		"powerperf full study dataset\nseed: %d\nconfigurations: %d\nbenchmarks: %d\nrows: %d measurements, %d aggregates\ngenerated in: %s\n",
 		*seed, len(space), 61, len(space)*61, len(space)*5, time.Since(start).Round(time.Millisecond))
 	if err := os.WriteFile(filepath.Join(*out, "MANIFEST.txt"), []byte(manifest), 0o644); err != nil {
-		log.Fatal(err)
+		fatal("MANIFEST.txt", err)
 	}
-	log.Printf("wrote %s in %s", *out, time.Since(start).Round(time.Millisecond))
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fatal("trace export", err)
+		}
+		logger.Info("wrote trace", slog.String("path", *traceOut),
+			slog.Int("spans", len(tracer.Snapshot())))
+	}
+	logger.Info("wrote dataset", slog.String("dir", *out),
+		slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)))
 }
 
 type streamFunc = func(ctx context.Context, w io.Writer) error
 
 // streamers builds the two CSV writers, local (in-process harness) or
 // remote (cluster coordinator over powerperfd backends). Both produce
-// byte-identical files at the same seed.
-func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time.Duration) (measurements, aggregates streamFunc, err error) {
+// byte-identical files at the same seed, traced or not.
+func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time.Duration, tracer *telemetry.Tracer) (measurements, aggregates streamFunc, err error) {
 	if backends == "" {
 		study, err := powerperf.NewStudy(seed)
 		if err != nil {
 			return nil, nil, err
 		}
+		study.SetTracer(tracer)
 		return func(ctx context.Context, w io.Writer) error {
 				return study.WriteMeasurementsCSV(ctx, w, nil, 0)
 			}, func(ctx context.Context, w io.Writer) error {
@@ -115,20 +143,29 @@ func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time
 			urls = append(urls, u)
 		}
 	}
-	cl, err := cluster.New(urls, cluster.Options{Seed: &seed, HedgeDelay: hedgeDelay})
+	cl, err := cluster.New(urls, cluster.Options{Seed: &seed, HedgeDelay: hedgeDelay, Tracer: tracer})
 	if err != nil {
 		return nil, nil, err
 	}
 	cl.StartProber(ctx, 2*time.Second)
-	log.Printf("measuring through %d backends: %s", len(cl.Backends()), strings.Join(cl.Backends(), ", "))
+	logger.Info("measuring through backends", slog.Int("count", len(cl.Backends())),
+		slog.String("backends", strings.Join(cl.Backends(), ", ")))
 	ref, err := cl.Reference(ctx, 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("building normalization reference: %w", err)
 	}
 	logStats := func() {
 		st := cl.Stats()
-		log.Printf("cluster: %d batches, %d cells, %d retries, %d hedges (%d won), %d failovers, %d breaker opens",
-			st.BatchesSent, st.CellsMeasured, st.Retries, st.HedgesFired, st.HedgeWins, st.Failovers, st.BreakerOpens)
+		logger.Info("cluster stats",
+			slog.Int64("batches", st.BatchesSent), slog.Int64("cells", st.CellsMeasured),
+			slog.Int64("retries", st.Retries), slog.Int64("hedges_fired", st.HedgesFired),
+			slog.Int64("hedge_wins", st.HedgeWins), slog.Int64("failovers", st.Failovers),
+			slog.Int64("breaker_opens", st.BreakerOpens))
+		for _, be := range st.Backends {
+			logger.Info("backend latency", slog.String("backend", be.URL),
+				slog.Int64("requests", be.Requests), slog.Float64("p50_ms", be.P50Ms),
+				slog.Float64("p90_ms", be.P90Ms), slog.Float64("p99_ms", be.P99Ms))
+		}
 	}
 	return func(ctx context.Context, w io.Writer) error {
 			err := experiments.StreamMeasurementsCSVFrom(ctx, cl, ref, nil, w, 0)
@@ -148,6 +185,18 @@ func writeCSV(ctx context.Context, path string, stream streamFunc) error {
 	}
 	defer fd.Close()
 	if err := stream(ctx, fd); err != nil {
+		return err
+	}
+	return fd.Close()
+}
+
+func writeTrace(path string, tracer *telemetry.Tracer) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	if err := tracer.WriteChromeTrace(fd, 0); err != nil {
 		return err
 	}
 	return fd.Close()

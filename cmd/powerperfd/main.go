@@ -10,6 +10,7 @@
 //	powerperfd [-addr :8722] [-seed 42] [-workers N] [-queue 1024]
 //	           [-cache-cells 10980] [-read-timeout 30s]
 //	           [-write-timeout 15m] [-idle-timeout 2m]
+//	           [-trace-buffer 4096] [-pprof] [-log-level info]
 //
 // Endpoints:
 //
@@ -17,9 +18,15 @@
 //	GET  /v1/experiments        list artifact ids
 //	GET  /v1/experiments/{id}   e.g. table4, figure9, findings
 //	GET  /v1/dataset            measurements.csv (?table=aggregates for the other file)
+//	GET  /v1/traces             recent request spans, Chrome trace-event JSON
 //	GET  /healthz               liveness; 503 while draining
 //	GET  /statsz                cache hit rate, shard occupancy, queue depth
-//	GET  /metricsz              the same counters in Prometheus text format
+//	GET  /metricsz              counters + latency histograms, Prometheus text
+//	GET  /debug/pprof/*         live profiling (only with -pprof)
+//
+// Every request logs one structured access line (method, path, status,
+// duration, trace_id) and records a server span; requests carrying
+// X-Trace-Id/X-Parent-Span headers stitch into the caller's trace.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: new work is rejected,
 // queued and in-flight cells drain, then the listener closes.
@@ -29,19 +36,19 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("powerperfd: ")
 	addr := flag.String("addr", ":8722", "listen address")
 	seed := flag.Int64("seed", 42, "daemon study seed (experiments, dataset, default measure seed)")
 	workers := flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
@@ -51,14 +58,41 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration to read a full request, header plus body (0 = none)")
 	writeTimeout := flag.Duration("write-timeout", 15*time.Minute, "max duration to write a full response; must cover a cold dataset stream (0 = none)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection closes (0 = none)")
+	traceBuffer := flag.Int("trace-buffer", 0, "completed spans retained for /v1/traces (0 = 4096)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ live-profiling handlers")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger := telemetry.Logger("powerperfd")
+	if err := setLogLevel(*logLevel); err != nil {
+		logger.Error("bad -log-level", slog.Any("error", err))
+		os.Exit(2)
+	}
 
 	srv := service.NewServer(service.Options{
 		Seed:          *seed,
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCells,
+		TraceBuffer:   *traceBuffer,
 	})
+
+	handler := srv.Handler()
+	if *pprofOn {
+		// The profiling mux wraps the API: CPU, heap, mutex, and block
+		// profiles of the live daemon via `go tool pprof`. Off by
+		// default — the endpoints expose internals and cost samples.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
+	}
+
 	// Slow-client protection: bound every phase of a connection's life,
 	// not just the header read, so a stalled peer cannot pin a
 	// goroutine and connection forever. The write timeout is generous
@@ -66,7 +100,7 @@ func main() {
 	// streaming.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -78,15 +112,16 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s (seed %d)", *addr, *seed)
+	logger.Info("serving", slog.String("addr", *addr), slog.Int64("seed", *seed))
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("listener failed", slog.Any("error", err))
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutdown: draining (limit %s)", *drainTimeout)
+	logger.Info("shutdown: draining", slog.Duration("limit", *drainTimeout))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Flip to draining first so /healthz goes unhealthy and new API work
@@ -94,12 +129,21 @@ func main() {
 	done := make(chan struct{})
 	go func() { srv.Drain(); close(done) }()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", slog.Any("error", err))
 	}
 	select {
 	case <-done:
-		log.Printf("shutdown: drained cleanly")
+		logger.Info("shutdown: drained cleanly")
 	case <-shutdownCtx.Done():
-		log.Printf("shutdown: drain limit hit, exiting with work queued")
+		logger.Warn("shutdown: drain limit hit, exiting with work queued")
 	}
+}
+
+func setLogLevel(name string) error {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(name)); err != nil {
+		return err
+	}
+	telemetry.SetLogLevel(l)
+	return nil
 }

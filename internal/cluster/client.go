@@ -26,14 +26,28 @@ import (
 	"repro/internal/harness"
 	"repro/internal/proc"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// Version identifies the coordinator on the wire; backends see it in
+// the User-Agent header of every request.
+const Version = "0.4.0"
+
+// userAgent is the User-Agent header value sent with every request.
+const userAgent = "powerperf-cluster/" + Version
 
 // Client is a typed HTTP client for one powerperfd backend.
 type Client struct {
 	base    string
 	hc      *http.Client
 	timeout time.Duration // per-request deadline; <= 0 means none
+
+	// lat is this backend's measure-exchange latency distribution, one
+	// labeled series of the shared cluster family; it surfaces in the
+	// coordinator's Stats and in /metricsz when the coordinator shares a
+	// process with a served registry.
+	lat *telemetry.Histogram
 }
 
 // NewClient builds a client for the backend at base (e.g.
@@ -47,7 +61,13 @@ func NewClient(base string, hc *http.Client, timeout time.Duration) *Client {
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
 	}
-	return &Client{base: base, hc: hc, timeout: timeout}
+	return &Client{
+		base:    base,
+		hc:      hc,
+		timeout: timeout,
+		lat: telemetry.Default.LabeledHistogram("powerperf_cluster_backend_request_seconds",
+			"Wall time of measure exchanges per backend.", "backend", base),
+	}
 }
 
 // Base returns the backend base URL.
@@ -101,6 +121,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set("User-Agent", userAgent)
+	// Propagate the caller's trace so the backend's spans stitch into
+	// the coordinator's view (a no-op when ctx carries no span).
+	telemetry.InjectHeaders(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Surface the caller's cancellation as such; everything else is
@@ -133,10 +157,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
-// Measure posts a batch measure request and returns the response.
+// Measure posts a batch measure request and returns the response. The
+// exchange's wall time (success or failure) feeds the backend's
+// latency histogram.
 func (c *Client) Measure(ctx context.Context, req *service.MeasureRequest) (*service.MeasureResponse, error) {
 	var resp service.MeasureResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/measure", req, &resp); err != nil {
+	start := time.Now()
+	err := c.do(ctx, http.MethodPost, "/v1/measure", req, &resp)
+	c.lat.Observe(time.Since(start))
+	if err != nil {
 		return nil, err
 	}
 	if len(resp.Cells) != len(req.Cells) {

@@ -13,9 +13,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"log/slog"
+
 	"repro/internal/harness"
 	"repro/internal/proc"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -55,6 +58,10 @@ type Options struct {
 	// HTTPClient overrides the transport; nil selects a dedicated
 	// client with sensible connection pooling.
 	HTTPClient *http.Client
+	// Tracer records coordinator spans (routing, attempts, retries,
+	// hedges, failovers); nil disables span capture. Tracing is a pure
+	// side channel: study bytes are identical with or without it.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults(backends int) Options {
@@ -102,6 +109,8 @@ type Cluster struct {
 	router   *Router
 	clients  map[string]*Client
 	breakers map[string]*Breaker
+	tracer   *telemetry.Tracer
+	logger   *slog.Logger
 
 	batchesSent atomic.Int64
 	retries     atomic.Int64
@@ -131,6 +140,8 @@ func New(backends []string, opts Options) (*Cluster, error) {
 		router:   router,
 		clients:  make(map[string]*Client, len(members)),
 		breakers: make(map[string]*Breaker, len(members)),
+		tracer:   opts.Tracer,
+		logger:   telemetry.Logger("cluster"),
 	}
 	for _, m := range members {
 		cl.clients[m] = NewClient(m, hc, opts.RequestTimeout)
@@ -141,6 +152,10 @@ func New(backends []string, opts Options) (*Cluster, error) {
 
 // Backends returns the member set in sorted order.
 func (cl *Cluster) Backends() []string { return cl.router.Members() }
+
+// Tracer returns the coordinator's span recorder (nil when tracing is
+// disabled).
+func (cl *Cluster) Tracer() *telemetry.Tracer { return cl.tracer }
 
 // routeKey is a job's rendezvous key: exactly the determinism tuple, so
 // every coordinator shards identically and a backend's cache sees a
@@ -179,6 +194,14 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 		workers = cl.opts.Workers
 	}
 
+	// The batch root span: every routing decision, attempt, retry,
+	// hedge, and failover below parents under it, and backends adopt
+	// its trace id via header propagation — one trace covers the whole
+	// distributed batch.
+	ctx, batchSpan := cl.tracer.StartSpan(ctx, "cluster.MeasureBatch",
+		telemetry.Int("jobs", len(jobs)), telemetry.Int("workers", workers))
+	defer batchSpan.End()
+
 	out := make([]*harness.Measurement, len(jobs))
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -209,6 +232,9 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 	var run func(backend string, idxs []int, excluded map[string]bool)
 
 	dispatch = func(idxs []int, excluded map[string]bool) {
+		_, routeSpan := cl.tracer.StartSpan(ctx, "cluster.route",
+			telemetry.Int("cells", len(idxs)), telemetry.Int("excluded", len(excluded)))
+		defer routeSpan.End()
 		groups := make(map[string][]int)
 		for _, i := range idxs {
 			key := routeKey(cl.seed, jobs[i])
@@ -228,12 +254,14 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 				}
 				ex[be] = true
 				if alt := cl.router.RouteExcluding(key, ex); alt != "" {
+					routeSpan.Annotate(telemetry.String("breaker_reroute", be+"->"+alt))
 					be = alt
 				}
 			}
 			groups[be] = append(groups[be], i)
 		}
 		for be, g := range groups {
+			routeSpan.Annotate(telemetry.String("backend", be), telemetry.Int("backend_cells", len(g)))
 			for len(g) > 0 {
 				n := cl.opts.BatchSize
 				if n > len(g) {
@@ -267,16 +295,24 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 		// The backend is down (retries exhausted or breaker open): fail
 		// its cells over to the next-ranked survivors.
 		cl.failovers.Add(1)
+		_, foSpan := cl.tracer.StartSpan(ctx, "cluster.failover",
+			telemetry.String("from", backend),
+			telemetry.Int("cells", len(idxs)),
+			telemetry.String("cause", err.Error()))
+		cl.logger.WarnContext(ctx, "failover",
+			slog.String("from", backend), slog.Int("cells", len(idxs)), slog.Any("cause", err))
 		ex := make(map[string]bool, len(excluded)+1)
 		for k := range excluded {
 			ex[k] = true
 		}
 		ex[backend] = true
 		if len(ex) >= len(cl.clients) {
+			foSpan.End()
 			fail(err)
 			return
 		}
 		dispatch(idxs, ex)
+		foSpan.End()
 	}
 
 	dispatch(seq(len(jobs)), nil)
@@ -334,25 +370,43 @@ func (cl *Cluster) tryBatch(ctx context.Context, backend string, idxs []int, job
 	for attempt := 0; attempt < cl.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			cl.retries.Add(1)
-			if err := cl.backoff(ctx, attempt); err != nil {
+			cl.logger.InfoContext(ctx, "retry",
+				slog.String("backend", backend), slog.Int("attempt", attempt+1),
+				slog.Int("cells", len(idxs)), slog.Any("cause", lastErr))
+			_, boSpan := cl.tracer.StartSpan(ctx, "cluster.backoff",
+				telemetry.String("backend", backend), telemetry.Int("attempt", attempt+1))
+			err := cl.backoff(ctx, attempt)
+			boSpan.End()
+			if err != nil {
 				return err
 			}
 		}
 		if !cl.breakers[backend].Ready() {
+			_, brSpan := cl.tracer.StartSpan(ctx, "cluster.breaker_open",
+				telemetry.String("backend", backend))
+			brSpan.End()
 			if lastErr != nil {
 				return lastErr
 			}
 			return errBreakerOpen{backend}
 		}
 		cl.batchesSent.Add(1)
-		resp, _, err := cl.measureOnce(ctx, backend, hedge, req)
+		attemptCtx, atSpan := cl.tracer.StartSpan(ctx, "cluster.attempt",
+			telemetry.String("backend", backend),
+			telemetry.Int("attempt", attempt+1),
+			telemetry.Int("cells", len(idxs)))
+		resp, winner, err := cl.measureOnce(attemptCtx, backend, hedge, req)
 		if err != nil {
+			atSpan.Annotate(telemetry.String("error", err.Error()))
+			atSpan.End()
 			if permanent(err) || ctx.Err() != nil {
 				return err
 			}
 			lastErr = err
 			continue
 		}
+		atSpan.Annotate(telemetry.String("winner", winner))
+		atSpan.End()
 		for i, idx := range idxs {
 			m, err := MeasurementFromCell(&resp.Cells[i])
 			if err != nil {
@@ -479,11 +533,17 @@ type Stats struct {
 	BreakerOpens  int64          `json:"breaker_opens"`
 }
 
-// BackendStats is one backend's resilience state.
+// BackendStats is one backend's resilience state plus its measured
+// request-latency distribution (from the coordinator's vantage point:
+// queueing, network, and backend compute together).
 type BackendStats struct {
-	URL   string `json:"url"`
-	State string `json:"breaker_state"`
-	Opens int64  `json:"breaker_opens"`
+	URL      string  `json:"url"`
+	State    string  `json:"breaker_state"`
+	Opens    int64   `json:"breaker_opens"`
+	Requests int64   `json:"requests"`
+	P50Ms    float64 `json:"latency_p50_ms"`
+	P90Ms    float64 `json:"latency_p90_ms"`
+	P99Ms    float64 `json:"latency_p99_ms"`
 }
 
 // Stats snapshots the cluster counters.
@@ -499,7 +559,16 @@ func (cl *Cluster) Stats() Stats {
 	for _, m := range cl.router.Members() {
 		b := cl.breakers[m]
 		opens := b.Opens()
-		st.Backends = append(st.Backends, BackendStats{URL: m, State: b.State(), Opens: opens})
+		lat := cl.clients[m].lat.Summary()
+		st.Backends = append(st.Backends, BackendStats{
+			URL:      m,
+			State:    b.State(),
+			Opens:    opens,
+			Requests: lat.Count,
+			P50Ms:    float64(lat.P50) / 1e6,
+			P90Ms:    float64(lat.P90) / 1e6,
+			P99Ms:    float64(lat.P99) / 1e6,
+		})
 		st.BreakerOpens += opens
 	}
 	return st
@@ -533,5 +602,9 @@ func (cl *Cluster) WriteMetrics(w io.Writer) {
 		}
 		b.WriteString(name + "{backend=\"" + be.URL + "\"} " + strconv.Itoa(v) + "\n")
 	}
+	// The process-global histogram families follow the counters: in a
+	// coordinator process that includes the per-backend request-latency
+	// distributions the clients record.
+	telemetry.Default.WritePrometheus(&b)
 	_, _ = io.WriteString(w, b.String())
 }

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"log/slog"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // measureOnce performs one hedged batch exchange: the request goes to
@@ -55,6 +57,14 @@ func (cl *Cluster) measureOnce(ctx context.Context, primary, hedge string, req *
 			return
 		}
 		cl.hedgesFired.Add(1)
+		// The hedge span marks the decision instant; the duplicate
+		// request itself is visible as the hedge backend's server span
+		// under the same trace.
+		_, hs := cl.tracer.StartSpan(cctx, "cluster.hedge",
+			telemetry.String("primary", primary), telemetry.String("hedge", hedge))
+		hs.End()
+		cl.logger.InfoContext(cctx, "hedge fired",
+			slog.String("primary", primary), slog.String("hedge", hedge))
 		launch(hedge)
 		inflight++
 	}

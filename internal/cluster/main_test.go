@@ -1,0 +1,17 @@
+package cluster
+
+import (
+	"log/slog"
+	"os"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestMain quiets coordinator and backend access logging: the suite
+// deliberately provokes retries, hedges, and failovers, each of which
+// logs at Info. Warn keeps genuine failures visible.
+func TestMain(m *testing.M) {
+	telemetry.SetLogLevel(slog.LevelWarn)
+	os.Exit(m.Run())
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// TestCoordinatorTraceStitchesAcrossBackends is the observability
+// acceptance test: a 2-backend study batch with one injected backend
+// failure produces a single coordinator-side trace containing the
+// batch root, routing, per-attempt spans, and at least one retry
+// (backoff) span — and each backend that served requests retains
+// server-side spans under the same trace id, parented to coordinator
+// attempt spans, fetchable from its /v1/traces endpoint.
+func TestCoordinatorTraceStitchesAcrossBackends(t *testing.T) {
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	hooks := &service.Hooks{BeforeMeasure: func(seed int64, bench, processor string) error {
+		if failOnce.CompareAndSwap(true, false) {
+			return fmt.Errorf("injected fault: %s on %s", bench, processor)
+		}
+		return nil
+	}}
+	_, ts1, _ := newBackend(t, service.Options{Seed: 42, Hooks: hooks})
+	_, ts2, _ := newBackend(t, service.Options{Seed: 42})
+
+	tr := telemetry.NewTracer(4096)
+	cl, err := New([]string{ts1.URL, ts2.URL}, Options{Seed: seedPtr(42), Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stockJobs(t, 6)
+	if _, err := cl.MeasureBatch(context.Background(), jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator side: one trace rooted at cluster.MeasureBatch holding
+	// every decision span.
+	spans := tr.Snapshot()
+	byName := map[string]int{}
+	attemptIDs := map[string]bool{}
+	var trace telemetry.TraceID
+	for _, s := range spans {
+		byName[s.Name]++
+		switch s.Name {
+		case "cluster.MeasureBatch":
+			trace = s.Trace
+		case "cluster.attempt":
+			attemptIDs[s.ID.String()] = true
+		}
+	}
+	if byName["cluster.MeasureBatch"] != 1 {
+		t.Fatalf("want exactly one batch root span, got %d (spans: %v)", byName["cluster.MeasureBatch"], byName)
+	}
+	if byName["cluster.route"] == 0 || byName["cluster.attempt"] == 0 {
+		t.Fatalf("missing routing/attempt spans: %v", byName)
+	}
+	if byName["cluster.backoff"] == 0 {
+		t.Fatalf("injected fault produced no retry (cluster.backoff) span: %v", byName)
+	}
+	if st := cl.Stats(); st.Retries == 0 {
+		t.Fatalf("stats recorded no retries: %+v", st)
+	}
+	for _, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("span %s is in trace %s, want all coordinator spans in %s", s.Name, s.Trace, trace)
+		}
+	}
+
+	// Backend side: each backend that served requests retains spans under
+	// the coordinator's trace id, parented to a coordinator attempt span.
+	served := 0
+	for _, url := range []string{ts1.URL, ts2.URL} {
+		events := fetchTrace(t, url, trace)
+		if len(events) == 0 {
+			continue
+		}
+		served++
+		for _, ev := range events {
+			args := ev["args"].(map[string]any)
+			if args["trace_id"] != trace.String() {
+				t.Fatalf("backend %s returned a span outside the filter: %v", url, ev)
+			}
+			if ev["name"] == "http.measure" && !attemptIDs[fmt.Sprint(args["parent_id"])] {
+				t.Fatalf("backend %s http.measure span parent %v is not a coordinator attempt span",
+					url, args["parent_id"])
+			}
+		}
+		names := make([]string, 0, len(events))
+		for _, ev := range events {
+			names = append(names, ev["name"].(string))
+		}
+		joined := strings.Join(names, " ")
+		if !strings.Contains(joined, "http.measure") {
+			t.Fatalf("backend %s trace has no http.measure span: %v", url, names)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no backend retained spans for the coordinator's trace")
+	}
+
+	// Per-backend latency distributions surface in Stats once requests
+	// have flowed (satellite: client histograms).
+	st := cl.Stats()
+	sawRequests := false
+	for _, be := range st.Backends {
+		if be.Requests > 0 {
+			sawRequests = true
+			if be.P50Ms <= 0 || be.P99Ms < be.P50Ms {
+				t.Fatalf("backend %s latency summary malformed: %+v", be.URL, be)
+			}
+		}
+	}
+	if !sawRequests {
+		t.Fatalf("no backend recorded request latency: %+v", st.Backends)
+	}
+}
+
+// TestWriteMetricsLintsClean lints the coordinator's Prometheus page —
+// counters, breaker gauges, and the appended histogram families — with
+// the same linter that guards powerperfd's /metricsz.
+func TestWriteMetricsLintsClean(t *testing.T) {
+	_, ts, _ := newBackend(t, service.Options{Seed: 42})
+	cl, err := New([]string{ts.URL}, Options{Seed: seedPtr(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.MeasureBatch(context.Background(), stockJobs(t, 1)[:3], 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	cl.WriteMetrics(&buf)
+	text := buf.String()
+	if problems := telemetry.LintPrometheus(text); len(problems) != 0 {
+		t.Fatalf("WriteMetrics fails Prometheus lint:\n%s\n--- page ---\n%s",
+			strings.Join(problems, "\n"), text)
+	}
+	if !strings.Contains(text, "powerperf_cluster_backend_request_seconds_bucket") {
+		t.Fatal("WriteMetrics missing the per-backend request latency family")
+	}
+}
+
+func fetchTrace(t *testing.T, baseURL string, trace telemetry.TraceID) []map[string]any {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/traces?trace=" + trace.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces from %s: %d %s", baseURL, resp.StatusCode, body)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("backend trace is not valid JSON: %v\n%s", err, body)
+	}
+	return events
+}
+
+// TestClientSetsUserAgentAndPropagatesHeaders pins the wire contract:
+// every coordinator request identifies itself and carries the active
+// span's trace headers.
+func TestClientSetsUserAgentAndPropagatesHeaders(t *testing.T) {
+	var gotUA, gotTrace, gotParent atomic.Value
+	srv := service.NewServer(service.Options{Seed: 42})
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/measure" {
+			gotUA.Store(r.Header.Get("User-Agent"))
+			gotTrace.Store(r.Header.Get(telemetry.HeaderTraceID))
+			gotParent.Store(r.Header.Get(telemetry.HeaderParentSpan))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	tr := telemetry.NewTracer(64)
+	cl, err := New([]string{ts.URL}, Options{Seed: seedPtr(42), Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.MeasureBatch(context.Background(), stockJobs(t, 1)[:2], 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if ua, _ := gotUA.Load().(string); ua != "powerperf-cluster/"+Version {
+		t.Fatalf("User-Agent %q, want powerperf-cluster/%s", ua, Version)
+	}
+	traceHdr, _ := gotTrace.Load().(string)
+	parentHdr, _ := gotParent.Load().(string)
+	if traceHdr == "" || parentHdr == "" {
+		t.Fatalf("trace headers not propagated: trace=%q parent=%q", traceHdr, parentHdr)
+	}
+	spans := tr.Snapshot()
+	ok := false
+	for _, s := range spans {
+		if s.Trace.String() == traceHdr && s.Name == "cluster.attempt" && s.ID.String() == parentHdr {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("propagated headers (trace=%s parent=%s) do not name a coordinator attempt span", traceHdr, parentHdr)
+	}
+}

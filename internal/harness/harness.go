@@ -21,6 +21,7 @@ import (
 	"repro/internal/sensor"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -62,6 +63,11 @@ type Measurement struct {
 type Harness struct {
 	rig  *sensor.Rig
 	seed int64
+
+	// tracer records batch and cell spans when set; nil (the default)
+	// disables span capture. Tracing never touches the measurement
+	// pipeline — results are byte-identical either way.
+	tracer *telemetry.Tracer
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -121,6 +127,13 @@ func (h *Harness) machine(cp proc.ConfiguredProcessor) (*sim.Machine, error) {
 
 // Rig exposes the calibrated sensor rig (for validation reporting).
 func (h *Harness) Rig() *sensor.Rig { return h.rig }
+
+// SetTracer attaches a span tracer; nil disables tracing. Set before
+// issuing work — the tracer is read concurrently by batch workers.
+func (h *Harness) SetTracer(t *telemetry.Tracer) { h.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (h *Harness) Tracer() *telemetry.Tracer { return h.tracer }
 
 // Measure runs the full methodology for one benchmark on one configured
 // processor. Results are cached by benchmark name and configuration: the

@@ -6,9 +6,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
+)
+
+// Batch and cell latency distributions, exported as Prometheus
+// histogram families through the process-global registry (the service
+// renders them in /metricsz). Histograms are always on — an Observe is
+// two atomic adds, invisible next to a millisecond-scale cell.
+var (
+	batchHist = telemetry.Default.Histogram("powerperf_measure_batch_seconds",
+		"Wall time of harness.MeasureBatch calls.")
+	cellHist = telemetry.Default.Histogram("powerperf_measure_cell_seconds",
+		"Wall time of one measurement cell (cache hits included).")
 )
 
 // Job names one measurement of the study's grid.
@@ -42,6 +55,17 @@ func (h *Harness) MeasureBatch(ctx context.Context, jobs []Job, workers int) ([]
 		workers = len(jobs)
 	}
 
+	// Telemetry is a pure side channel: the span and histograms observe
+	// wall time only, never seeds or measured values, so traced and
+	// untraced batches produce byte-identical results.
+	batchStart := time.Now()
+	ctx, batchSpan := h.tracer.StartSpan(ctx, "harness.MeasureBatch",
+		telemetry.Int("jobs", len(jobs)), telemetry.Int("workers", workers))
+	defer func() {
+		batchHist.Observe(time.Since(batchStart))
+		batchSpan.End()
+	}()
+
 	// Workers claim jobs from an atomic index rather than a producer
 	// channel: a channel feed deadlocks the producer if every worker
 	// exits early on an error, since nothing drains the remaining sends.
@@ -59,7 +83,7 @@ func (h *Harness) MeasureBatch(ctx context.Context, jobs []Job, workers int) ([]
 				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				m, err := h.Measure(jobs[i].Bench, jobs[i].CP)
+				m, err := h.measureCellTraced(ctx, jobs[i])
 				if err != nil {
 					failed.Store(true)
 					select {
@@ -88,6 +112,32 @@ func (h *Harness) MeasureBatch(ctx context.Context, jobs []Job, workers int) ([]
 		}
 	}
 	return results, nil
+}
+
+// measureCellTraced wraps one cell measurement in a span and the cell
+// latency histogram. The span parents under the batch span in ctx, so
+// a trace shows each batch fanning into its cells.
+func (h *Harness) measureCellTraced(ctx context.Context, j Job) (*Measurement, error) {
+	start := time.Now()
+	// Malformed jobs (nil benchmark) must reach Measure's validation and
+	// come back as errors, not panic in the instrumentation.
+	bench, processor := "<nil>", "<nil>"
+	if j.Bench != nil {
+		bench = j.Bench.Name
+	}
+	if j.CP.Proc != nil {
+		processor = j.CP.Proc.Name
+	}
+	_, span := h.tracer.StartSpan(ctx, "harness.cell",
+		telemetry.String("benchmark", bench),
+		telemetry.String("processor", processor))
+	m, err := h.Measure(j.Bench, j.CP)
+	if err != nil {
+		span.Annotate(telemetry.String("error", err.Error()))
+	}
+	span.End()
+	cellHist.Observe(time.Since(start))
+	return m, err
 }
 
 // GridJobs builds the full cross product of configurations and

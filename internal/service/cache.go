@@ -88,12 +88,46 @@ func (c *Cache) shardFor(key string) *shard {
 	return &c.shards[h.Sum32()%cacheShards]
 }
 
+// Outcome classifies how GetOrComputeOutcome satisfied a request; the
+// service annotates each cell's span with it and feeds the fill-
+// duration histogram on misses.
+type Outcome int
+
+const (
+	// OutcomeHit served a completed cache entry.
+	OutcomeHit Outcome = iota
+	// OutcomeMiss started (and completed) the fill itself.
+	OutcomeMiss
+	// OutcomeCoalesced waited on another requester's in-flight fill.
+	OutcomeCoalesced
+)
+
+// String renders the outcome for span attributes and log fields.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeCoalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
 // GetOrCompute returns the cached value for key, or computes it via fn.
 // Exactly one concurrent caller runs fn per key (singleflight); the
 // others wait for it, subject to their own ctx. The computing caller is
 // not cancellable once the fill starts — a deterministic fill is worth
 // completing because every future request for the key reuses it.
 func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	v, _, err := c.GetOrComputeOutcome(ctx, key, fn)
+	return v, err
+}
+
+// GetOrComputeOutcome is GetOrCompute reporting how the request was
+// satisfied, so callers can attribute latency to fills versus waits.
+func (c *Cache) GetOrComputeOutcome(ctx context.Context, key string, fn func() (any, error)) (any, Outcome, error) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
@@ -102,15 +136,15 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, er
 			s.lru.MoveToFront(el)
 			s.mu.Unlock()
 			c.hits.Add(1)
-			return e.val, e.err
+			return e.val, OutcomeHit, e.err
 		}
 		s.mu.Unlock()
 		c.coalesced.Add(1)
 		select {
 		case <-e.done:
-			return e.val, e.err
+			return e.val, OutcomeCoalesced, e.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, OutcomeCoalesced, ctx.Err()
 		}
 	}
 	e := &entry{key: key, done: make(chan struct{})}
@@ -147,7 +181,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (any, er
 		}
 	}
 	s.mu.Unlock()
-	return e.val, e.err
+	return e.val, OutcomeMiss, e.err
 }
 
 // Len returns the number of resident entries.

@@ -23,19 +23,25 @@ const maxRequestBytes = 4 << 20
 //	GET  /v1/experiments        list experiment ids
 //	GET  /v1/experiments/{id}   regenerate one paper artifact (cached)
 //	GET  /v1/dataset            stream the full-study CSV
+//	GET  /v1/traces             recent spans, Chrome trace-event JSON
 //	GET  /healthz               liveness (503 while draining)
 //	GET  /statsz                cache/queue/request counters
-//	GET  /metricsz              the same counters, Prometheus text format
+//	GET  /metricsz              counters + latency histograms, Prometheus text
+//
+// Every route runs under the observe middleware: a server span per
+// request (stitched into the caller's trace via X-Trace-Id), the
+// per-endpoint latency histogram, and one structured access line.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/dataset", s.handleDataset)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
-	return mux
+	return s.observe(mux)
 }
 
 // writeJSON renders v with a fixed encoder configuration so equivalent

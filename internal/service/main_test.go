@@ -1,0 +1,17 @@
+package service
+
+import (
+	"log/slog"
+	"os"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestMain quiets the per-request access lines: this package's tests
+// issue hundreds of HTTP requests, and the daemon logs one Info line
+// for each. Warn keeps real problems visible without drowning output.
+func TestMain(m *testing.M) {
+	telemetry.SetLogLevel(slog.LevelWarn)
+	os.Exit(m.Run())
+}

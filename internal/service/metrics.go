@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // handleMetricsz renders the server counters in the Prometheus text
@@ -53,6 +55,12 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "%s{endpoint=\"measure\"} %d\n", name, st.Requests.Measure)
 	fmt.Fprintf(&b, "%s{endpoint=\"experiments\"} %d\n", name, st.Requests.Experiments)
 	fmt.Fprintf(&b, "%s{endpoint=\"dataset\"} %d\n", name, st.Requests.Dataset)
+
+	// Latency distributions: every histogram family in the process-global
+	// registry (cell fills, harness batches/cells, HTTP request times,
+	// cluster per-backend exchanges when a coordinator shares the
+	// process) renders as a Prometheus histogram after the counters.
+	telemetry.Default.WritePrometheus(&b)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

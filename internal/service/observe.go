@@ -1,0 +1,129 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Per-endpoint-family HTTP latency distributions, the server-side view
+// of what the cluster client measures per backend.
+var httpHistName = "powerperfd_http_request_seconds"
+
+func httpHist(endpoint string) *telemetry.Histogram {
+	return telemetry.Default.LabeledHistogram(httpHistName,
+		"Wall time of HTTP requests by endpoint family.", "endpoint", endpoint)
+}
+
+// endpointFamily buckets request paths into a bounded label set, so
+// arbitrary client paths cannot mint unbounded metric series.
+func endpointFamily(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/measure"):
+		return "measure"
+	case strings.HasPrefix(path, "/v1/experiments"):
+		return "experiments"
+	case strings.HasPrefix(path, "/v1/dataset"):
+		return "dataset"
+	case strings.HasPrefix(path, "/v1/traces"):
+		return "traces"
+	case path == "/healthz", path == "/statsz", path == "/metricsz":
+		return strings.TrimPrefix(path, "/")
+	default:
+		return "other"
+	}
+}
+
+// statusWriter records the committed status code while preserving the
+// Flusher contract the dataset streamer depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController passthrough.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// observe wraps the API mux with the daemon's request telemetry: a
+// server span per request (adopting X-Trace-Id/X-Parent-Span so a
+// cluster coordinator's trace stitches through), the per-endpoint
+// latency histogram, and one structured access line per request.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		family := endpointFamily(r.URL.Path)
+
+		var ctx = r.Context()
+		var span *telemetry.Span
+		if trace, parent, ok := telemetry.ExtractHeaders(r.Header); ok {
+			ctx, span = s.tracer.StartRemote(ctx, trace, parent, "http."+family)
+		} else {
+			ctx, span = s.tracer.StartSpan(ctx, "http."+family)
+		}
+		span.Annotate(
+			telemetry.String("method", r.Method),
+			telemetry.String("path", r.URL.Path),
+		)
+		w.Header().Set(telemetry.HeaderTraceID, span.Trace().String())
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+
+		span.Annotate(telemetry.String("status", strconv.Itoa(sw.status)))
+		span.End()
+		httpHist(family).Observe(dur)
+		s.logger.InfoContext(ctx, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", dur),
+		)
+	})
+}
+
+// handleTraces serves the tracer's retained spans in the Chrome
+// trace-event JSON format (load the body in chrome://tracing or
+// Perfetto). ?trace=<16-hex-digit id> narrows to one trace — the
+// coordinator uses it to stitch backend spans into its own view.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var trace telemetry.TraceID
+	if tv := r.URL.Query().Get("trace"); tv != "" {
+		id, err := telemetry.ParseID(tv)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		trace = telemetry.TraceID(id)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.tracer.WriteChromeTrace(w, trace)
+}

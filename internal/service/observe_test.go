@@ -1,0 +1,223 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// syncBuffer lets the test read lines the handler goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// chromeEvents decodes a Chrome trace-event JSON body.
+func chromeEvents(t *testing.T, body []byte) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("trace body is not valid JSON: %v\n%s", err, body)
+	}
+	return events
+}
+
+// TestTracesEndpointStitchesCallerTrace drives the daemon the way the
+// cluster coordinator does — a measure request carrying X-Trace-Id and
+// X-Parent-Span — and asserts /v1/traces returns the server's spans
+// under the caller's trace id with the caller's span as parent.
+func TestTracesEndpointStitchesCallerTrace(t *testing.T) {
+	srv := NewServer(Options{Seed: 42, Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	const callerTrace, callerSpan = "00000000deadbeef", "00000000cafef00d"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/measure",
+		strings.NewReader(`{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.HeaderTraceID, callerTrace)
+	req.Header.Set(telemetry.HeaderParentSpan, callerSpan)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("measure: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(telemetry.HeaderTraceID); got != callerTrace {
+		t.Fatalf("response trace header %q, want %q (must echo the caller's trace)", got, callerTrace)
+	}
+
+	code, body := get(t, ts.URL+"/v1/traces?trace="+callerTrace)
+	if code != http.StatusOK {
+		t.Fatalf("traces: %d %s", code, body)
+	}
+	events := chromeEvents(t, body)
+	var names []string
+	sawRoot := false
+	for _, ev := range events {
+		args := ev["args"].(map[string]any)
+		if args["trace_id"] != callerTrace {
+			t.Fatalf("trace filter leaked foreign span: %v", ev)
+		}
+		name := ev["name"].(string)
+		names = append(names, name)
+		if name == "http.measure" {
+			if args["parent_id"] != callerSpan {
+				t.Fatalf("server span parent %v, want the caller's span %s", args["parent_id"], callerSpan)
+			}
+			sawRoot = true
+		}
+	}
+	if !sawRoot {
+		t.Fatalf("no http.measure span in trace, got %v", names)
+	}
+	if !strings.Contains(strings.Join(names, " "), "service.cell") {
+		t.Fatalf("no service.cell span in trace, got %v", names)
+	}
+
+	// Unknown-trace filter returns an empty (but valid) event list, and
+	// a malformed id is a 400.
+	code, body = get(t, ts.URL+"/v1/traces?trace=0000000000000001")
+	if code != http.StatusOK || len(chromeEvents(t, body)) != 0 {
+		t.Fatalf("unknown trace: %d %s", code, body)
+	}
+	if code, _ = get(t, ts.URL+"/v1/traces?trace=xyz"); code != http.StatusBadRequest {
+		t.Fatalf("malformed trace id: %d, want 400", code)
+	}
+}
+
+// TestAccessLogLine asserts the one-line-per-request contract: method,
+// path, status, duration, and trace_id on a single structured line.
+func TestAccessLogLine(t *testing.T) {
+	out := &syncBuffer{}
+	telemetry.SetLogOutput(out)
+	telemetry.SetLogLevel(slog.LevelInfo)
+	defer telemetry.SetLogOutput(os.Stderr)
+	defer telemetry.SetLogLevel(slog.LevelWarn) // restore TestMain's quiet level
+
+	srv := NewServer(Options{Seed: 42, Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	// The access line is written after the response body is flushed, so
+	// poll briefly rather than racing the handler's tail.
+	deadline := time.Now().Add(2 * time.Second)
+	var line string
+	for time.Now().Before(deadline) {
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.Contains(l, "msg=request") && strings.Contains(l, "path=/healthz") {
+				line = l
+			}
+		}
+		if line != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if line == "" {
+		t.Fatalf("no access line for /healthz in log output:\n%s", out.String())
+	}
+	for _, want := range []string{"subsystem=powerperfd", "method=GET", "status=200", "duration=", "trace_id="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access line missing %q: %s", want, line)
+		}
+	}
+}
+
+// TestMetricszLintsClean runs the full exposition page — counters,
+// gauges, and the new histogram families — through the Prometheus
+// linter, and checks the histogram families are present once traffic
+// has flowed.
+func TestMetricszLintsClean(t *testing.T) {
+	_, ts := testServer(t)
+	if code, b := postMeasure(t, ts.URL, `{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`); code != http.StatusOK {
+		t.Fatalf("measure: %d %s", code, b)
+	}
+
+	code, body := get(t, ts.URL+"/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("metricsz: %d", code)
+	}
+	text := string(body)
+	if problems := telemetry.LintPrometheus(text); len(problems) != 0 {
+		t.Fatalf("/metricsz fails Prometheus lint:\n%s", strings.Join(problems, "\n"))
+	}
+	for _, family := range []string{
+		"powerperfd_http_request_seconds_bucket{endpoint=\"measure\",le=",
+		"powerperfd_cell_fill_seconds_bucket",
+		"powerperf_measure_batch_seconds_bucket",
+		"powerperf_measure_cell_seconds_bucket",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("metricsz missing %s", family)
+		}
+	}
+}
+
+// TestEndpointFamilyBounded pins the cardinality guard: arbitrary
+// request paths must collapse into the fixed label set.
+func TestEndpointFamilyBounded(t *testing.T) {
+	cases := map[string]string{
+		"/v1/measure":        "measure",
+		"/v1/experiments/t4": "experiments",
+		"/v1/dataset":        "dataset",
+		"/v1/traces":         "traces",
+		"/healthz":           "healthz",
+		"/statsz":            "statsz",
+		"/metricsz":          "metricsz",
+		"/anything/else":     "other",
+		"/" + strings.Repeat("x", 512): "other",
+	}
+	for path, want := range cases {
+		if got := endpointFamily(path); got != want {
+			t.Errorf("endpointFamily(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestStatusWriterPreservesFlusher guards the dataset streamer's
+// dependency: the telemetry wrapper must still expose Flush.
+func TestStatusWriterPreservesFlusher(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	var w http.ResponseWriter = sw
+	if _, ok := w.(http.Flusher); !ok {
+		t.Fatal("statusWriter lost the Flusher interface")
+	}
+	fmt.Fprint(sw, "x")
+	if sw.status != http.StatusOK {
+		t.Fatalf("implicit status %d, want 200", sw.status)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,8 +14,15 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// Fill-duration distribution: how long uncached cell computations take
+// on this backend, the latency the cache exists to amortize. Exported
+// through /metricsz alongside the harness's batch/cell families.
+var fillHist = telemetry.Default.Histogram("powerperfd_cell_fill_seconds",
+	"Wall time of uncached measurement cell fills (cache misses only).")
 
 // Options configures a Server. The zero value selects sane defaults.
 type Options struct {
@@ -32,6 +40,9 @@ type Options struct {
 	// HarnessCapacity bounds how many per-seed harnesses stay resident;
 	// <= 0 selects 4.
 	HarnessCapacity int
+	// TraceBuffer bounds the tracer's completed-span ring served at
+	// /v1/traces; <= 0 selects telemetry.DefaultSpanBuffer.
+	TraceBuffer int
 	// Hooks injects faults and latency into the measurement path for
 	// tests; nil in production.
 	Hooks *Hooks
@@ -74,6 +85,12 @@ type Server struct {
 
 	harnesses *harnessCache
 
+	// tracer retains recent request spans for /v1/traces; logger is the
+	// daemon's structured log. Both are always on — the ring is bounded
+	// and a span is two clock reads plus a ring slot.
+	tracer *telemetry.Tracer
+	logger *slog.Logger
+
 	// expOnce builds the experiments context (harness + normalization
 	// reference at the daemon seed) on first use; experiments and
 	// dataset requests share it the way the paper's analyses share one
@@ -99,9 +116,15 @@ func NewServer(opts Options) *Server {
 		cache:     NewCache(opts.CacheCapacity),
 		pool:      newWorkPool(opts.Workers, opts.QueueDepth),
 		harnesses: newHarnessCache(opts.HarnessCapacity),
+		tracer:    telemetry.NewTracer(opts.TraceBuffer),
+		logger:    telemetry.Logger("powerperfd"),
 		start:     time.Now(),
 	}
 }
+
+// Tracer exposes the server's span recorder (tests inspect it; the
+// /v1/traces endpoint serves it).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Drain begins graceful shutdown: health goes unhealthy, new API work is
 // rejected, queued and in-flight cells run to completion. It returns
@@ -116,10 +139,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // measureCell computes (or serves from cache) one cell under one seed.
 // The cache holds the full harness Measurement, so one resident entry
-// serves both summary and full-detail requests.
+// serves both summary and full-detail requests. Each cell records a
+// span annotated with its cache outcome; uncached fills also feed the
+// fill-duration histogram.
 func (s *Server) measureCell(ctx context.Context, seed int64, c cell) (*harness.Measurement, error) {
-	v, err := s.cache.GetOrCompute(ctx, cellKey(seed, c), func() (any, error) {
-		return s.pool.Do(ctx, func() (any, error) {
+	_, span := s.tracer.StartSpan(ctx, "service.cell",
+		telemetry.String("benchmark", c.bench.Name),
+		telemetry.String("processor", c.cp.Proc.Name))
+	v, outcome, err := s.cache.GetOrComputeOutcome(ctx, cellKey(seed, c), func() (any, error) {
+		fillStart := time.Now()
+		v, err := s.pool.Do(ctx, func() (any, error) {
 			if s.opts.Hooks != nil && s.opts.Hooks.BeforeMeasure != nil {
 				if err := s.opts.Hooks.BeforeMeasure(seed, c.bench.Name, c.cp.Proc.Name); err != nil {
 					return nil, err
@@ -131,10 +160,16 @@ func (s *Server) measureCell(ctx context.Context, seed int64, c cell) (*harness.
 			}
 			return h.MeasureUncached(c.bench, c.cp)
 		})
+		fillHist.Observe(time.Since(fillStart))
+		return v, err
 	})
+	span.Annotate(telemetry.String("outcome", outcome.String()))
 	if err != nil {
+		span.Annotate(telemetry.String("error", err.Error()))
+		span.End()
 		return nil, err
 	}
+	span.End()
 	return v.(*harness.Measurement), nil
 }
 

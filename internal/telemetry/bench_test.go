@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve is the hot-path cost floor: two atomic
+// adds. Anything above ~10ns/op means the lock-free claim regressed.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures contention across cores —
+// the shape /metricsz instruments see under a parallel MeasureBatch.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Millisecond
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}
+
+// BenchmarkSpanStartEnd is the per-cell tracing cost: id generation,
+// attr copy, monotonic clock reads, and the ring commit.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer(DefaultSpanBuffer)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "bench", Int("i", i))
+		s.End()
+	}
+}
+
+// BenchmarkSpanDisabled is the overhead with no tracer attached — the
+// default in every production path — and must stay near zero.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "bench")
+		s.End()
+	}
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Trace Event Format "complete" event, the schema
+// chrome://tracing and Perfetto load directly — the same flame view
+// `go tool trace` gives the runtime, here for the study pipeline.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds from the export origin
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  uint32            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans in the Chrome trace-event JSON format.
+// Timestamps are microseconds relative to the earliest span; each trace
+// renders as one row (tid derived from the trace id), so concurrent
+// studies stay visually separate.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	events := make([]chromeEvent, 0, len(spans))
+	var origin int64
+	for i, d := range spans {
+		if ns := d.Start.UnixNano(); i == 0 || ns < origin {
+			origin = ns
+		}
+	}
+	for _, d := range spans {
+		args := map[string]string{
+			"trace_id": d.Trace.String(),
+			"span_id":  d.ID.String(),
+		}
+		if d.Parent != 0 {
+			args["parent_id"] = d.Parent.String()
+		}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: d.Name,
+			Cat:  "powerperf",
+			Ph:   "X",
+			TS:   float64(d.Start.UnixNano()-origin) / 1e3,
+			Dur:  float64(d.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  uint32(d.Trace),
+			Args: args,
+		})
+	}
+	// Stable start order keeps exports diffable and viewers fast.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	buf, err := json.MarshalIndent(events, "", " ")
+	if err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}
+
+// WriteChromeTrace exports the tracer's retained spans (all of them, or
+// a single trace when trace != 0).
+func (t *Tracer) WriteChromeTrace(w io.Writer, trace TraceID) error {
+	var spans []SpanData
+	if trace != 0 {
+		spans = t.TraceSpans(trace)
+	} else {
+		spans = t.Snapshot()
+	}
+	return WriteChromeTrace(w, spans)
+}

@@ -1,0 +1,305 @@
+package telemetry
+
+// Prometheus text-exposition linter. /metricsz is consumed by scrapers
+// that silently drop malformed families, so the test suite lints the
+// rendered output instead of trusting the writer: every sample must
+// belong to a family with HELP and TYPE metadata, families must not be
+// declared twice, and histogram series must have monotone, cumulative
+// buckets whose +Inf count equals the _count sample.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSample is one parsed exposition line: name{labels} value.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// LintPrometheus parses Prometheus text exposition and returns a list
+// of problems, empty when the text is well-formed.
+func LintPrometheus(text string) []string {
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	helpFor := map[string]bool{}
+	typeFor := map[string]string{}
+	var samples []promSample
+
+	for i, line := range strings.Split(text, "\n") {
+		n := i + 1
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) < 2 || fields[1] == "" {
+				report("line %d: HELP without text: %s", n, line)
+			}
+			if helpFor[fields[0]] {
+				report("line %d: duplicate HELP for family %s", n, fields[0])
+			}
+			helpFor[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				report("line %d: malformed TYPE: %s", n, line)
+				continue
+			}
+			if _, dup := typeFor[fields[0]]; dup {
+				report("line %d: duplicate TYPE for family %s", n, fields[0])
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				report("line %d: unknown TYPE %q", n, fields[1])
+			}
+			typeFor[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			report("line %d: %v", n, err)
+			continue
+		}
+		s.line = n
+		samples = append(samples, s)
+	}
+
+	// Every sample must belong to a declared family. Histogram samples
+	// carry the _bucket/_sum/_count suffix; strip it to find the family.
+	for _, s := range samples {
+		fam := histogramFamily(s.name, typeFor)
+		if !helpFor[fam] {
+			report("line %d: sample %s has no # HELP for family %s", s.line, s.name, fam)
+		}
+		if _, ok := typeFor[fam]; !ok {
+			report("line %d: sample %s has no # TYPE for family %s", s.line, s.name, fam)
+		}
+	}
+
+	problems = append(problems, lintHistograms(samples, typeFor)...)
+	return problems
+}
+
+// histogramFamily maps a sample name to its metric family: histogram
+// sample names are the family plus a _bucket/_sum/_count suffix.
+func histogramFamily(name string, typeFor map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typeFor[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// seriesKey identifies one histogram series: family plus its labels
+// minus le, in sorted order.
+func seriesKey(fam string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(fam)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, labels[k])
+	}
+	return b.String()
+}
+
+func lintHistograms(samples []promSample, typeFor map[string]string) []string {
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	type series struct {
+		bounds []float64 // parsed le values, in exposition order
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	byKey := map[string]*series{}
+	get := func(key string) *series {
+		s := byKey[key]
+		if s == nil {
+			s = &series{}
+			byKey[key] = s
+		}
+		return s
+	}
+
+	for _, s := range samples {
+		fam := histogramFamily(s.name, typeFor)
+		if typeFor[fam] != "histogram" {
+			continue
+		}
+		key := seriesKey(fam, s.labels)
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				report("line %d: %s bucket without le label", s.line, s.name)
+				continue
+			}
+			bound, err := parseLe(le)
+			if err != nil {
+				report("line %d: %s: %v", s.line, s.name, err)
+				continue
+			}
+			sr := get(key)
+			sr.bounds = append(sr.bounds, bound)
+			sr.counts = append(sr.counts, s.value)
+		case strings.HasSuffix(s.name, "_count"):
+			sr := get(key)
+			sr.count, sr.hasCnt = s.value, true
+		}
+	}
+
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		sr := byKey[key]
+		if len(sr.bounds) == 0 {
+			report("histogram series %s has no buckets", key)
+			continue
+		}
+		for i := 1; i < len(sr.bounds); i++ {
+			if sr.bounds[i] <= sr.bounds[i-1] {
+				report("histogram series %s: le bounds not strictly increasing at index %d", key, i)
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				report("histogram series %s: bucket counts not cumulative at index %d", key, i)
+			}
+		}
+		last := len(sr.bounds) - 1
+		if sr.bounds[last] != infBound {
+			report("histogram series %s missing +Inf bucket", key)
+		}
+		if !sr.hasCnt {
+			report("histogram series %s missing _count sample", key)
+		} else if sr.counts[last] != sr.count {
+			report("histogram series %s: +Inf bucket %v != _count %v", key, sr.counts[last], sr.count)
+		}
+	}
+	return problems
+}
+
+var infBound = math.Inf(1)
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return infBound, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable le %q", s)
+	}
+	return v, nil
+}
+
+// parsePromLine splits `name{k="v",...} value` (labels optional) into a
+// sample, validating the metric-name charset and label quoting.
+func parsePromLine(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unbalanced braces: %s", line)
+		}
+		s.name = rest[:brace]
+		labelText := rest[brace+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+		for _, pair := range splitLabels(labelText) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label %q", pair)
+			}
+			k := strings.TrimSpace(pair[:eq])
+			v := strings.TrimSpace(pair[eq+1:])
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return s, fmt.Errorf("unquoted label value %q", pair)
+			}
+			s.labels[k] = v[1 : len(v)-1]
+		}
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("want `name value`: %s", line)
+		}
+		s.name, rest = fields[0], fields[1]
+	}
+	if !validMetricName(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("unparseable value in %q", line)
+	}
+	s.value = v
+	return s, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if p := strings.TrimSpace(s[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

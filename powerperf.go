@@ -42,6 +42,7 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/proc"
 	"repro/internal/sensor"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -73,7 +74,14 @@ type (
 	FeatureRatio = experiments.Ratio
 	// FeatureGroupEnergy is a comparison's per-group energy breakdown.
 	FeatureGroupEnergy = experiments.GroupEnergy
+	// Tracer records spans of the study pipeline (see SetTracer).
+	Tracer = telemetry.Tracer
 )
+
+// NewTracer builds a span tracer retaining up to capacity completed
+// spans (<= 0 selects the default, 4096). Attach with Study.SetTracer
+// and export with Tracer.WriteChromeTrace.
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
 
 // Workload groups, re-exported for callers of BenchmarksByGroup.
 const (
@@ -164,6 +172,24 @@ func (s *Study) MeasureConfig(cp ConfiguredProcessor) (*ConfigResult, error) {
 
 // Reference exposes the four-processor normalization baseline.
 func (s *Study) Reference() *Reference { return s.ctx.Ref }
+
+// SetTracer attaches a span tracer to the study's harness: every
+// MeasureGrid / CSV-stream batch and cell records a span, exportable
+// with Tracer().WriteChromeTrace. Tracing is a pure side channel —
+// study results are byte-identical with it on or off. nil disables.
+func (s *Study) SetTracer(t *telemetry.Tracer) {
+	if s != nil && s.ctx != nil {
+		s.ctx.H.SetTracer(t)
+	}
+}
+
+// Tracer returns the study's attached tracer (nil when disabled).
+func (s *Study) Tracer() *telemetry.Tracer {
+	if s == nil || s.ctx == nil {
+		return nil
+	}
+	return s.ctx.H.Tracer()
+}
 
 // ValidateRig sweeps every calibrated sensor across known currents and
 // reports the worst error, reproducing the paper's meter validation.

@@ -1,0 +1,88 @@
+package powerperf
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// renderCSVs measures a 6-configuration slice of the seed-42 grid and
+// returns both CSV streams, optionally under a tracer.
+func renderCSVs(t *testing.T, traced bool) (measurements, aggregates []byte, spanCount int) {
+	t.Helper()
+	s, err := NewStudy(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	if traced {
+		tr = NewTracer(1 << 16)
+		s.SetTracer(tr)
+	}
+	cps := ConfigSpace()[:6]
+	var mBuf, aBuf bytes.Buffer
+	if err := s.WriteMeasurementsCSV(context.Background(), &mBuf, cps, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAggregatesCSV(context.Background(), &aBuf, cps, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		spanCount = len(tr.Snapshot())
+	}
+	return mBuf.Bytes(), aBuf.Bytes(), spanCount
+}
+
+// TestCSVBytesUnchangedByTracing is the determinism golden test behind
+// the telemetry subsystem's core contract: tracing observes the
+// pipeline, it never touches it. The same seed must render
+// byte-identical CSV streams with the tracer attached and detached —
+// while the traced run actually records spans, so the equality is not
+// vacuous.
+func TestCSVBytesUnchangedByTracing(t *testing.T) {
+	plainM, plainA, _ := renderCSVs(t, false)
+	tracedM, tracedA, spans := renderCSVs(t, true)
+
+	if spans == 0 {
+		t.Fatal("traced run recorded no spans — the comparison proves nothing")
+	}
+	if !bytes.Equal(plainM, tracedM) {
+		t.Fatalf("measurements.csv differs with tracing on (%d vs %d bytes)", len(plainM), len(tracedM))
+	}
+	if !bytes.Equal(plainA, tracedA) {
+		t.Fatalf("aggregates.csv differs with tracing on (%d vs %d bytes)", len(plainA), len(tracedA))
+	}
+}
+
+// BenchmarkMeasureBatchTraced quantifies the tracing overhead gate
+// (<5% against the untraced path, recorded in BENCH_pr4.json): a cold
+// harness measuring a 2-configuration grid with per-batch and per-cell
+// spans enabled.
+func BenchmarkMeasureBatchTraced(b *testing.B) {
+	benchmarkMeasureBatch(b, true)
+}
+
+// BenchmarkMeasureBatchUntraced is the control for the overhead gate.
+func BenchmarkMeasureBatchUntraced(b *testing.B) {
+	benchmarkMeasureBatch(b, false)
+}
+
+func benchmarkMeasureBatch(b *testing.B, traced bool) {
+	jobs := harness.GridJobs(ConfigSpace()[:2], nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := harness.New(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			h.SetTracer(NewTracer(len(jobs) + 8))
+		}
+		if _, err := h.MeasureBatch(context.Background(), jobs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
