@@ -11,6 +11,7 @@
 //	           [-cache-cells 10980] [-read-timeout 30s]
 //	           [-write-timeout 15m] [-idle-timeout 2m]
 //	           [-trace-buffer 4096] [-pprof] [-log-level info]
+//	           [-monitor-backends self,http://host:8722] [-monitor-interval 5s]
 //
 // Endpoints:
 //
@@ -23,6 +24,8 @@
 //	GET  /statsz                cache hit rate, shard occupancy, queue depth
 //	GET  /metricsz              counters + latency histograms, Prometheus text
 //	GET  /debug/pprof/*         live profiling (only with -pprof)
+//	GET  /v1/alertz             fleet alerts, JSON (only with -monitor-backends)
+//	GET  /debug/dashboard       HTML fleet dashboard (only with -monitor-backends)
 //
 // Every request logs one structured access line (method, path, status,
 // duration, trace_id) and records a server span; requests carrying
@@ -41,9 +44,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/monitor"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -60,6 +65,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection closes (0 = none)")
 	traceBuffer := flag.Int("trace-buffer", 0, "completed spans retained for /v1/traces (0 = 4096)")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ live-profiling handlers")
+	monBackends := flag.String("monitor-backends", "", "comma-separated backend URLs to monitor; 'self' means this daemon (empty = monitoring off)")
+	monInterval := flag.Duration("monitor-interval", 5*time.Second, "monitor scrape-and-evaluate interval")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -76,6 +83,20 @@ func main() {
 		CacheCapacity: *cacheCells,
 		TraceBuffer:   *traceBuffer,
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *monBackends != "" {
+		// Fleet monitoring: scrape the named backends (or this daemon
+		// itself via 'self') and serve /v1/alertz + /debug/dashboard.
+		targets := monitorTargets(*monBackends, *addr)
+		mon := monitor.New(targets, monitor.Options{Interval: *monInterval})
+		mon.Start(ctx)
+		srv.AttachMonitor(mon)
+		logger.Info("monitoring", slog.Any("backends", targets),
+			slog.Duration("interval", *monInterval))
+	}
 
 	handler := srv.Handler()
 	if *pprofOn {
@@ -107,9 +128,6 @@ func main() {
 		IdleTimeout:       *idleTimeout,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("serving", slog.String("addr", *addr), slog.Int64("seed", *seed))
@@ -137,6 +155,28 @@ func main() {
 	case <-shutdownCtx.Done():
 		logger.Warn("shutdown: drain limit hit, exiting with work queued")
 	}
+}
+
+// monitorTargets expands the -monitor-backends list, resolving the
+// 'self' shorthand to this daemon's own address so a single flag turns
+// on self-monitoring.
+func monitorTargets(list, addr string) []string {
+	self := "http://" + addr
+	if strings.HasPrefix(addr, ":") {
+		self = "http://127.0.0.1" + addr
+	}
+	var out []string
+	for _, t := range strings.Split(list, ",") {
+		t = strings.TrimSpace(t)
+		switch t {
+		case "":
+		case "self":
+			out = append(out, self)
+		default:
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 func setLogLevel(name string) error {

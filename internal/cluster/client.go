@@ -34,8 +34,10 @@ import (
 // the User-Agent header of every request.
 const Version = "0.4.0"
 
-// userAgent is the User-Agent header value sent with every request.
-const userAgent = "powerperf-cluster/" + Version
+// userAgent is the User-Agent header value sent with every request; the
+// build token lets backend access logs attribute traffic to an exact
+// coordinator binary.
+var userAgent = "powerperf-cluster/" + Version + " " + telemetry.BuildInfo().UserAgentToken()
 
 // Client is a typed HTTP client for one powerperfd backend.
 type Client struct {

@@ -600,7 +600,9 @@ func (cl *Cluster) WriteMetrics(w io.Writer) {
 		case "open":
 			v = 2
 		}
-		b.WriteString(name + "{backend=\"" + be.URL + "\"} " + strconv.Itoa(v) + "\n")
+		// PromQuote, not raw interpolation: a backend URL with a quote or
+		// backslash must not corrupt the page (round-trip guard).
+		b.WriteString(name + "{backend=" + telemetry.PromQuote(be.URL) + "} " + strconv.Itoa(v) + "\n")
 	}
 	// The process-global histogram families follow the counters: in a
 	// coordinator process that includes the per-backend request-latency

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// TestClusterMetricsRoundTrip is the exposition guard for the
+// coordinator's metrics page: WriteMetrics must lint clean, parse, and
+// survive render→parse with every family — including the per-backend
+// breaker_state samples, whose URL label values exercise the escaping
+// path — intact.
+func TestClusterMetricsRoundTrip(t *testing.T) {
+	_, ts, _ := newBackend(t, service.Options{Seed: 42})
+	cl, err := New([]string{ts.URL}, Options{Seed: seedPtr(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.MeasureBatch(context.Background(), stockJobs(t, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	cl.WriteMetrics(&buf)
+	text := buf.String()
+	if problems := telemetry.LintPrometheus(text); len(problems) != 0 {
+		t.Fatalf("cluster metrics lint problems: %v", problems)
+	}
+	fams, err := telemetry.ParsePrometheus(text)
+	if err != nil {
+		t.Fatalf("cluster metrics do not parse: %v", err)
+	}
+	breaker := false
+	for _, f := range fams {
+		if f.Name == "powerperf_cluster_breaker_state" {
+			breaker = true
+			if len(f.Samples) != 1 {
+				t.Fatalf("breaker_state samples: %+v, want one per backend", f.Samples)
+			}
+			if v, ok := f.Samples[0].Label("backend"); !ok || v != ts.URL {
+				t.Fatalf("breaker_state backend label %q, want %q", v, ts.URL)
+			}
+		}
+	}
+	if !breaker {
+		t.Fatal("cluster metrics missing powerperf_cluster_breaker_state")
+	}
+
+	var rendered bytes.Buffer
+	telemetry.RenderPrometheus(&rendered, fams)
+	again, err := telemetry.ParsePrometheus(rendered.String())
+	if err != nil {
+		t.Fatalf("rendered cluster metrics do not re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(fams, again) {
+		t.Fatal("cluster metrics round-trip lost information")
+	}
+}

@@ -1,0 +1,28 @@
+package cluster
+
+import (
+	"repro/internal/monitor"
+)
+
+// NewMonitor builds a fleet monitor over this cluster's members whose
+// scrape loop doubles as the health prober: every /healthz result feeds
+// the matching circuit breaker exactly as ProbeHealth does, so a
+// coordinator running a monitor needs no separate StartProber — one
+// jittered poll wave drives both alerting and routing. A caller-set
+// OnHealth still runs after the breaker update.
+func (cl *Cluster) NewMonitor(opts monitor.Options) *monitor.Monitor {
+	userHook := opts.OnHealth
+	opts.OnHealth = func(backend string, healthy bool) {
+		if b := cl.breakers[backend]; b != nil {
+			if healthy {
+				b.Success()
+			} else {
+				b.Failure()
+			}
+		}
+		if userHook != nil {
+			userHook(backend, healthy)
+		}
+	}
+	return monitor.New(cl.Backends(), opts)
+}

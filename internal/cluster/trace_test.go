@@ -197,8 +197,11 @@ func TestClientSetsUserAgentAndPropagatesHeaders(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if ua, _ := gotUA.Load().(string); ua != "powerperf-cluster/"+Version {
-		t.Fatalf("User-Agent %q, want powerperf-cluster/%s", ua, Version)
+	// The UA carries the version plus a build token (commit; go version)
+	// so backend logs can attribute traffic to an exact binary.
+	wantUA := "powerperf-cluster/" + Version + " " + telemetry.BuildInfo().UserAgentToken()
+	if ua, _ := gotUA.Load().(string); ua != wantUA {
+		t.Fatalf("User-Agent %q, want %q", ua, wantUA)
 	}
 	traceHdr, _ := gotTrace.Load().(string)
 	parentHdr, _ := gotParent.Load().(string)

@@ -1,0 +1,216 @@
+package monitor
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// sparkline renders a series tail as an inline SVG polyline — no
+// scripts, no external assets, so the dashboard stays a single
+// self-contained response that works with any HTTP client.
+func sparkline(samples []Sample, w, h int) template.HTML {
+	if len(samples) < 2 {
+		return template.HTML(fmt.Sprintf(
+			`<svg width="%d" height="%d" class="spark"><text x="2" y="%d" class="nodata">no data</text></svg>`,
+			w, h, h-3))
+	}
+	lo, hi := samples[0].V, samples[0].V
+	for _, s := range samples[1:] {
+		if s.V < lo {
+			lo = s.V
+		}
+		if s.V > hi {
+			hi = s.V
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	pad := 2.0
+	var pts strings.Builder
+	for i, s := range samples {
+		x := pad + float64(i)/float64(len(samples)-1)*(float64(w)-2*pad)
+		y := pad + (1-(s.V-lo)/span)*(float64(h)-2*pad)
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", x, y)
+	}
+	return template.HTML(fmt.Sprintf(
+		`<svg width="%d" height="%d" class="spark" role="img"><polyline points="%s" fill="none" stroke-width="1.2"/></svg>`,
+		w, h, pts.String()))
+}
+
+// dashboardRow is one backend's rendered row.
+type dashboardRow struct {
+	BackendSnapshot
+	StatusClass string
+	Status      string
+	LatSpark    template.HTML
+	HitSpark    template.HTML
+	QueueSpark  template.HTML
+}
+
+type dashboardAlert struct {
+	Alert
+	StateClass string
+	Age        string
+}
+
+type dashboardData struct {
+	Generated string
+	Build     string
+	Sweeps    int64
+	Interval  string
+	Firing    int
+	Pending   int
+	Rows      []dashboardRow
+	Alerts    []dashboardAlert
+	Rules     []Rule
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="5">
+<title>powerperf fleet</title>
+<style>
+ body { font: 13px/1.5 system-ui, sans-serif; margin: 1.2em; background: #101418; color: #d8dde3; }
+ h1 { font-size: 1.25em; margin: 0 0 .2em; } h2 { font-size: 1.05em; margin: 1.4em 0 .4em; }
+ .meta { color: #8a94a0; margin-bottom: 1em; }
+ table { border-collapse: collapse; width: 100%; }
+ th, td { text-align: left; padding: .3em .7em; border-bottom: 1px solid #232a32; white-space: nowrap; }
+ th { color: #8a94a0; font-weight: 600; }
+ .up { color: #5fd38a; } .down { color: #f2647b; font-weight: 700; } .warn { color: #e8b55a; }
+ .spark polyline { stroke: #6ab0f3; } .spark .nodata { fill: #555e68; font-size: 9px; }
+ .firing { color: #f2647b; font-weight: 700; } .pending { color: #e8b55a; } .resolved { color: #5fd38a; }
+ .mono { font-family: ui-monospace, monospace; } .dim { color: #8a94a0; }
+ .none { color: #5fd38a; }
+</style>
+</head>
+<body>
+<h1>powerperf fleet</h1>
+<div class="meta">generated {{.Generated}} &middot; monitor {{.Build}} &middot; sweep #{{.Sweeps}} every {{.Interval}} &middot;
+{{if .Firing}}<span class="firing">{{.Firing}} firing</span>{{else}}<span class="none">0 firing</span>{{end}}{{if .Pending}} &middot; <span class="pending">{{.Pending}} pending</span>{{end}}</div>
+
+<h2>Backends</h2>
+<table>
+<tr><th>backend</th><th>status</th><th>build</th><th>seed</th><th>uptime</th><th>hit rate</th><th>hit trend</th><th>fill mean</th><th>fill trend</th><th>queue</th><th>queue trend</th><th>scrape</th></tr>
+{{range .Rows}}
+<tr>
+ <td class="mono">{{.URL}}</td>
+ <td class="{{.StatusClass}}">{{.Status}}</td>
+ <td class="mono dim">{{.Build.Commit}}</td>
+ <td>{{.Seed}}</td>
+ <td>{{printf "%.0fs" .UptimeS}}</td>
+ <td>{{printf "%.1f%%" .HitRatePct}}</td>
+ <td>{{.HitSpark}}</td>
+ <td>{{printf "%.2fms" .FillMeanMS}}</td>
+ <td>{{.LatSpark}}</td>
+ <td>{{printf "%.0f/%.0f" .QueueDepth .QueueCap}}</td>
+ <td>{{.QueueSpark}}</td>
+ <td class="dim">{{printf "%.1fms" .ScrapeMS}}{{if .Error}} <span class="down" title="{{.Error}}">!</span>{{end}}</td>
+</tr>
+{{end}}
+</table>
+
+<h2>Alerts</h2>
+{{if .Alerts}}
+<table>
+<tr><th>state</th><th>rule</th><th>backend</th><th>value</th><th>age</th><th>reason</th></tr>
+{{range .Alerts}}
+<tr>
+ <td class="{{.StateClass}}">{{.State}}</td>
+ <td>{{.Rule}}</td>
+ <td class="mono">{{.Backend}}</td>
+ <td>{{printf "%.4g" .Value}}</td>
+ <td class="dim">{{.Age}}</td>
+ <td style="white-space:normal">{{.Reason}}</td>
+</tr>
+{{end}}
+</table>
+{{else}}<p class="none">No alerts: every rule quiet across the fleet.</p>{{end}}
+
+<h2>Slowest cells</h2>
+<table>
+<tr><th>backend</th><th>benchmark</th><th>processor</th><th>latency</th></tr>
+{{range .Rows}}{{$url := .URL}}{{range .TopCells}}
+<tr><td class="mono">{{$url}}</td><td>{{.Benchmark}}</td><td>{{.Processor}}</td><td>{{printf "%.2fms" .Ms}}</td></tr>
+{{end}}{{end}}
+</table>
+
+<h2>Rules</h2>
+<table>
+<tr><th>rule</th><th>kind</th><th>series</th><th>for/clear</th><th>what it catches</th></tr>
+{{range .Rules}}
+<tr><td>{{.Name}}</td><td>{{.Kind}}</td><td class="mono">{{.Series}}</td><td>{{.For}}/{{.Clear}}</td><td style="white-space:normal" class="dim">{{.Help}}</td></tr>
+{{end}}
+</table>
+</body>
+</html>
+`))
+
+// HitRatePct converts the stored fraction for display.
+func (r dashboardRow) HitRatePct() float64 { return r.HitRate * 100 }
+
+// DashboardHandler serves GET /debug/dashboard: a self-contained HTML
+// fleet view (no scripts, no external assets) that meta-refreshes every
+// 5 seconds.
+func (m *Monitor) DashboardHandler() http.Handler {
+	const sparkN, sparkW, sparkH = 60, 140, 26
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := m.Snapshot()
+		data := dashboardData{
+			Generated: snap.Generated.UTC().Format(time.RFC3339),
+			Build:     snap.Build.String(),
+			Sweeps:    snap.Sweeps,
+			Interval:  m.opts.Interval.String(),
+			Rules:     m.detector.Rules(),
+		}
+		for _, bs := range snap.Backends {
+			row := dashboardRow{BackendSnapshot: bs}
+			switch {
+			case !bs.Up:
+				row.StatusClass, row.Status = "down", "DOWN"
+			case !bs.ScrapeOK:
+				row.StatusClass, row.Status = "warn", "degraded"
+			default:
+				row.StatusClass, row.Status = "up", "up"
+			}
+			row.LatSpark = sparkline(m.Series(bs.URL, "powerperfd_cell_fill_seconds_mean", sparkN), sparkW, sparkH)
+			row.HitSpark = sparkline(m.Series(bs.URL, "statsz_cache_hit_rate", sparkN), sparkW, sparkH)
+			row.QueueSpark = sparkline(m.Series(bs.URL, "statsz_queue_depth", sparkN), sparkW, sparkH)
+			data.Rows = append(data.Rows, row)
+		}
+		for _, a := range snap.Alerts {
+			da := dashboardAlert{Alert: a, StateClass: a.State.String()}
+			var since time.Time
+			switch a.State {
+			case StateFiring:
+				since = a.FiringSince
+			case StatePending:
+				since = a.PendingSince
+			default:
+				since = a.ResolvedSince
+			}
+			if !since.IsZero() {
+				da.Age = snap.Generated.Sub(since).Truncate(time.Second).String()
+			}
+			switch a.State {
+			case StateFiring:
+				data.Firing++
+			case StatePending:
+				data.Pending++
+			}
+			data.Alerts = append(data.Alerts, da)
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = dashboardTmpl.Execute(w, data)
+	})
+}

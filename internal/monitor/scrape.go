@@ -1,0 +1,394 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// CellLatency is one slow measurement cell observed via a backend's
+// span ring — the dashboard's "top-k slowest cells" row source.
+type CellLatency struct {
+	Benchmark string  `json:"benchmark"`
+	Processor string  `json:"processor"`
+	Ms        float64 `json:"ms"`
+}
+
+// backendState is the latest non-series scrape state for one backend:
+// liveness, identity, and the slow-cell leaderboard. Series data lives
+// in the store.
+type backendState struct {
+	mu         sync.Mutex
+	up         bool
+	scrapeOK   bool
+	lastErr    string
+	lastScrape time.Time
+	lastDur    time.Duration
+	failures   int64
+	seed       int64
+	build      telemetry.Build
+	topCells   []CellLatency
+	histPrev   map[string]histCum // histogram series key -> last sum/count
+}
+
+type histCum struct{ sum, count float64 }
+
+// scraper polls one fleet: /healthz for liveness, /statsz for the
+// typed counters, /metricsz for every Prometheus family, and
+// /v1/traces for the slowest cells. Each poll pushes samples into the
+// store under stable series keys; counter-vs-gauge semantics are the
+// detector's concern.
+type scraper struct {
+	backends  []string
+	hc        *http.Client
+	timeout   time.Duration
+	topCells  int
+	userAgent string
+	store     *store
+	state     map[string]*backendState
+	logger    *slog.Logger
+	onHealth  func(backend string, healthy bool)
+	sweeps    atomic.Int64
+}
+
+// traceEvery is how many sweeps pass between /v1/traces scrapes. The
+// trace export is by far the most expensive endpoint (the backend
+// marshals its whole span ring), and the slow-cell leaderboard does not
+// need per-sweep freshness — so it refreshes at 1/8 the scrape rate,
+// keeping the per-sweep cost dominated by the cheap endpoints.
+const traceEvery = 8
+
+func newScraper(backends []string, o Options, st *store, logger *slog.Logger) *scraper {
+	sc := &scraper{
+		backends:  backends,
+		hc:        o.HTTPClient,
+		timeout:   o.Timeout,
+		topCells:  o.TopCells,
+		userAgent: "powerperfmon/" + Version + " " + telemetry.BuildInfo().UserAgentToken(),
+		store:     st,
+		state:     make(map[string]*backendState, len(backends)),
+		logger:    logger,
+		onHealth:  o.OnHealth,
+	}
+	if sc.hc == nil {
+		sc.hc = &http.Client{}
+	}
+	for _, be := range backends {
+		sc.state[be] = &backendState{histPrev: make(map[string]histCum)}
+	}
+	return sc
+}
+
+// scrapeAll polls every backend concurrently and returns when the sweep
+// completes. One slow backend delays only its own series, not the
+// sweep's siblings; the per-request timeout bounds the whole sweep.
+func (sc *scraper) scrapeAll(ctx context.Context) {
+	// Traces refresh on the first sweep and every traceEvery-th after.
+	withTraces := sc.topCells > 0 && (sc.sweeps.Add(1)-1)%traceEvery == 0
+	var wg sync.WaitGroup
+	for _, be := range sc.backends {
+		wg.Add(1)
+		go func(be string) {
+			defer wg.Done()
+			sc.scrapeOne(ctx, be, withTraces)
+		}(be)
+	}
+	wg.Wait()
+}
+
+// scrapeOne polls one backend's endpoints and records the results. The
+// up series comes from /healthz alone (a draining backend answers
+// /metricsz fine but must read as down); scrape_ok additionally
+// requires the metric endpoints to parse.
+func (sc *scraper) scrapeOne(ctx context.Context, backend string, withTraces bool) {
+	bst := sc.state[backend]
+	start := time.Now()
+
+	healthErr := sc.getOK(ctx, backend, "/healthz")
+	up := healthErr == nil
+
+	var scrapeErr error
+	if err := sc.scrapeStatsz(ctx, backend, bst, start); err != nil {
+		scrapeErr = err
+	}
+	if err := sc.scrapeMetricsz(ctx, backend, bst, start); err != nil && scrapeErr == nil {
+		scrapeErr = err
+	}
+	if withTraces {
+		if err := sc.scrapeTraces(ctx, backend, bst); err != nil && scrapeErr == nil {
+			scrapeErr = err
+		}
+	}
+	dur := time.Since(start)
+
+	upV, okV := 0.0, 0.0
+	if up {
+		upV = 1
+	}
+	if scrapeErr == nil {
+		okV = 1
+	}
+	sc.store.push(backend, "up", Sample{T: start, V: upV})
+	sc.store.push(backend, "scrape_ok", Sample{T: start, V: okV})
+	sc.store.push(backend, "scrape_duration_seconds", Sample{T: start, V: dur.Seconds()})
+
+	bst.mu.Lock()
+	bst.up = up
+	bst.scrapeOK = scrapeErr == nil
+	bst.lastScrape = start
+	bst.lastDur = dur
+	bst.lastErr = ""
+	if !up {
+		bst.lastErr = healthErr.Error()
+	} else if scrapeErr != nil {
+		bst.lastErr = scrapeErr.Error()
+	}
+	if bst.lastErr != "" {
+		bst.failures++
+	}
+	lastErr := bst.lastErr
+	bst.mu.Unlock()
+
+	if lastErr != "" {
+		sc.logger.DebugContext(ctx, "scrape failed",
+			slog.String("backend", backend), slog.String("error", lastErr))
+	}
+	if sc.onHealth != nil {
+		sc.onHealth(backend, up)
+	}
+}
+
+// get fetches one backend path with the monitor's UA and timeout.
+func (sc *scraper) get(ctx context.Context, backend, path string) ([]byte, error) {
+	if sc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sc.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: build request: %w", err)
+	}
+	req.Header.Set("User-Agent", sc.userAgent)
+	resp, err := sc.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %s%s: %w", backend, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %s%s: read: %w", backend, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("monitor: %s%s: HTTP %d", backend, path, resp.StatusCode)
+	}
+	return body, nil
+}
+
+func (sc *scraper) getOK(ctx context.Context, backend, path string) error {
+	_, err := sc.get(ctx, backend, path)
+	return err
+}
+
+// scrapeStatsz flattens the /statsz JSON into statsz_* series (numbers
+// and booleans; nested objects join with underscores) and captures the
+// backend's identity fields for the fleet snapshot.
+func (sc *scraper) scrapeStatsz(ctx context.Context, backend string, bst *backendState, t time.Time) error {
+	body, err := sc.get(ctx, backend, "/statsz")
+	if err != nil {
+		return err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return fmt.Errorf("monitor: %s/statsz: %w", backend, err)
+	}
+	flat := map[string]float64{}
+	flattenJSON("statsz", raw, flat)
+	// Derived pressure gauge: queue fill fraction, the saturation signal
+	// the threshold rules watch.
+	if capd, ok := flat["statsz_queue_capacity"]; ok && capd > 0 {
+		flat["statsz_queue_fill"] = flat["statsz_queue_depth"] / capd
+	}
+	for k, v := range flat {
+		sc.store.push(backend, k, Sample{T: t, V: v})
+	}
+
+	var ident struct {
+		Seed  int64           `json:"seed"`
+		Build telemetry.Build `json:"build"`
+	}
+	_ = json.Unmarshal(body, &ident)
+	bst.mu.Lock()
+	bst.seed = ident.Seed
+	bst.build = ident.Build
+	bst.mu.Unlock()
+	return nil
+}
+
+// flattenJSON walks a decoded JSON object, emitting prefix_key paths
+// for every number and boolean. Arrays and strings are skipped: they
+// are either identity (handled separately) or unbounded (per-shard
+// lists), and the series cap should not be spent on them.
+func flattenJSON(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flattenJSON(prefix+"_"+k, x[k], out)
+		}
+	case float64:
+		out[prefix] = x
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+// scrapeMetricsz parses the backend's Prometheus page and pushes every
+// counter and gauge sample under its exposition key. Histogram families
+// contribute their _sum and _count samples plus a derived *_mean series
+// — the per-scrape-window mean in seconds, computed from the cumulative
+// deltas with reset handling — which is what the CI-regression rules
+// watch. Buckets are skipped: at scrape cardinality they cost more than
+// the 2x quantile fidelity they would add.
+func (sc *scraper) scrapeMetricsz(ctx context.Context, backend string, bst *backendState, t time.Time) error {
+	body, err := sc.get(ctx, backend, "/metricsz")
+	if err != nil {
+		return err
+	}
+	fams, err := telemetry.ParsePrometheus(string(body))
+	if err != nil {
+		return fmt.Errorf("monitor: %s/metricsz: %w", backend, err)
+	}
+	type sumCount struct {
+		sum, count float64
+		hasSum     bool
+		hasCount   bool
+		labels     string
+	}
+	for _, f := range fams {
+		switch f.Type {
+		case "histogram", "summary":
+			series := map[string]*sumCount{}
+			for _, s := range f.Samples {
+				if strings.HasSuffix(s.Name, "_bucket") {
+					continue
+				}
+				key := s.Key()
+				sc.store.push(backend, key, Sample{T: t, V: s.Value})
+				base := labelsSuffix(key)
+				x := series[base]
+				if x == nil {
+					x = &sumCount{labels: base}
+					series[base] = x
+				}
+				if strings.HasSuffix(s.Name, "_sum") {
+					x.sum, x.hasSum = s.Value, true
+				} else if strings.HasSuffix(s.Name, "_count") {
+					x.count, x.hasCount = s.Value, true
+				}
+			}
+			for base, x := range series {
+				if !x.hasSum || !x.hasCount {
+					continue
+				}
+				meanKey := f.Name + "_mean" + base
+				prevKey := backend + "|" + meanKey
+				bst.mu.Lock()
+				prev, seen := bst.histPrev[prevKey]
+				bst.histPrev[prevKey] = histCum{sum: x.sum, count: x.count}
+				bst.mu.Unlock()
+				dc := x.count - prev.count
+				ds := x.sum - prev.sum
+				if !seen || dc < 0 || ds < 0 { // first scrape or counter reset
+					dc, ds = x.count, x.sum
+				}
+				if dc > 0 {
+					sc.store.push(backend, meanKey, Sample{T: t, V: ds / dc})
+				}
+			}
+		default:
+			for _, s := range f.Samples {
+				sc.store.push(backend, s.Key(), Sample{T: t, V: s.Value})
+			}
+		}
+	}
+	return nil
+}
+
+// labelsSuffix extracts the "{...}" tail of a series key ("" when
+// unlabeled), so _sum and _count samples of one histogram series pair
+// up regardless of their name suffix.
+func labelsSuffix(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[i:]
+	}
+	return ""
+}
+
+// scrapeTraces reads the backend's recent spans and keeps the top-k
+// slowest measurement cells (span name "service.cell", deduplicated by
+// cell, ranked by duration).
+func (sc *scraper) scrapeTraces(ctx context.Context, backend string, bst *backendState) error {
+	body, err := sc.get(ctx, backend, "/v1/traces")
+	if err != nil {
+		return err
+	}
+	var events []struct {
+		Name string            `json:"name"`
+		Dur  float64           `json:"dur"` // microseconds
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(body, &events); err != nil {
+		return fmt.Errorf("monitor: %s/v1/traces: %w", backend, err)
+	}
+	slowest := map[string]CellLatency{}
+	for _, e := range events {
+		if e.Name != "service.cell" {
+			continue
+		}
+		cell := CellLatency{
+			Benchmark: e.Args["benchmark"],
+			Processor: e.Args["processor"],
+			Ms:        e.Dur / 1e3,
+		}
+		k := cell.Benchmark + "|" + cell.Processor
+		if prev, ok := slowest[k]; !ok || cell.Ms > prev.Ms {
+			slowest[k] = cell
+		}
+	}
+	cells := make([]CellLatency, 0, len(slowest))
+	for _, c := range slowest {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Ms != cells[j].Ms {
+			return cells[i].Ms > cells[j].Ms
+		}
+		return cells[i].Benchmark+cells[i].Processor < cells[j].Benchmark+cells[j].Processor
+	})
+	if len(cells) > sc.topCells {
+		cells = cells[:sc.topCells]
+	}
+	bst.mu.Lock()
+	bst.topCells = cells
+	bst.mu.Unlock()
+	return nil
+}

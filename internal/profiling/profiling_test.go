@@ -1,0 +1,92 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoopWhenUnconfigured(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start with no paths: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop of a no-op session: %v", err)
+	}
+}
+
+func TestStartWritesCPUProfile(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatalf("CPU profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("CPU profile is empty")
+	}
+}
+
+func TestStartWritesHeapProfileAtStop(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(mem); !os.IsNotExist(err) {
+		t.Fatalf("heap profile written before stop (err=%v)", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+}
+
+func TestStartRejectsUnwritableCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("Start with an unwritable CPU path succeeded")
+	}
+}
+
+func TestStartRejectsConcurrentCPUProfiles(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "a.pprof"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// The runtime allows one CPU profile at a time; a second Start must
+	// surface that error rather than silently profiling nothing.
+	if _, err := Start(filepath.Join(dir, "b.pprof"), ""); err == nil {
+		t.Fatal("second concurrent CPU profile session succeeded")
+	}
+}
+
+func TestStopReportsUnwritableHeapPath(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop with an unwritable heap path succeeded")
+	}
+}

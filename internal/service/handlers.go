@@ -28,6 +28,11 @@ const maxRequestBytes = 4 << 20
 //	GET  /statsz                cache/queue/request counters
 //	GET  /metricsz              counters + latency histograms, Prometheus text
 //
+// With a monitor attached (AttachMonitor), two more routes mount:
+//
+//	GET  /v1/alertz             fleet alerts (pending/firing/resolved), JSON
+//	GET  /debug/dashboard       self-contained HTML fleet dashboard
+//
 // Every route runs under the observe middleware: a server span per
 // request (stitched into the caller's trace via X-Trace-Id), the
 // per-endpoint latency histogram, and one structured access line.
@@ -41,6 +46,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if s.mon != nil {
+		// Attached via AttachMonitor: the daemon's own fleet view.
+		mux.Handle("GET /v1/alertz", s.mon.AlertzHandler())
+		mux.Handle("GET /debug/dashboard", s.mon.DashboardHandler())
+	}
 	return s.observe(mux)
 }
 

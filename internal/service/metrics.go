@@ -25,6 +25,15 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
 	}
 
+	// Build identity first: one constant-1 gauge whose labels carry the
+	// version stamp, the stock Prometheus idiom for joining every other
+	// series to the code that produced it.
+	bi := telemetry.BuildInfo()
+	name := "powerperf_build_info"
+	fmt.Fprintf(&b, "# HELP %s Build identity of this process; the value is always 1.\n# TYPE %s gauge\n", name, name)
+	fmt.Fprintf(&b, "%s{version=%s,commit=%s,go=%s} 1\n",
+		name, telemetry.PromQuote(bi.Version), telemetry.PromQuote(bi.Commit), telemetry.PromQuote(bi.GoVersion))
+
 	gauge("powerperfd_uptime_seconds", "Seconds since the daemon started.", st.UptimeS)
 	draining := 0.0
 	if st.Draining {
@@ -39,7 +48,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	gauge("powerperfd_cache_entries", "Resident cache entries.", float64(st.Cache.Entries))
 	gauge("powerperfd_cache_capacity", "Cache capacity in cells.", float64(st.Cache.Capacity))
 
-	name := "powerperfd_cache_shard_entries"
+	name = "powerperfd_cache_shard_entries"
 	fmt.Fprintf(&b, "# HELP %s Resident entries per cache shard.\n# TYPE %s gauge\n", name, name)
 	for i, l := range st.Cache.Shards {
 		fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", name, i, l)

@@ -68,27 +68,48 @@ func (sw *statusWriter) Flush() {
 // Unwrap supports http.ResponseController passthrough.
 func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
+// monitoringPlane reports whether an endpoint family is scrape
+// infrastructure rather than workload: liveness, stats, metrics, and
+// the trace export itself. These get no spans — a fleet monitor polling
+// every few seconds would otherwise evict real workload spans from the
+// bounded ring and bloat every /v1/traces export with records of
+// reading it (the observer effect, in the literal sense). They keep the
+// latency histogram, and their access lines log at Debug so a scraped
+// daemon's log stays about its workload.
+func monitoringPlane(family string) bool {
+	switch family {
+	case "healthz", "statsz", "metricsz", "traces":
+		return true
+	}
+	return false
+}
+
 // observe wraps the API mux with the daemon's request telemetry: a
 // server span per request (adopting X-Trace-Id/X-Parent-Span so a
 // cluster coordinator's trace stitches through), the per-endpoint
 // latency histogram, and one structured access line per request.
+// Monitoring-plane endpoints are exempt from spans (see
+// monitoringPlane).
 func (s *Server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		family := endpointFamily(r.URL.Path)
+		plane := monitoringPlane(family)
 
 		var ctx = r.Context()
 		var span *telemetry.Span
-		if trace, parent, ok := telemetry.ExtractHeaders(r.Header); ok {
-			ctx, span = s.tracer.StartRemote(ctx, trace, parent, "http."+family)
-		} else {
-			ctx, span = s.tracer.StartSpan(ctx, "http."+family)
+		if !plane {
+			if trace, parent, ok := telemetry.ExtractHeaders(r.Header); ok {
+				ctx, span = s.tracer.StartRemote(ctx, trace, parent, "http."+family)
+			} else {
+				ctx, span = s.tracer.StartSpan(ctx, "http."+family)
+			}
+			span.Annotate(
+				telemetry.String("method", r.Method),
+				telemetry.String("path", r.URL.Path),
+			)
+			w.Header().Set(telemetry.HeaderTraceID, span.Trace().String())
 		}
-		span.Annotate(
-			telemetry.String("method", r.Method),
-			telemetry.String("path", r.URL.Path),
-		)
-		w.Header().Set(telemetry.HeaderTraceID, span.Trace().String())
 
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r.WithContext(ctx))
@@ -97,10 +118,16 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		}
 		dur := time.Since(start)
 
-		span.Annotate(telemetry.String("status", strconv.Itoa(sw.status)))
-		span.End()
+		if span != nil {
+			span.Annotate(telemetry.String("status", strconv.Itoa(sw.status)))
+			span.End()
+		}
 		httpHist(family).Observe(dur)
-		s.logger.InfoContext(ctx, "request",
+		level := slog.LevelInfo
+		if plane {
+			level = slog.LevelDebug
+		}
+		s.logger.Log(ctx, level, "request",
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),

@@ -114,8 +114,9 @@ func TestTracesEndpointStitchesCallerTrace(t *testing.T) {
 	}
 }
 
-// TestAccessLogLine asserts the one-line-per-request contract: method,
-// path, status, duration, and trace_id on a single structured line.
+// TestAccessLogLine asserts the one-line-per-request contract for
+// workload endpoints: method, path, status, duration, and trace_id on a
+// single structured Info line.
 func TestAccessLogLine(t *testing.T) {
 	out := &syncBuffer{}
 	telemetry.SetLogOutput(out)
@@ -128,8 +129,8 @@ func TestAccessLogLine(t *testing.T) {
 	defer ts.Close()
 	defer srv.Drain()
 
-	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
-		t.Fatalf("healthz: %d", code)
+	if code, _ := get(t, ts.URL+"/v1/experiments"); code != http.StatusOK {
+		t.Fatalf("experiments: %d", code)
 	}
 	// The access line is written after the response body is flushed, so
 	// poll briefly rather than racing the handler's tail.
@@ -137,7 +138,7 @@ func TestAccessLogLine(t *testing.T) {
 	var line string
 	for time.Now().Before(deadline) {
 		for _, l := range strings.Split(out.String(), "\n") {
-			if strings.Contains(l, "msg=request") && strings.Contains(l, "path=/healthz") {
+			if strings.Contains(l, "msg=request") && strings.Contains(l, "path=/v1/experiments") {
 				line = l
 			}
 		}
@@ -147,12 +148,64 @@ func TestAccessLogLine(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	if line == "" {
-		t.Fatalf("no access line for /healthz in log output:\n%s", out.String())
+		t.Fatalf("no access line for /v1/experiments in log output:\n%s", out.String())
 	}
 	for _, want := range []string{"subsystem=powerperfd", "method=GET", "status=200", "duration=", "trace_id="} {
 		if !strings.Contains(line, want) {
 			t.Errorf("access line missing %q: %s", want, line)
 		}
+	}
+}
+
+// TestMonitoringPlaneQuietAtInfo asserts the observer-effect guard: a
+// scraped endpoint like /healthz must not emit Info access lines (its
+// line is Debug-only) and must not mint a span — a monitor polling every
+// few seconds would otherwise flood the log and evict workload spans
+// from the bounded ring.
+func TestMonitoringPlaneQuietAtInfo(t *testing.T) {
+	out := &syncBuffer{}
+	telemetry.SetLogOutput(out)
+	telemetry.SetLogLevel(slog.LevelInfo)
+	defer telemetry.SetLogOutput(os.Stderr)
+	defer telemetry.SetLogLevel(slog.LevelWarn)
+
+	srv := NewServer(Options{Seed: 42, Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(telemetry.HeaderTraceID) != "" {
+		t.Errorf("monitoring-plane response carries %s; scrapes must not mint spans", telemetry.HeaderTraceID)
+	}
+
+	// Debug visibility: the line exists when asked for.
+	telemetry.SetLogLevel(slog.LevelDebug)
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	telemetry.SetLogLevel(slog.LevelInfo)
+
+	deadline := time.Now().Add(2 * time.Second)
+	var debugLine bool
+	for time.Now().Before(deadline) && !debugLine {
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.Contains(l, "msg=request") && strings.Contains(l, "path=/healthz") {
+				if strings.Contains(l, "level=DEBUG") {
+					debugLine = true
+				} else {
+					t.Fatalf("non-Debug access line for /healthz: %s", l)
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !debugLine {
+		t.Fatalf("no Debug access line for /healthz in log output:\n%s", out.String())
 	}
 }
 

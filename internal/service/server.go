@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/monitor"
 	"repro/internal/proc"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -105,6 +106,10 @@ type Server struct {
 	reqMeasure     atomic.Int64
 	reqExperiments atomic.Int64
 	reqDataset     atomic.Int64
+
+	// mon, when attached, contributes /v1/alertz and /debug/dashboard to
+	// the handler — the daemon's own view of the fleet it belongs to.
+	mon *monitor.Monitor
 }
 
 // NewServer builds a server; no measurement work happens until the first
@@ -121,6 +126,12 @@ func NewServer(opts Options) *Server {
 		start:     time.Now(),
 	}
 }
+
+// AttachMonitor hands the server a fleet monitor; the next Handler()
+// call mounts GET /v1/alertz (the alert list, JSON) and
+// GET /debug/dashboard (the self-contained HTML fleet view). Attach
+// before building the handler.
+func (s *Server) AttachMonitor(m *monitor.Monitor) { s.mon = m }
 
 // Tracer exposes the server's span recorder (tests inspect it; the
 // /v1/traces endpoint serves it).
@@ -216,13 +227,14 @@ func (s *Server) experimentsContext() (*experiments.Context, error) {
 
 // Stats is the /statsz payload.
 type Stats struct {
-	Seed     int64      `json:"seed"`
-	UptimeS  float64    `json:"uptime_s"`
-	Draining bool       `json:"draining"`
-	Cache    CacheStats `json:"cache"`
-	HitRate  float64    `json:"cache_hit_rate"`
-	Queue    QueueStats `json:"queue"`
-	Requests ReqStats   `json:"requests"`
+	Seed     int64           `json:"seed"`
+	UptimeS  float64         `json:"uptime_s"`
+	Build    telemetry.Build `json:"build"`
+	Draining bool            `json:"draining"`
+	Cache    CacheStats      `json:"cache"`
+	HitRate  float64         `json:"cache_hit_rate"`
+	Queue    QueueStats      `json:"queue"`
+	Requests ReqStats        `json:"requests"`
 }
 
 // QueueStats reports worker-pool pressure.
@@ -246,6 +258,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Seed:     s.opts.Seed,
 		UptimeS:  time.Since(s.start).Seconds(),
+		Build:    telemetry.BuildInfo(),
 		Draining: s.draining.Load(),
 		Cache:    cs,
 		HitRate:  cs.HitRate(),

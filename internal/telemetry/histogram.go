@@ -262,7 +262,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", f.name, labelPairs(f.labelKey, lv, "+Inf"), bucketSum)
 			suffix := ""
 			if f.labelKey != "" {
-				suffix = "{" + f.labelKey + "=" + strconv.Quote(lv) + "}"
+				suffix = "{" + f.labelKey + "=" + promQuote(lv) + "}"
 			}
 			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, suffix,
 				strconv.FormatFloat(float64(s.SumNS)/1e9, 'g', -1, 64))
@@ -273,10 +273,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 }
 
 // labelPairs renders the label set of one _bucket sample: the family
-// label (if any) then le, Prometheus-quoted.
+// label (if any) then le, Prometheus-quoted. promQuote, not
+// strconv.Quote: Go escapes control and non-ASCII bytes in forms stock
+// Prometheus parsers read literally.
 func labelPairs(labelKey, labelValue, le string) string {
 	if labelKey == "" {
 		return `le="` + le + `"`
 	}
-	return labelKey + "=" + strconv.Quote(labelValue) + `,le="` + le + `"`
+	return labelKey + "=" + promQuote(labelValue) + `,le="` + le + `"`
 }

@@ -1,0 +1,373 @@
+package telemetry
+
+// Prometheus text-exposition parser, the inverse of the writers behind
+// /metricsz and cluster.WriteMetrics. The linter (promlint.go) judges a
+// page; this parser reads one back into typed families so the fleet
+// monitor can federate scrapes, and RenderPrometheus closes the loop:
+// parse(render(parse(page))) is the identity, which the round-trip
+// tests pin against every exposition writer in the repository.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Label is one label pair. Order is preserved from the exposition text,
+// so a parsed page can be re-rendered without reordering.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// MetricPoint is one parsed sample line: Name{Labels} Value.
+type MetricPoint struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label and whether it is present.
+func (p MetricPoint) Label(key string) (string, bool) {
+	for _, l := range p.Labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// Key renders the point's identity — name plus labels in exposition
+// order — which the fleet monitor uses as its per-backend series key.
+func (p MetricPoint) Key() string {
+	if len(p.Labels) == 0 {
+		return p.Name
+	}
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('{')
+	for i, l := range p.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MetricFamily is one metric family: HELP/TYPE metadata plus its
+// samples in exposition order. Histogram families carry their _bucket,
+// _sum, and _count samples.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Samples []MetricPoint
+}
+
+// Sample returns the family's sample with the given name and label set
+// (nil matches the first sample with the name), or nil when absent.
+func (f *MetricFamily) Sample(name string, labels []Label) *MetricPoint {
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != name {
+			continue
+		}
+		if labels == nil {
+			return s
+		}
+		if len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for _, want := range labels {
+			got, ok := s.Label(want.Key)
+			if !ok || got != want.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s
+		}
+	}
+	return nil
+}
+
+// ParsePrometheus parses a Prometheus text-exposition page into metric
+// families in page order. Samples attach to the family they belong to
+// (histogram/summary suffixes resolve to their base family); a sample
+// with no declared family gets an implicit untyped one. Malformed lines
+// are errors — the monitor must not silently drop a backend's series
+// the way stock scrapers do.
+func ParsePrometheus(text string) ([]MetricFamily, error) {
+	var fams []MetricFamily
+	index := map[string]int{} // family name -> fams index
+	get := func(name string) *MetricFamily {
+		if i, ok := index[name]; ok {
+			return &fams[i]
+		}
+		fams = append(fams, MetricFamily{Name: name, Type: "untyped"})
+		index[name] = len(fams) - 1
+		return &fams[len(fams)-1]
+	}
+	typeFor := map[string]string{}
+	declared := map[string]bool{} // families declared via HELP/TYPE
+
+	for i, line := range strings.Split(text, "\n") {
+		n := i + 1
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if fields[0] == "" || !validMetricName(fields[0]) {
+				return nil, fmt.Errorf("telemetry: line %d: malformed HELP: %s", n, line)
+			}
+			f := get(fields[0])
+			if len(fields) == 2 {
+				f.Help = promUnescapeHelp(fields[1])
+			}
+			declared[fields[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !validMetricName(fields[0]) {
+				return nil, fmt.Errorf("telemetry: line %d: malformed TYPE: %s", n, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("telemetry: line %d: unknown TYPE %q", n, fields[1])
+			}
+			f := get(fields[0])
+			f.Type = fields[1]
+			typeFor[fields[0]] = fields[1]
+			declared[fields[0]] = true
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and carry no structure.
+		default:
+			p, err := parsePromPoint(line)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", n, err)
+			}
+			fam := sampleFamily(p.Name, typeFor)
+			f := get(fam)
+			f.Samples = append(f.Samples, p)
+		}
+	}
+	return fams, nil
+}
+
+// sampleFamily resolves a sample name to its family: histogram and
+// summary samples carry a _bucket/_sum/_count suffix over the declared
+// base name.
+func sampleFamily(name string, typeFor map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			switch typeFor[base] {
+			case "histogram", "summary":
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parsePromPoint parses one sample line with full label-value
+// unescaping (\" \\ \n), which the promlint parser — a validator, not a
+// reader — skips.
+func parsePromPoint(line string) (MetricPoint, error) {
+	var p MetricPoint
+	rest := line
+	if brace := strings.IndexByte(rest, '{'); brace >= 0 {
+		p.Name = rest[:brace]
+		labels, tail, err := parseLabelBody(rest[brace+1:])
+		if err != nil {
+			return p, err
+		}
+		p.Labels = labels
+		rest = strings.TrimSpace(tail)
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return p, fmt.Errorf("want `name value`: %s", line)
+		}
+		p.Name, rest = fields[0], fields[1]
+	}
+	if !validMetricName(p.Name) {
+		return p, fmt.Errorf("invalid metric name %q", p.Name)
+	}
+	// Exposition values may carry a trailing timestamp; the writers in
+	// this repository never emit one, so reject it rather than guess.
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return p, fmt.Errorf("unparseable value in %q", line)
+	}
+	p.Value = v
+	return p, nil
+}
+
+// parseLabelBody scans `k="v",k2="v2"}` (the text after the opening
+// brace), unescaping values, and returns the labels plus the text after
+// the closing brace.
+func parseLabelBody(s string) ([]Label, string, error) {
+	var labels []Label
+	i := 0
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label set: %q", s)
+		}
+		key := strings.TrimSpace(s[i : i+eq])
+		if key == "" {
+			return nil, "", fmt.Errorf("empty label name in %q", s)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q", key)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					// Unknown escapes pass through verbatim, matching the
+					// reference Prometheus parser's tolerance.
+					b.WriteByte('\\')
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: b.String()})
+	}
+}
+
+// RenderPrometheus writes families back in the canonical exposition
+// shape the repository's writers produce: HELP then TYPE then samples,
+// label values Prometheus-escaped, values in shortest round-trip form.
+// Parsing the output reproduces the input families exactly.
+func RenderPrometheus(w io.Writer, fams []MetricFamily) {
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			b.WriteString("# HELP " + f.Name + " " + promEscapeHelp(f.Help) + "\n")
+		}
+		if f.Type != "" {
+			b.WriteString("# TYPE " + f.Name + " " + f.Type + "\n")
+		}
+		for _, s := range f.Samples {
+			b.WriteString(s.Key())
+			b.WriteByte(' ')
+			b.WriteString(formatPromValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, _ = io.WriteString(w, b.String())
+}
+
+// formatPromValue renders a sample value the way the repository's
+// writers do: shortest float64 round-trip form, integers undecorated.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote, and newline. (strconv.Quote is close but Go-escapes
+// control and non-ASCII bytes, which stock Prometheus parsers read
+// literally — the quirk the round-trip tests uncovered.)
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// promQuote renders a label value quoted and escaped for exposition.
+func promQuote(v string) string { return `"` + promEscape(v) + `"` }
+
+// PromQuote is promQuote for exposition writers outside this package
+// (cluster.WriteMetrics renders backend URLs as label values).
+func PromQuote(v string) string { return promQuote(v) }
+
+// promEscapeHelp escapes HELP text: backslash and newline only (quotes
+// are legal in HELP).
+func promEscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promUnescapeHelp reverses promEscapeHelp.
+func promUnescapeHelp(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
