@@ -2,10 +2,15 @@ package powerperf
 
 import (
 	"context"
+	"log/slog"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // The benchmark suite regenerates every table and figure of the paper's
@@ -423,5 +428,82 @@ func BenchmarkFindings(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(held), "findings-held")
+	}
+}
+
+// BenchmarkServedStudy is the tentpole end-to-end benchmark: a cold
+// 2-backend cluster study (6 stock configurations x 61 benchmarks, 366
+// cells) through the full serving path — HTTP, JSON, the sharded cache,
+// the worker pool, and batched kernel evaluation on the backends.
+// BENCH_pr6.json records its numbers against the PR 5 baseline; the CI
+// perf lane replays it at -benchtime=3x. Fresh backends per iteration
+// keep the cache cold so the number tracks real study work, not cache
+// hits.
+func BenchmarkServedStudy(b *testing.B) {
+	telemetry.SetLogLevel(slog.LevelError)
+	jobs := harness.GridJobs(nil, nil)[:6*61]
+	seed := int64(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ts0 := httptest.NewServer(service.NewServer(service.Options{Seed: seed}).Handler())
+		ts1 := httptest.NewServer(service.NewServer(service.Options{Seed: seed}).Handler())
+		cl, err := cluster.New([]string{ts0.URL, ts1.URL}, cluster.Options{Seed: &seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if _, err := cl.MeasureBatch(context.Background(), jobs, 0); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		ts0.Close()
+		ts1.Close()
+		b.StartTimer()
+	}
+}
+
+// TestMeasurePathAllocBudget pins the per-cell allocation count of the
+// serving path's measurement kernel (MeasureUncached — what powerperfd
+// runs per cache miss). The batched-kernel work brought a native cell to
+// 5 allocations and a managed cell to 6 (BENCH_pr6.json); the budget is
+// those numbers plus the 10% regression allowance, rounded up. A breach
+// means something on the per-cell path started allocating again —
+// almost always an escape or a dropped pool, worth catching at test
+// time rather than in the e2e benchmark's noise.
+func TestMeasurePathAllocBudget(t *testing.T) {
+	h, err := harness.New(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := BenchmarkByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := BenchmarkByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i7, err := ProcessorByName(I7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := ConfiguredProcessor{Proc: i7, Config: i7.Stock()}
+
+	measure := func(bench *Benchmark) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, err := h.MeasureUncached(bench, cp); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if got := measure(native); got > 6 {
+		t.Errorf("native cell: %v allocs per MeasureUncached, budget 6 (recorded 5)", got)
+	}
+	if got := measure(managed); got > 7 {
+		t.Errorf("managed cell: %v allocs per MeasureUncached, budget 7 (recorded 6)", got)
 	}
 }

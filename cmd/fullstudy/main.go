@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fullstudy [-seed N] [-out DIR] [-backends URL,URL,...] [-trace-out trace.json]
+//	fullstudy [-seed N] [-out DIR] [-backends URL,URL,...] [-batch-size N] [-trace-out trace.json]
 //
 // With -backends the study runs remotely against a fleet of powerperfd
 // instances through the cluster coordinator: cells shard across the
@@ -59,6 +59,7 @@ func main() {
 	out := flag.String("out", "dataset", "output directory")
 	backends := flag.String("backends", "", "comma-separated powerperfd base URLs; when set, measure remotely")
 	hedgeDelay := flag.Duration("hedge-delay", 400*time.Millisecond, "duplicate a straggling batch to a second backend after this long (cluster mode; 0 disables)")
+	batchSize := flag.Int("batch-size", 0, "cells per scheduling block (local) or per measure request (cluster); 0 = automatic. Tune with `powerperf tune`")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's spans to this file")
 	traceBuffer := flag.Int("trace-buffer", 65536, "completed spans retained for -trace-out")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -85,7 +86,7 @@ func main() {
 	}
 
 	start := time.Now()
-	measurements, aggregates, err := streamers(ctx, *seed, *backends, *hedgeDelay, tracer)
+	measurements, aggregates, err := streamers(ctx, *seed, *backends, *hedgeDelay, *batchSize, tracer)
 	if err != nil {
 		fatal("setup", err)
 	}
@@ -122,14 +123,16 @@ type streamFunc = func(ctx context.Context, w io.Writer) error
 
 // streamers builds the two CSV writers, local (in-process harness) or
 // remote (cluster coordinator over powerperfd backends). Both produce
-// byte-identical files at the same seed, traced or not.
-func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time.Duration, tracer *telemetry.Tracer) (measurements, aggregates streamFunc, err error) {
+// byte-identical files at the same seed, traced or not, at any batch
+// size — batching is pure scheduling under the determinism contract.
+func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time.Duration, batchSize int, tracer *telemetry.Tracer) (measurements, aggregates streamFunc, err error) {
 	if backends == "" {
 		study, err := powerperf.NewStudy(seed)
 		if err != nil {
 			return nil, nil, err
 		}
 		study.SetTracer(tracer)
+		study.SetBlockSize(batchSize)
 		return func(ctx context.Context, w io.Writer) error {
 				return study.WriteMeasurementsCSV(ctx, w, nil, 0)
 			}, func(ctx context.Context, w io.Writer) error {
@@ -143,7 +146,7 @@ func streamers(ctx context.Context, seed int64, backends string, hedgeDelay time
 			urls = append(urls, u)
 		}
 	}
-	cl, err := cluster.New(urls, cluster.Options{Seed: &seed, HedgeDelay: hedgeDelay, Tracer: tracer})
+	cl, err := cluster.New(urls, cluster.Options{Seed: &seed, HedgeDelay: hedgeDelay, BatchSize: batchSize, Tracer: tracer})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	powerperfd [-addr :8722] [-seed 42] [-workers N] [-queue 1024]
-//	           [-cache-cells 10980] [-read-timeout 30s]
+//	           [-cache-cells 10980] [-cache-shards 16] [-read-timeout 30s]
 //	           [-write-timeout 15m] [-idle-timeout 2m]
 //	           [-trace-buffer 4096] [-pprof] [-log-level info]
 //	           [-monitor-backends self,http://host:8722] [-monitor-interval 5s]
@@ -59,6 +59,7 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "bounded measurement queue depth")
 	cacheCells := flag.Int("cache-cells", 0, "measurement cache capacity in cells (0 = 4 study grids)")
+	cacheShards := flag.Int("cache-shards", 0, "measurement cache shard count (0 = 16); tune with `powerperf tune`")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown limit")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration to read a full request, header plus body (0 = none)")
 	writeTimeout := flag.Duration("write-timeout", 15*time.Minute, "max duration to write a full response; must cover a cold dataset stream (0 = none)")
@@ -81,6 +82,7 @@ func main() {
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCells,
+		CacheShards:   *cacheShards,
 		TraceBuffer:   *traceBuffer,
 	})
 

@@ -191,22 +191,50 @@ func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
 	return &st, nil
 }
 
+// Resolver memoizes one workload and fleet instance for reconstructing
+// wire cells: workload.ByName and proc.ByName hand out fresh
+// mutation-isolated copies on every call, which priced a full fleet
+// construction into every reconstructed cell. The coordinator never
+// mutates the resolved values, so one resolver serves every cell of a
+// study. Read-only after construction; safe for concurrent use.
+type Resolver struct {
+	benches map[string]*workload.Benchmark
+	procs   map[string]*proc.Processor
+}
+
+// NewResolver builds a resolver over the full workload and fleet.
+func NewResolver() *Resolver {
+	benches := workload.All()
+	fleet := proc.Fleet()
+	r := &Resolver{
+		benches: make(map[string]*workload.Benchmark, len(benches)),
+		procs:   make(map[string]*proc.Processor, len(fleet)),
+	}
+	for _, b := range benches {
+		r.benches[b.Name] = b
+	}
+	for _, p := range fleet {
+		r.procs[p.Name] = p
+	}
+	return r
+}
+
 // MeasurementFromCell reconstructs the harness Measurement from a
 // full-detail wire cell. Benchmark and processor resolve to the same
-// process-wide workload and fleet instances a local harness would use,
-// and every float64 round-trips through JSON exactly, so the
-// reconstruction is bit-identical to a local measurement.
-func MeasurementFromCell(cr *service.CellResult) (*harness.Measurement, error) {
+// values a local harness would use, and every float64 round-trips
+// through JSON exactly, so the reconstruction is bit-identical to a
+// local measurement.
+func (rv *Resolver) MeasurementFromCell(cr *service.CellResult) (*harness.Measurement, error) {
 	if cr.Full == nil {
 		return nil, fmt.Errorf("cluster: cell %s/%s lacks full detail", cr.Benchmark, cr.Processor)
 	}
-	b, err := workload.ByName(cr.Benchmark)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: reconstruct cell: %w", err)
+	b, ok := rv.benches[cr.Benchmark]
+	if !ok {
+		return nil, fmt.Errorf("cluster: reconstruct cell: workload: unknown benchmark %q", cr.Benchmark)
 	}
-	p, err := proc.ByName(cr.Processor)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: reconstruct cell: %w", err)
+	p, ok := rv.procs[cr.Processor]
+	if !ok {
+		return nil, fmt.Errorf("cluster: reconstruct cell: proc: unknown processor %q", cr.Processor)
 	}
 	m := &harness.Measurement{
 		Bench: b,
@@ -228,4 +256,10 @@ func MeasurementFromCell(cr *service.CellResult) (*harness.Measurement, error) {
 		m.Runs[i] = harness.RunSample{Seconds: r.Seconds, Watts: r.Watts, Counters: r.Counters.Counters()}
 	}
 	return m, nil
+}
+
+// MeasurementFromCell is the standalone form for one-off callers; batch
+// reconstruction should share a Resolver.
+func MeasurementFromCell(cr *service.CellResult) (*harness.Measurement, error) {
+	return NewResolver().MeasurementFromCell(cr)
 }

@@ -109,6 +109,7 @@ type Cluster struct {
 	router   *Router
 	clients  map[string]*Client
 	breakers map[string]*Breaker
+	resolver *Resolver
 	tracer   *telemetry.Tracer
 	logger   *slog.Logger
 
@@ -140,6 +141,7 @@ func New(backends []string, opts Options) (*Cluster, error) {
 		router:   router,
 		clients:  make(map[string]*Client, len(members)),
 		breakers: make(map[string]*Breaker, len(members)),
+		resolver: NewResolver(),
 		tracer:   opts.Tracer,
 		logger:   telemetry.Logger("cluster"),
 	}
@@ -159,11 +161,26 @@ func (cl *Cluster) Tracer() *telemetry.Tracer { return cl.tracer }
 
 // routeKey is a job's rendezvous key: exactly the determinism tuple, so
 // every coordinator shards identically and a backend's cache sees a
-// stable slice of the grid.
+// stable slice of the grid. strconv appends render the same bytes the
+// former fmt.Sprintf("%d|%s|%s|%d|%d|%.17g|%t", ...) did, so routing
+// is unchanged across coordinator versions.
 func routeKey(seed int64, j harness.Job) string {
 	cfg := j.CP.Config
-	return fmt.Sprintf("%d|%s|%s|%d|%d|%.17g|%t",
-		seed, j.Bench.Name, j.CP.Proc.Name, cfg.Cores, cfg.SMTWays, cfg.ClockGHz, cfg.Turbo)
+	b := make([]byte, 0, 64)
+	b = strconv.AppendInt(b, seed, 10)
+	b = append(b, '|')
+	b = append(b, j.Bench.Name...)
+	b = append(b, '|')
+	b = append(b, j.CP.Proc.Name...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(cfg.Cores), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(cfg.SMTWays), 10)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, cfg.ClockGHz, 'g', 17, 64)
+	b = append(b, '|')
+	b = strconv.AppendBool(b, cfg.Turbo)
+	return string(b)
 }
 
 // cellRequest renders a job as an explicit wire cell.
@@ -408,7 +425,7 @@ func (cl *Cluster) tryBatch(ctx context.Context, backend string, idxs []int, job
 		atSpan.Annotate(telemetry.String("winner", winner))
 		atSpan.End()
 		for i, idx := range idxs {
-			m, err := MeasurementFromCell(&resp.Cells[i])
+			m, err := cl.resolver.MeasurementFromCell(&resp.Cells[i])
 			if err != nil {
 				return err
 			}

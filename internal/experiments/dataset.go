@@ -62,34 +62,46 @@ func StreamMeasurementsCSVFrom(ctx context.Context, src Source, ref *harness.Ref
 	if err != nil {
 		return err
 	}
-	s, err := report.NewCSVStream(w, MeasurementsHeader...)
+	s, err := report.NewZeroCSVStream(w, MeasurementsHeader...)
 	if err != nil {
 		return err
 	}
 	// GridJobs iterates configurations outer, benchmarks inner — the
 	// row order of the committed dataset — so the batch result is the
-	// row stream.
+	// row stream. The zero-alloc stream renders numbers with the same
+	// bytes fmt's %.6g produced, so the committed goldens are unchanged;
+	// the benchmark list is resolved once, not per configuration.
+	benches := workload.All()
 	i := 0
 	for _, cp := range cps {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		for _, b := range workload.All() {
+		cfg := cp.String()
+		for _, b := range benches {
 			m := ms[i]
 			i++
 			n, err := ref.Normalize(m)
 			if err != nil {
 				return err
 			}
-			if err := s.WriteRow(
-				cp.String(), b.Name, string(b.Suite), b.Group.String(),
-				fmtG(m.Seconds), fmtG(m.Watts), fmtG(m.EnergyJ),
-				fmtG(n.Perf), fmtG(n.Energy),
-				fmtG(m.TimeCI.Relative()), fmtG(m.PowerCI.Relative()),
-				fmt.Sprintf("%d", len(m.Runs)),
-				fmtG(m.Counters.CPI()), fmtG(m.Counters.LLCMPKI()),
-				fmtG(m.Counters.DTLBMPKI()), fmtG(m.Counters.ServiceFraction()),
-			); err != nil {
+			s.Field(cfg)
+			s.Field(b.Name)
+			s.Field(string(b.Suite))
+			s.Field(b.Group.String())
+			s.FloatG6(m.Seconds)
+			s.FloatG6(m.Watts)
+			s.FloatG6(m.EnergyJ)
+			s.FloatG6(n.Perf)
+			s.FloatG6(n.Energy)
+			s.FloatG6(m.TimeCI.Relative())
+			s.FloatG6(m.PowerCI.Relative())
+			s.Int(len(m.Runs))
+			s.FloatG6(m.Counters.CPI())
+			s.FloatG6(m.Counters.LLCMPKI())
+			s.FloatG6(m.Counters.DTLBMPKI())
+			s.FloatG6(m.Counters.ServiceFraction())
+			if err := s.EndRow(); err != nil {
 				return err
 			}
 		}
@@ -133,7 +145,7 @@ func StreamAggregatesCSVFrom(ctx context.Context, src Source, ref *harness.Refer
 		}
 		return m, nil
 	}
-	s, err := report.NewCSVStream(w, AggregatesHeader...)
+	s, err := report.NewZeroCSVStream(w, AggregatesHeader...)
 	if err != nil {
 		return err
 	}
@@ -145,16 +157,26 @@ func StreamAggregatesCSVFrom(ctx context.Context, src Source, ref *harness.Refer
 		if err != nil {
 			return err
 		}
+		cfg := cp.String()
 		for _, g := range workload.Groups() {
 			gr := res.Groups[int(g)]
-			if err := s.WriteRow(cp.String(), g.String(),
-				fmtG(gr.Perf), fmtG(gr.Watts), fmtG(gr.Energy),
-				fmt.Sprintf("%d", gr.N)); err != nil {
+			s.Field(cfg)
+			s.Field(g.String())
+			s.FloatG6(gr.Perf)
+			s.FloatG6(gr.Watts)
+			s.FloatG6(gr.Energy)
+			s.Int(gr.N)
+			if err := s.EndRow(); err != nil {
 				return err
 			}
 		}
-		if err := s.WriteRow(cp.String(), "Average",
-			fmtG(res.PerfW), fmtG(res.WattsW), fmtG(res.EnergyW), "61"); err != nil {
+		s.Field(cfg)
+		s.Field("Average")
+		s.FloatG6(res.PerfW)
+		s.FloatG6(res.WattsW)
+		s.FloatG6(res.EnergyW)
+		s.Int(61)
+		if err := s.EndRow(); err != nil {
 			return err
 		}
 		if err := s.Flush(); err != nil {

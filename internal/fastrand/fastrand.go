@@ -112,9 +112,22 @@ func recoverCooked() {
 // source stream. It implements rand.Source64, so rand.New(NewSource(s))
 // behaves identically to rand.New(rand.NewSource(s)) for every derived
 // draw (Float64, NormFloat64, Intn, ...). Not safe for concurrent use.
+//
+// Seeding is lazy: Seed only records the normalized Lehmer seed, and each
+// of the first rngLen-rngTap outputs fills exactly the register words it
+// is about to consume. The generator's access pattern makes this exact:
+// output k reads the seeded words at positions rngLen-rngTap-1-k (the
+// feed) and, for k < rngTap, rngLen-1-k (the tap); every later read hits
+// a word the stream already wrote or filled. A run that consumes only a
+// few dozen draws — the common case for the study's short segments —
+// therefore computes a few dozen seeded words instead of all 607.
 type Source struct {
 	tap, feed int
-	vec       [rngLen]int64
+	// raw counts outputs since Seed, saturating at rngLen-rngTap: while
+	// raw is below the cap the next output must fill its seeded words.
+	raw int
+	x0  uint64
+	vec [rngLen]int64
 }
 
 // NewSource returns a Source seeded like rand.NewSource(seed).
@@ -125,6 +138,7 @@ func NewSource(seed int64) *Source {
 }
 
 // Seed resets the generator to the state rand.NewSource(seed) starts in.
+// The register fills lazily as outputs are drawn, so Seed itself is O(1).
 func (s *Source) Seed(seed int64) {
 	s.tap = 0
 	s.feed = rngLen - rngTap
@@ -136,18 +150,34 @@ func (s *Source) Seed(seed int64) {
 	if seed == 0 {
 		seed = 89482311
 	}
-	x0 := uint64(seed)
-	for i := 0; i < rngLen; i++ {
-		j := 3*i + 21
-		u := lehmerAt(j, x0) << 40
-		u ^= lehmerAt(j+1, x0) << 20
-		u ^= lehmerAt(j+2, x0)
-		s.vec[i] = u ^ cooked[i]
-	}
+	s.x0 = uint64(seed)
+	s.raw = 0
+}
+
+// word computes seeded register word i: the three Lehmer positions packed
+// into 63 bits, XOR the stdlib's cooked constant.
+func (s *Source) word(i int) int64 {
+	j := 3*i + 21
+	u := lehmerAt(j, s.x0) << 40
+	u ^= lehmerAt(j+1, s.x0) << 20
+	u ^= lehmerAt(j+2, s.x0)
+	return u ^ cooked[i]
 }
 
 // Uint64 advances the lagged-Fibonacci register one step.
 func (s *Source) Uint64() uint64 {
+	if k := s.raw; k < rngLen-rngTap {
+		// Output k is the first reader of feed word rngLen-rngTap-1-k and
+		// (while the tap still points at unwritten cells) of tap word
+		// rngLen-1-k; fill them now. High words stay valid for their
+		// second read after the feed wraps — fills write the same value
+		// eager seeding would have.
+		s.vec[rngLen-rngTap-1-k] = s.word(rngLen - rngTap - 1 - k)
+		if k < rngTap {
+			s.vec[rngLen-1-k] = s.word(rngLen - 1 - k)
+		}
+		s.raw = k + 1
+	}
 	s.tap--
 	if s.tap < 0 {
 		s.tap += rngLen

@@ -11,7 +11,7 @@ package harness
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"strconv"
 	"sync"
 
 	"repro/internal/counters"
@@ -77,6 +77,11 @@ type Harness struct {
 	// benchmarks), and a Machine is immutable once built.
 	mmu      sync.Mutex
 	machines map[string]*sim.Machine
+
+	// blockSize is the default block MeasureBatch workers claim per
+	// scheduling step; 0 selects the automatic size. Set via
+	// SetBlockSize before issuing work.
+	blockSize int
 }
 
 // cacheEntry memoizes one measurement; the Once arbitrates concurrent
@@ -191,8 +196,8 @@ func (h *Harness) measure(b *workload.Benchmark, cp proc.ConfiguredProcessor) (*
 	}
 
 	m := &Measurement{Bench: b, CP: cp, Runs: runs}
-	times := make([]float64, len(runs))
-	watts := make([]float64, len(runs))
+	buf := make([]float64, 2*len(runs))
+	times, watts := buf[:len(runs)], buf[len(runs):]
 	energy := 0.0
 	for i, r := range runs {
 		times[i] = r.Seconds
@@ -232,9 +237,11 @@ func (h *Harness) measureNative(b *workload.Benchmark, machine *sim.Machine, met
 	if err != nil {
 		return nil, err
 	}
+	defer runner.Release()
+	base := h.seedBase(b.Name, machine)
 	runs := make([]RunSample, 0, n)
 	for r := 0; r < n; r++ {
-		seed := h.runSeed(b.Name, machine, r, 0)
+		seed := runSeedFrom(base, r, 0)
 		lg, err := meter.AcquireLogger(seed ^ 0x1091)
 		if err != nil {
 			return nil, err
@@ -260,50 +267,100 @@ func (h *Harness) measureManaged(b *workload.Benchmark, machine *sim.Machine, me
 	if err != nil {
 		return nil, err
 	}
-	// One compiled Runner per in-process iteration spec, replayed across
-	// all twenty invocations (Section 2.2's 20 x 5 methodology).
-	runners := make([]*sim.Runner, len(plan.Specs))
-	for it, spec := range plan.Specs {
-		if runners[it], err = machine.NewRunner(spec); err != nil {
-			return nil, err
-		}
+	// Only the measured (fifth) iteration of each invocation contributes
+	// to the reported sample. The warm-up iterations are still part of
+	// the methodology's model — the plan carries their specs — but
+	// executing them is provably dead work: every run seeds its RNG and
+	// resets its thermal state from its own identity, takes no sample
+	// callback, and has its result discarded, so eliding the replay
+	// leaves the measured iteration's bytes untouched. The elision is
+	// pinned by the golden determinism tests.
+	mi := plan.MeasuredIndex()
+	runner, err := machine.NewRunner(plan.Specs[mi])
+	if err != nil {
+		return nil, err
 	}
+	defer runner.Release()
+	base := h.seedBase(b.Name, machine)
 	runs := make([]RunSample, 0, jvm.Invocations)
 	for inv := 0; inv < jvm.Invocations; inv++ {
-		var sample RunSample
-		for it := range plan.Specs {
-			measured := it == plan.MeasuredIndex()
-			seed := h.runSeed(b.Name, machine, inv, it)
-			var lg *sensor.Logger
-			var cb sim.SampleFunc
-			if measured {
-				if lg, err = meter.AcquireLogger(seed ^ 0x1091); err != nil {
-					return nil, err
-				}
-				cb = lg.Sample
-			}
-			res, err := runners[it].Run(seed, cb)
-			if err != nil {
-				return nil, err
-			}
-			if measured {
-				tr, err := lg.Finish()
-				meter.ReleaseLogger(lg)
-				if err != nil {
-					return nil, err
-				}
-				sample = RunSample{Seconds: res.Seconds, Watts: tr.AvgWatts, Counters: res.Counters}
-			}
+		seed := runSeedFrom(base, inv, mi)
+		lg, err := meter.AcquireLogger(seed ^ 0x1091)
+		if err != nil {
+			return nil, err
 		}
-		runs = append(runs, sample)
+		res, err := runner.Run(seed, lg.Sample)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := lg.Finish()
+		meter.ReleaseLogger(lg)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, RunSample{Seconds: res.Seconds, Watts: tr.AvgWatts, Counters: res.Counters})
 	}
 	return runs, nil
+}
+
+// FNV-1a parameters, inlined so seed derivation allocates nothing. The
+// hashed byte stream is exactly what the original hash/fnv +
+// fmt.Fprintf("%d|%s|%s|%s|%d|%d", ...) implementation consumed, so
+// every derived seed — and therefore every measured number — is
+// unchanged.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+func fnvInt(h uint64, v int64) uint64 {
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], v, 10) {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// seedBase hashes the identity prefix shared by every run of one cell
+// ("seed|bench|proc|cfg|"), so the per-run tail hashes only the run and
+// iteration digits. Computed once per cell instead of once per run.
+func (h *Harness) seedBase(bench string, machine *sim.Machine) uint64 {
+	f := fnvInt(fnvOffset64, h.seed)
+	f = fnvByte(f, '|')
+	f = fnvString(f, bench)
+	f = fnvByte(f, '|')
+	f = fnvString(f, machine.Proc.Name)
+	f = fnvByte(f, '|')
+	f = fnvString(f, machine.Cfg.String())
+	f = fnvByte(f, '|')
+	return f
+}
+
+// runSeedFrom finishes a seed derivation started by seedBase.
+func runSeedFrom(base uint64, run, iter int) int64 {
+	f := fnvInt(base, int64(run))
+	f = fnvByte(f, '|')
+	f = fnvInt(f, int64(iter))
+	return int64(f)
 }
 
 // runSeed derives a stable per-run seed from the harness seed and the
 // run's identity, keeping the whole study reproducible.
 func (h *Harness) runSeed(bench string, machine *sim.Machine, run, iter int) int64 {
-	f := fnv.New64a()
-	fmt.Fprintf(f, "%d|%s|%s|%s|%d|%d", h.seed, bench, machine.Proc.Name, machine.Cfg, run, iter)
-	return int64(f.Sum64())
+	return runSeedFrom(h.seedBase(bench, machine), run, iter)
 }

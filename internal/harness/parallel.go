@@ -30,6 +30,35 @@ type Job struct {
 	CP    proc.ConfiguredProcessor
 }
 
+// DefaultBlockSize picks the automatic block for a batch: big enough to
+// amortize per-cell scheduling and setup, small enough that every worker
+// stays busy until the tail.
+func DefaultBlockSize(jobs, workers int) int {
+	block := jobs / (4 * workers)
+	if block > 16 {
+		block = 16
+	}
+	if block < 1 {
+		block = 1
+	}
+	return block
+}
+
+// SetBlockSize fixes the block MeasureBatch workers claim per scheduling
+// step; n <= 0 restores the automatic size. Blocking is pure scheduling:
+// any block size produces byte-identical measurements (pinned by the
+// golden determinism tests), it only changes how work is handed out and
+// how often per-block setup (machine and meter resolution) is repeated.
+func (h *Harness) SetBlockSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	h.blockSize = n
+}
+
+// BlockSize reports the configured block size (0 = automatic).
+func (h *Harness) BlockSize() int { return h.blockSize }
+
 // MeasureBatch runs a set of measurements across a worker pool and
 // returns them in job order. Measurements are deterministic in the
 // harness seed and independent of scheduling order (each run derives its
@@ -42,6 +71,16 @@ type Job struct {
 // batch returns ctx.Err() promptly (in-flight cells finish their current
 // measurement first — a cell is the cancellation granularity).
 func (h *Harness) MeasureBatch(ctx context.Context, jobs []Job, workers int) ([]*Measurement, error) {
+	return h.MeasureBatchBlocks(ctx, jobs, workers, h.blockSize)
+}
+
+// MeasureBatchBlocks is MeasureBatch with an explicit scheduling block:
+// one dispatch claims `block` consecutive jobs. GridJobs order is
+// configuration-major, so a block's cells share a machine — and through
+// the machine memo and the simulator's plan cache, one set of compiled
+// segment kernels — keeping per-cell setup off the hot path. block <= 0
+// selects the automatic size.
+func (h *Harness) MeasureBatchBlocks(ctx context.Context, jobs []Job, workers, block int) ([]*Measurement, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
@@ -54,21 +93,26 @@ func (h *Harness) MeasureBatch(ctx context.Context, jobs []Job, workers int) ([]
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	if block <= 0 {
+		block = DefaultBlockSize(len(jobs), workers)
+	}
 
 	// Telemetry is a pure side channel: the span and histograms observe
 	// wall time only, never seeds or measured values, so traced and
 	// untraced batches produce byte-identical results.
 	batchStart := time.Now()
 	ctx, batchSpan := h.tracer.StartSpan(ctx, "harness.MeasureBatch",
-		telemetry.Int("jobs", len(jobs)), telemetry.Int("workers", workers))
+		telemetry.Int("jobs", len(jobs)), telemetry.Int("workers", workers),
+		telemetry.Int("block", block))
 	defer func() {
 		batchHist.Observe(time.Since(batchStart))
 		batchSpan.End()
 	}()
 
-	// Workers claim jobs from an atomic index rather than a producer
-	// channel: a channel feed deadlocks the producer if every worker
-	// exits early on an error, since nothing drains the remaining sends.
+	// Workers claim blocks of jobs from an atomic index rather than a
+	// producer channel: a channel feed deadlocks the producer if every
+	// worker exits early on an error, since nothing drains the remaining
+	// sends. Blocks amortize the claim and per-configuration setup.
 	results := make([]*Measurement, len(jobs))
 	errCh := make(chan error, workers)
 	var next atomic.Int64
@@ -79,20 +123,29 @@ func (h *Harness) MeasureBatch(ctx context.Context, jobs []Job, workers int) ([]
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
+				lo := int(next.Add(int64(block))) - block
+				if lo >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				m, err := h.measureCellTraced(ctx, jobs[i])
-				if err != nil {
-					failed.Store(true)
-					select {
-					case errCh <- err:
-					default:
+				hi := lo + block
+				if hi > len(jobs) {
+					hi = len(jobs)
+				}
+				for i := lo; i < hi; i++ {
+					if failed.Load() || ctx.Err() != nil {
+						return
 					}
-					return
+					m, err := h.measureCellTraced(ctx, jobs[i])
+					if err != nil {
+						failed.Store(true)
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+					results[i] = m
 				}
-				results[i] = m
 			}
 		}()
 	}

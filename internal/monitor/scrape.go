@@ -62,10 +62,12 @@ type scraper struct {
 }
 
 // traceEvery is how many sweeps pass between /v1/traces scrapes. The
-// trace export is by far the most expensive endpoint (the backend
-// marshals its whole span ring), and the slow-cell leaderboard does not
-// need per-sweep freshness — so it refreshes at 1/8 the scrape rate,
-// keeping the per-sweep cost dominated by the cheap endpoints.
+// throttle is now optional: the backend streams the export
+// incrementally (telemetry.WriteChromeTrace), so a trace scrape no
+// longer marshals the whole span ring into one buffer and its
+// per-request cost sits near the cheap endpoints'. It is kept at 8
+// anyway — the slow-cell leaderboard does not need per-sweep freshness,
+// so there is no reason to spend even the cheap export every sweep.
 const traceEvery = 8
 
 func newScraper(backends []string, o Options, st *store, logger *slog.Logger) *scraper {

@@ -97,17 +97,29 @@ func Compile(p *proc.Processor, op Operating, loads []CoreLoad) (Kernel, error) 
 // clamped to [ActivityFloor, ActivityCeil], matching the simulator's
 // per-step load modulation. It performs no validation and no allocation.
 func (k *Kernel) Eval(tempC, actScale float64) Breakdown {
+	var b Breakdown
+	k.EvalInto(&b, tempC, actScale)
+	return b
+}
+
+// EvalInto is Eval writing into a caller-owned Breakdown, the form the
+// simulator's integration loop uses: one Breakdown lives for a whole
+// block of steps and is overwritten per step, so the hot loop moves no
+// structs. Arithmetic is identical to Eval's — the two produce
+// bit-identical breakdowns.
+func (k *Kernel) EvalInto(b *Breakdown, tempC, actScale float64) {
 	leakT := 1 + leakTempCoeff*(tempC-nominalTempC)
 	if leakT < 0.5 {
 		leakT = 0.5
 	}
-	b := Breakdown{
-		UncoreWatts:     k.UncoreWatts,
-		CoreStaticWatts: k.StaticCoeff * leakT,
-		GatedWatts:      k.GatedLeakCoeff*leakT + k.GatedFixedWatts,
-	}
-	for i, c := range k.DynCoeff {
-		a := k.BaseAct[i] * actScale
+	b.UncoreWatts = k.UncoreWatts
+	b.CoreStaticWatts = k.StaticCoeff * leakT
+	b.GatedWatts = k.GatedLeakCoeff*leakT + k.GatedFixedWatts
+	b.CoreDynWatts = 0
+	dyn := k.DynCoeff
+	act := k.BaseAct
+	for i, c := range dyn {
+		a := act[i] * actScale
 		if a > ActivityCeil {
 			a = ActivityCeil
 		}
@@ -117,5 +129,4 @@ func (k *Kernel) Eval(tempC, actScale float64) Breakdown {
 		b.CoreDynWatts += c * a
 	}
 	b.TotalWatts = b.UncoreWatts + b.CoreDynWatts + b.CoreStaticWatts + b.GatedWatts
-	return b
 }

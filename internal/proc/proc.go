@@ -21,6 +21,7 @@ package proc
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -176,13 +177,23 @@ type Config struct {
 // Contexts returns the configuration's hardware contexts.
 func (c Config) Contexts() int { return c.Cores * c.SMTWays }
 
+// configStrings memoizes Config.String: the rendered notation keys the
+// harness's machine memo, the daemon's cache keys, and every CSV row, so
+// the study formats the same few dozen configurations millions of times.
+// Config is a flat value type, so it keys the memo directly.
+var configStrings sync.Map // Config -> string
+
 // String renders the paper's compact notation, e.g. "4C2T@2.7GHz" or
 // "1C1T@2.7GHz NoTB" for a turbo-capable part with turbo disabled.
 func (c Config) String() string {
+	if s, ok := configStrings.Load(c); ok {
+		return s.(string)
+	}
 	s := fmt.Sprintf("%dC%dT@%.1fGHz", c.Cores, c.SMTWays, c.ClockGHz)
 	if c.Turbo {
 		s += " TB"
 	}
+	configStrings.Store(c, s)
 	return s
 }
 

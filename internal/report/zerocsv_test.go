@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestZeroCSVMatchesEncodingCSV pins the byte-identity contract: the
+// zero-alloc stream must render exactly what encoding/csv renders for
+// the same rows, including every quoting edge the stdlib implements.
+func TestZeroCSVMatchesEncodingCSV(t *testing.T) {
+	rows := [][]string{
+		{"configuration", "benchmark", "value"},
+		{"4C2T@2.7GHz TB", "avrora", "1.234"},
+		{"plain", "with,comma", "with\"quote"},
+		{"", " leadingspace", "trailingspace "},
+		{"\ttab", "multi\nline", "cr\rhere"},
+		{`\.`, `\..`, "."},
+		{" nbsp", "unicode ☃", "-1e+06"},
+	}
+
+	var want bytes.Buffer
+	cw := csv.NewWriter(&want)
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cw.Flush()
+
+	var got bytes.Buffer
+	zs, err := NewZeroCSVStream(&got, rows[0]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[1:] {
+		for _, f := range r {
+			zs.Field(f)
+		}
+		if err := zs.EndRow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("zero-alloc CSV diverged from encoding/csv:\ngot:  %q\nwant: %q",
+			got.String(), want.String())
+	}
+}
+
+// TestFloatG6MatchesSprintf pins FloatG6 to fmt's %.6g across the value
+// shapes the dataset emits (and the awkward ones it doesn't).
+func TestFloatG6MatchesSprintf(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.5, 2.0 / 3.0, 1e-9, 123456789, 1.0000004,
+		3.062282, 66.78151, 0.007315633, 2745, 1e21, -1e-21,
+		math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	for _, v := range vals {
+		var got bytes.Buffer
+		zs, err := NewZeroCSVStream(&got, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		zs.FloatG6(v)
+		if err := zs.EndRow(); err != nil {
+			t.Fatal(err)
+		}
+		if err := zs.Close(); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%.6g", v)
+		line := strings.TrimSuffix(strings.Split(got.String(), "\n")[1], "\n")
+		if line != want {
+			t.Errorf("FloatG6(%v) = %q, want %q", v, line, want)
+		}
+	}
+}
+
+// TestZeroCSVRowPathAllocs asserts the row path itself stays
+// allocation-free once the stream is warm: the whole point of the type.
+func TestZeroCSVRowPathAllocs(t *testing.T) {
+	var sink bytes.Buffer
+	zs, err := NewZeroCSVStream(&sink, "a", "b", "c", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		zs.Field("4C2T@2.7GHz TB")
+		zs.Int(5)
+		zs.FloatG6(3.062282)
+		zs.FloatG6(66.78151)
+		if err := zs.EndRow(); err != nil {
+			t.Fatal(err)
+		}
+		sink.Reset()
+	})
+	if allocs > 0 {
+		t.Fatalf("row path allocates %.1f times per row, want 0", allocs)
+	}
+}
+
+func TestZeroCSVErrors(t *testing.T) {
+	if _, err := NewZeroCSVStream(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty header accepted")
+	}
+	var buf bytes.Buffer
+	zs, err := NewZeroCSVStream(&buf, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs.Field("only-one")
+	if err := zs.EndRow(); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := zs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zs.Field("x")
+	zs.Field("y")
+	if err := zs.EndRow(); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+}

@@ -13,14 +13,14 @@ package service
 import (
 	"container/list"
 	"context"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 )
 
-// cacheShards is the shard count: enough to keep lock contention off the
-// request path at the tested concurrency (32+ clients), small enough
-// that per-shard LRU capacity stays meaningful.
+// cacheShards is the default shard count: enough to keep lock
+// contention off the request path at the tested concurrency (32+
+// clients), small enough that per-shard LRU capacity stays meaningful.
+// The tuner sweeps this knob through Options.CacheShards.
 const cacheShards = 16
 
 // Cache is a sharded LRU keyed by string with singleflight fills: the
@@ -29,9 +29,9 @@ const cacheShards = 16
 // cached — errors are observed by the waiters of that fill and the next
 // request recomputes.
 type Cache struct {
-	shards [cacheShards]shard
+	shards []shard
 	// perShard is the max completed entries per shard; total capacity is
-	// perShard * cacheShards.
+	// perShard * len(shards).
 	perShard int
 
 	hits      atomic.Int64 // served from a completed entry
@@ -68,24 +68,40 @@ func (e *entry) completed() bool {
 // (rounded up to a multiple of the shard count). capacity <= 0 selects
 // an effectively unbounded cache.
 func NewCache(capacity int) *Cache {
+	return NewCacheShards(capacity, cacheShards)
+}
+
+// NewCacheShards is NewCache with an explicit shard count — the knob
+// the auto-tuner sweeps. shards <= 0 selects the default. Sharding is
+// pure concurrency plumbing: any shard count serves the same values.
+func NewCacheShards(capacity, shards int) *Cache {
+	if shards <= 0 {
+		shards = cacheShards
+	}
 	per := 0
 	if capacity > 0 {
-		per = (capacity + cacheShards - 1) / cacheShards
+		per = (capacity + shards - 1) / shards
 		if per < 1 {
 			per = 1
 		}
 	}
-	c := &Cache{perShard: per}
+	c := &Cache{perShard: per, shards: make([]shard, shards)}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*list.Element)
 	}
 	return c
 }
 
+// shardFor routes a key to its shard with an inlined FNV-1a; the
+// stdlib's fnv.New32a allocates its state on every call, which put a
+// heap allocation on every cache lookup of the serving path.
 func (c *Cache) shardFor(key string) *shard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return &c.shards[h.Sum32()%cacheShards]
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%uint32(len(c.shards))]
 }
 
 // Outcome classifies how GetOrComputeOutcome satisfied a request; the
@@ -198,7 +214,7 @@ func (c *Cache) Len() int {
 // operators can see whether the rendezvous routing keeps each backend's
 // key space (and therefore its shards) evenly loaded.
 func (c *Cache) ShardLens() []int {
-	lens := make([]int, cacheShards)
+	lens := make([]int, len(c.shards))
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -232,7 +248,7 @@ func (c *Cache) Stats() CacheStats {
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   n,
-		Capacity:  c.perShard * cacheShards,
+		Capacity:  c.perShard * len(c.shards),
 		Shards:    shards,
 	}
 }

@@ -48,20 +48,27 @@ func newWorkPool(workers, depth int) *workPool {
 	return p
 }
 
+type poolResult struct {
+	val any
+	err error
+}
+
+// doneChans recycles Do's single-use result channels. A channel is
+// returned to the pool only on paths where no send can still be
+// pending: after the result is received, or when the task was never
+// enqueued (ctx expired first), so a recycled channel is always empty.
+var doneChans = sync.Pool{New: func() any { return make(chan poolResult, 1) }}
+
 // Do runs fn on the pool and waits for its result. Enqueueing respects
 // ctx (a caller can give up while the queue is full); once enqueued the
 // closure always runs to completion and Do waits for it — the fills this
 // pool exists for are deterministic and cacheable, so abandoning one
 // mid-flight would only waste the work.
 func (p *workPool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
-	type result struct {
-		val any
-		err error
-	}
-	done := make(chan result, 1)
+	done := doneChans.Get().(chan poolResult)
 	task := func() {
 		val, err := fn()
-		done <- result{val, err}
+		done <- poolResult{val, err}
 	}
 
 	// The read lock is held across the (possibly blocking) send: Close
@@ -72,6 +79,7 @@ func (p *workPool) Do(ctx context.Context, fn func() (any, error)) (any, error) 
 	p.mu.RLock()
 	if p.draining {
 		p.mu.RUnlock()
+		doneChans.Put(done)
 		return nil, ErrDraining
 	}
 	select {
@@ -79,9 +87,11 @@ func (p *workPool) Do(ctx context.Context, fn func() (any, error)) (any, error) 
 		p.mu.RUnlock()
 	case <-ctx.Done():
 		p.mu.RUnlock()
+		doneChans.Put(done)
 		return nil, ctx.Err()
 	}
 	r := <-done
+	doneChans.Put(done)
 	return r.val, r.err
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 
 	"repro/internal/counters"
 	"repro/internal/proc"
@@ -147,6 +148,11 @@ func DecodeMeasureRequest(r io.Reader) (*MeasureRequest, []cell, error) {
 }
 
 // resolveCells validates request cells against the fleet and workload.
+// Name lookups go through per-request maps built from one workload.All
+// and proc.Fleet call: both return fresh mutation-isolated copies, so
+// resolving a full 5490-cell study through ByName used to construct
+// 61 benchmarks + 8 processors per cell. One request never mutates its
+// cells, so sharing the copies within the request is safe.
 func resolveCells(reqs []CellRequest) ([]cell, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("service: request names no cells")
@@ -154,15 +160,25 @@ func resolveCells(reqs []CellRequest) ([]cell, error) {
 	if len(reqs) > MaxCells {
 		return nil, fmt.Errorf("service: %d cells exceeds the %d-cell request bound", len(reqs), MaxCells)
 	}
+	benches := workload.All()
+	benchByName := make(map[string]*workload.Benchmark, len(benches))
+	for _, b := range benches {
+		benchByName[b.Name] = b
+	}
+	fleet := proc.Fleet()
+	procByName := make(map[string]*proc.Processor, len(fleet))
+	for _, p := range fleet {
+		procByName[p.Name] = p
+	}
 	cells := make([]cell, 0, len(reqs))
 	for i, cr := range reqs {
-		b, err := workload.ByName(cr.Benchmark)
-		if err != nil {
-			return nil, fmt.Errorf("service: cell %d: %w", i, err)
+		b, ok := benchByName[cr.Benchmark]
+		if !ok {
+			return nil, fmt.Errorf("service: cell %d: workload: unknown benchmark %q", i, cr.Benchmark)
 		}
-		p, err := proc.ByName(cr.Processor)
-		if err != nil {
-			return nil, fmt.Errorf("service: cell %d: %w", i, err)
+		p, ok := procByName[cr.Processor]
+		if !ok {
+			return nil, fmt.Errorf("service: cell %d: proc: unknown processor %q", i, cr.Processor)
 		}
 		cfg := p.Stock()
 		if cr.Config != nil {
@@ -189,10 +205,26 @@ func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // cellKey is the cache key of one cell: exactly the determinism
 // contract's tuple. The clock is rendered round-trip exact so two
 // configurations differing below the display precision cannot collide.
+// Rendered with strconv appends — byte-identical to the former
+// fmt.Sprintf("m|%d|%s|%s|%d|%d|%.17g|%t", ...) form ('g'/17 is %.17g,
+// AppendBool is %t) at one allocation instead of fmt's boxing.
 func cellKey(seed int64, c cell) string {
-	return fmt.Sprintf("m|%d|%s|%s|%d|%d|%.17g|%t",
-		seed, c.bench.Name, c.cp.Proc.Name,
-		c.cp.Config.Cores, c.cp.Config.SMTWays, c.cp.Config.ClockGHz, c.cp.Config.Turbo)
+	b := make([]byte, 0, 64)
+	b = append(b, 'm', '|')
+	b = strconv.AppendInt(b, seed, 10)
+	b = append(b, '|')
+	b = append(b, c.bench.Name...)
+	b = append(b, '|')
+	b = append(b, c.cp.Proc.Name...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(c.cp.Config.Cores), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(c.cp.Config.SMTWays), 10)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, c.cp.Config.ClockGHz, 'g', 17, 64)
+	b = append(b, '|')
+	b = strconv.AppendBool(b, c.cp.Config.Turbo)
+	return string(b)
 }
 
 // configJSON renders a resolved configuration back to the wire form.

@@ -38,6 +38,10 @@ type Options struct {
 	// CacheCapacity bounds the measurement cache in cells; <= 0 selects
 	// 4 full study grids (about 11k cells).
 	CacheCapacity int
+	// CacheShards sets the measurement cache's shard count; <= 0 selects
+	// the default (16). Purely a contention knob — the auto-tuner sweeps
+	// it, values never change.
+	CacheShards int
 	// HarnessCapacity bounds how many per-seed harnesses stay resident;
 	// <= 0 selects 4.
 	HarnessCapacity int
@@ -118,7 +122,7 @@ func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	return &Server{
 		opts:      opts,
-		cache:     NewCache(opts.CacheCapacity),
+		cache:     NewCacheShards(opts.CacheCapacity, opts.CacheShards),
 		pool:      newWorkPool(opts.Workers, opts.QueueDepth),
 		harnesses: newHarnessCache(opts.HarnessCapacity),
 		tracer:    telemetry.NewTracer(opts.TraceBuffer),

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/counters"
 	"repro/internal/fastrand"
@@ -39,6 +40,20 @@ type Machine struct {
 
 	hier mem.Hierarchy
 	pipe pipeline.Params
+
+	// planMu/plans memoize compiled segment plans per spec: a study block
+	// re-plans the same (machine, spec) pair for every run and every
+	// serving request, and a compiled plan — segments, turbo resolution,
+	// flattened power kernels — is immutable once built, so one compile
+	// serves every Runner that replays the spec. ExecSpec is a flat value
+	// type, so it keys the memo directly.
+	planMu sync.Mutex
+	plans  map[ExecSpec][]segment
+
+	// states pools per-run mutable state (RNG and thermal model) across
+	// the Runners of this machine: a Runner reseeds and resets both on
+	// every Run, so reuse is invisible to results.
+	states sync.Pool
 }
 
 // NewMachine validates the configuration and builds the machine.
@@ -175,36 +190,73 @@ type segment struct {
 // replays the same spec under different seeds without re-planning, which
 // is exactly the harness's repeated-invocation methodology. A Runner is
 // not safe for concurrent use (it owns one RNG and one thermal state);
-// concurrent measurements each build their own.
+// concurrent measurements each build their own. Runners replaying the
+// same spec on one machine share its cached compiled plan.
 type Runner struct {
 	m    *Machine
 	spec ExecSpec
 	segs []segment
 
+	state *runState
+}
+
+// runState is the per-run mutable state a Runner owns; everything else a
+// Runner holds is immutable and shared. Pooled per machine.
+type runState struct {
 	rng   *rand.Rand
 	therm *thermal.Model
 }
 
-// NewRunner validates the spec and plans its segments once.
-func (m *Machine) NewRunner(spec ExecSpec) (*Runner, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
+// planFor returns the machine's compiled plan for spec, building it on
+// first use. Plans are immutable after construction, so one instance
+// serves every concurrent Runner replaying the spec.
+func (m *Machine) planFor(spec ExecSpec) ([]segment, error) {
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
+	if segs, ok := m.plans[spec]; ok {
+		return segs, nil
 	}
 	segs, err := m.plan(spec)
 	if err != nil {
 		return nil, err
 	}
-	therm, err := thermal.New(m.Proc.Spec.TDPWatts)
+	if m.plans == nil {
+		m.plans = make(map[ExecSpec][]segment)
+	}
+	m.plans[spec] = segs
+	return segs, nil
+}
+
+// NewRunner validates the spec and resolves its compiled plan, reusing
+// the machine's cached plan when the spec was planned before.
+func (m *Machine) NewRunner(spec ExecSpec) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	segs, err := m.planFor(spec)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{
-		m:     m,
-		spec:  spec,
-		segs:  segs,
-		rng:   fastrand.New(0),
-		therm: therm,
-	}, nil
+	st, _ := m.states.Get().(*runState)
+	if st == nil {
+		therm, err := thermal.New(m.Proc.Spec.TDPWatts)
+		if err != nil {
+			return nil, err
+		}
+		st = &runState{rng: fastrand.New(0), therm: therm}
+	}
+	return &Runner{m: m, spec: spec, segs: segs, state: st}, nil
+}
+
+// Release returns the Runner's mutable state to the machine's pool. The
+// Runner must not be used afterwards. Optional: an unreleased Runner is
+// simply garbage-collected.
+func (r *Runner) Release() {
+	if r.state == nil {
+		return
+	}
+	r.m.states.Put(r.state)
+	r.state = nil
 }
 
 // Run executes the spec. The seed makes the run deterministic; different
@@ -221,22 +273,24 @@ func (m *Machine) Run(spec ExecSpec, seed int64, sample SampleFunc) (Result, err
 // performs no heap allocations: all per-step state lives in the compiled
 // kernels and the Runner's reusable RNG and thermal model.
 func (r *Runner) Run(seed int64, sample SampleFunc) (Result, error) {
-	r.rng.Seed(seed)
-	r.therm.Reset()
+	rng, therm := r.state.rng, r.state.therm
+	rng.Seed(seed)
+	therm.Reset()
 	spec := r.spec
 
 	// Run-to-run jitter: one multiplicative draw per run, as JIT and GC
 	// placement decisions persist for a run's lifetime.
-	rateJitter := 1 + r.rng.NormFloat64()*spec.RateJitterSD
+	rateJitter := 1 + rng.NormFloat64()*spec.RateJitterSD
 	if rateJitter < 0.5 {
 		rateJitter = 0.5
 	}
-	powerJitter := 1 + r.rng.NormFloat64()*spec.PowerJitterSD
+	powerJitter := 1 + rng.NormFloat64()*spec.PowerJitterSD
 	if powerJitter < 0.7 {
 		powerJitter = 0.7
 	}
 
 	var res Result
+	var bd power.Breakdown
 	var clockSeconds float64
 	for si := range r.segs {
 		sg := &r.segs[si]
@@ -251,18 +305,18 @@ func (r *Runner) Run(seed int64, sample SampleFunc) (Result, error) {
 		segTime := segWork / rate
 		steps := stepsFor(segTime)
 		dt := segTime / float64(steps)
-		phasePeriod := math.Max(8, float64(steps)/3)
+		sins := sinTable(steps)
 		for i := 0; i < steps; i++ {
 			// Thermal throttle: drop turbo when the junction saturates.
 			k := &sg.kern
-			if sg.canThrottle && r.therm.Throttling() {
+			if sg.canThrottle && therm.Throttling() {
 				k = &sg.kernThrottled
 			}
-			phase := 1 + 0.06*math.Sin(2*math.Pi*float64(i)/phasePeriod) +
-				r.rng.NormFloat64()*0.02
-			bd := k.Eval(r.therm.TempC(), phase*powerJitter)
+			phase := 1 + 0.06*sins[i] +
+				rng.NormFloat64()*0.02
+			k.EvalInto(&bd, therm.TempC(), phase*powerJitter)
 			w := bd.TotalWatts
-			r.therm.Step(w, dt)
+			therm.Step(w, dt)
 			if sample != nil {
 				sample(w, dt)
 			}
@@ -318,4 +372,25 @@ func stepsFor(segSeconds float64) int {
 		steps = 360
 	}
 	return steps
+}
+
+// sinTables memoizes the per-step phase modulation sin(2*pi*i/period)
+// per step count. The phase period is a pure function of the step count
+// and stepsFor clamps counts to [24, 360], so at most 337 small tables
+// exist process-wide, and each entry holds the exact float the inline
+// math.Sin call produced before — the modulation is bit-identical.
+var sinTables sync.Map // int -> []float64
+
+// sinTable returns the phase table for a step count.
+func sinTable(steps int) []float64 {
+	if t, ok := sinTables.Load(steps); ok {
+		return t.([]float64)
+	}
+	phasePeriod := math.Max(8, float64(steps)/3)
+	t := make([]float64, steps)
+	for i := range t {
+		t[i] = math.Sin(2 * math.Pi * float64(i) / phasePeriod)
+	}
+	sinTables.Store(steps, t)
+	return t
 }

@@ -27,6 +27,14 @@ type Model struct {
 	TimeConstantS float64
 
 	tempC float64
+
+	// lastDt/lastAlpha memoize the exponential step factor: the
+	// integrator calls Step with a constant dt for every step of a
+	// segment, so the transcendental evaluates once per segment instead
+	// of once per step. The cached value is the exact float the direct
+	// computation would produce, so results are bit-identical.
+	lastDt    float64
+	lastAlpha float64
 }
 
 // New builds a thermal model sized for a part with the given TDP: at TDP
@@ -58,8 +66,11 @@ func (m *Model) Step(watts, dt float64) float64 {
 		return m.tempC
 	}
 	target := m.SteadyC(watts)
-	alpha := 1 - math.Exp(-dt/m.TimeConstantS)
-	m.tempC += (target - m.tempC) * alpha
+	if dt != m.lastDt {
+		m.lastDt = dt
+		m.lastAlpha = 1 - math.Exp(-dt/m.TimeConstantS)
+	}
+	m.tempC += (target - m.tempC) * m.lastAlpha
 	return m.tempC
 }
 

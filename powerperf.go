@@ -191,6 +191,16 @@ func (s *Study) Tracer() *telemetry.Tracer {
 	return s.ctx.H.Tracer()
 }
 
+// SetBlockSize fixes the scheduling block batch workers claim per
+// dispatch (0 restores the automatic size). Blocking is pure
+// scheduling: any block size produces byte-identical measurements, it
+// only changes how work is handed out. Tune with `powerperf tune`.
+func (s *Study) SetBlockSize(n int) {
+	if s != nil && s.ctx != nil {
+		s.ctx.H.SetBlockSize(n)
+	}
+}
+
 // ValidateRig sweeps every calibrated sensor across known currents and
 // reports the worst error, reproducing the paper's meter validation.
 func (s *Study) ValidateRig(knownAmps []float64) ([]sensor.ValidationReport, error) {
