@@ -507,3 +507,36 @@ func TestMeasurePathAllocBudget(t *testing.T) {
 		t.Errorf("managed cell: %v allocs per MeasureUncached, budget 7 (recorded 6)", got)
 	}
 }
+
+// BenchmarkScheduledStudy is BenchmarkServedStudy's work-stealing
+// sibling: the same cold 2-backend 366-cell study, but measured through
+// the pull-based scheduler and the NDJSON streaming path instead of
+// rendezvous-sharded buffered batches. BENCH_pr7.json records both
+// numbers; the gate is that the scheduler's no-fault overhead versus
+// the sharded coordinator stays under 10%.
+func BenchmarkScheduledStudy(b *testing.B) {
+	telemetry.SetLogLevel(slog.LevelError)
+	jobs := harness.GridJobs(nil, nil)[:6*61]
+	seed := int64(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ts0 := httptest.NewServer(service.NewServer(service.Options{Seed: seed}).Handler())
+		ts1 := httptest.NewServer(service.NewServer(service.Options{Seed: seed}).Handler())
+		sched, err := cluster.NewScheduler([]string{ts0.URL, ts1.URL}, cluster.SchedulerOptions{Seed: &seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if _, err := sched.MeasureBatch(context.Background(), jobs, 0); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		ts0.Close()
+		ts1.Close()
+		b.StartTimer()
+	}
+}

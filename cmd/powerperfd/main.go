@@ -59,7 +59,7 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "bounded measurement queue depth")
 	cacheCells := flag.Int("cache-cells", 0, "measurement cache capacity in cells (0 = 4 study grids)")
-	cacheShards := flag.Int("cache-shards", 0, "measurement cache shard count (0 = 16); tune with `powerperf tune`")
+	cacheShards := flag.Int("cache-shards", 0, "measurement cache shard count, a power of two (0 = 16); tune with `powerperf tune`")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown limit")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration to read a full request, header plus body (0 = none)")
 	writeTimeout := flag.Duration("write-timeout", 15*time.Minute, "max duration to write a full response; must cover a cold dataset stream (0 = none)")
@@ -74,6 +74,12 @@ func main() {
 	logger := telemetry.Logger("powerperfd")
 	if err := setLogLevel(*logLevel); err != nil {
 		logger.Error("bad -log-level", slog.Any("error", err))
+		os.Exit(2)
+	}
+	// The shard router masks, so a non-power-of-two count would skew
+	// (or skip) shards; reject it before the cache is built.
+	if err := service.ValidateCacheShards(*cacheShards); err != nil {
+		logger.Error("bad -cache-shards", slog.Any("error", err))
 		os.Exit(2)
 	}
 

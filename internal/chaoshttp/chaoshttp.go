@@ -1,0 +1,249 @@
+// Package chaoshttp is an in-process fault-injecting reverse proxy for
+// tests: it forwards HTTP requests to a target backend while delaying,
+// dropping, truncating mid-chunk, and killing/restarting the path on a
+// seeded schedule. Wrapping each backend of an httptest fleet in a
+// Proxy turns distributed failure handling — straggler re-dispatch,
+// lease expiry, stream-truncation recovery — into a deterministic,
+// race-enabled test instead of a manual kill experiment.
+//
+// Fault decisions are drawn from a seeded PRNG in request-arrival
+// order, so a single-threaded request sequence replays exactly; under
+// concurrency the interleaving varies but the fault *rates* and the
+// per-seed decision stream do not. Faults sever connections the way
+// real failures do (http.ErrAbortHandler), so clients observe transport
+// errors and truncated bodies, never tidy error responses.
+package chaoshttp
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options shapes the fault schedule. The zero value injects nothing —
+// a transparent proxy.
+type Options struct {
+	// Seed seeds the fault schedule; the zero seed is a valid seed.
+	Seed int64
+	// DropProb severs the connection before forwarding, per request.
+	DropProb float64
+	// DelayProb sleeps Delay before forwarding, per request. Delay <= 0
+	// with a positive DelayProb selects 10ms.
+	DelayProb float64
+	Delay     time.Duration
+	// ChunkDelay sleeps after every response chunk forwarded — the
+	// straggling-backend fault: the backend computes at full speed but
+	// its results trickle.
+	ChunkDelay time.Duration
+	// TruncateProb severs the response mid-chunk after TruncateBytes
+	// bytes of body, per request. TruncateBytes <= 0 draws a cutoff in
+	// [1, 4096) per faulted request, so truncations land in headers,
+	// mid-line, and between lines of a streamed body.
+	TruncateProb  float64
+	TruncateBytes int
+	// KillAfter kills the proxy permanently after it has accepted this
+	// many requests (0 = never): request KillAfter+1 and every later one
+	// is severed, and in-flight response streams are cut at their next
+	// chunk — exactly the shape of a backend process death. Restart
+	// revives it.
+	KillAfter int64
+}
+
+// Stats counts injected faults; tests assert the chaos actually fired.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	Dropped   int64 `json:"dropped"`
+	Delayed   int64 `json:"delayed"`
+	Truncated int64 `json:"truncated"`
+	Severed   int64 `json:"severed"` // refused while dead
+}
+
+// Proxy is the fault-injecting reverse proxy. Create with New, serve
+// with httptest.NewServer(proxy).
+type Proxy struct {
+	target string
+	opts   Options
+	client *http.Client
+
+	mu  sync.Mutex // guards rng: decisions draw in arrival order
+	rng *rand.Rand
+
+	dead atomic.Bool
+
+	requests  atomic.Int64
+	dropped   atomic.Int64
+	delayed   atomic.Int64
+	truncated atomic.Int64
+	severed   atomic.Int64
+}
+
+// New builds a proxy forwarding to the backend at target (a base URL,
+// e.g. an httptest.Server.URL).
+func New(target string, opts Options) *Proxy {
+	for len(target) > 0 && target[len(target)-1] == '/' {
+		target = target[:len(target)-1]
+	}
+	if opts.DelayProb > 0 && opts.Delay <= 0 {
+		opts.Delay = 10 * time.Millisecond
+	}
+	return &Proxy{
+		target: target,
+		opts:   opts,
+		// A dedicated client: the proxy must not share the default
+		// transport's connection pool with the system under test.
+		client: &http.Client{Transport: http.DefaultTransport.(*http.Transport).Clone()},
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Kill severs every current and future request until Restart — the
+// backend process is "dead" even though the wrapped server still runs
+// (its in-flight compute drains harmlessly, as with a real SIGKILL
+// where the coordinator just never hears back).
+func (p *Proxy) Kill() { p.dead.Store(true) }
+
+// Restart revives a killed proxy.
+func (p *Proxy) Restart() { p.dead.Store(false) }
+
+// Dead reports whether the proxy is currently severing all traffic.
+func (p *Proxy) Dead() bool { return p.dead.Load() }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Requests:  p.requests.Load(),
+		Dropped:   p.dropped.Load(),
+		Delayed:   p.delayed.Load(),
+		Truncated: p.truncated.Load(),
+		Severed:   p.severed.Load(),
+	}
+}
+
+// decision is one request's fault draw.
+type decision struct {
+	drop     bool
+	delay    bool
+	truncate bool
+	cutoff   int
+}
+
+func (p *Proxy) decide() decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var d decision
+	// Every probability is drawn every time, so the decision stream for
+	// a given seed is independent of which faults are enabled.
+	d.drop = p.rng.Float64() < p.opts.DropProb
+	d.delay = p.rng.Float64() < p.opts.DelayProb
+	d.truncate = p.rng.Float64() < p.opts.TruncateProb
+	d.cutoff = p.opts.TruncateBytes
+	if c := 1 + p.rng.Intn(4095); d.cutoff <= 0 {
+		d.cutoff = c
+	}
+	return d
+}
+
+// sever aborts the exchange the way a dying process does: the client
+// sees a severed connection (or a truncated body), never a response.
+func sever() {
+	panic(http.ErrAbortHandler)
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := p.requests.Add(1)
+	if p.opts.KillAfter > 0 && n > p.opts.KillAfter {
+		p.dead.Store(true)
+	}
+	if p.dead.Load() {
+		p.severed.Add(1)
+		sever()
+	}
+	d := p.decide()
+	if d.drop {
+		p.dropped.Add(1)
+		sever()
+	}
+	if d.delay {
+		p.delayed.Add(1)
+		select {
+		case <-time.After(p.opts.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		sever()
+	}
+	out.Header = r.Header.Clone()
+	resp, err := p.client.Do(out)
+	if err != nil {
+		// The wrapped backend itself failed (or the client hung up);
+		// either way the caller sees a severed connection.
+		sever()
+	}
+	defer resp.Body.Close()
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		// Content-Length is dropped so the response goes out chunked:
+		// truncation then looks like a severed stream, not a short read
+		// the client can size-check.
+		if k == "Content-Length" {
+			continue
+		}
+		h[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+
+	var written int
+	buf := make([]byte, 512)
+	for {
+		if p.dead.Load() {
+			// Killed mid-stream: cut the in-flight response here.
+			p.severed.Add(1)
+			sever()
+		}
+		nr, rerr := resp.Body.Read(buf)
+		if nr > 0 {
+			chunk := buf[:nr]
+			if d.truncate && written+nr >= d.cutoff {
+				// Mid-chunk truncation: ship the partial bytes, flush
+				// them onto the wire, then die.
+				if keep := d.cutoff - written; keep > 0 {
+					_, _ = w.Write(chunk[:keep])
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				p.truncated.Add(1)
+				sever()
+			}
+			if _, werr := w.Write(chunk); werr != nil {
+				return // client went away
+			}
+			written += nr
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if p.opts.ChunkDelay > 0 {
+				select {
+				case <-time.After(p.opts.ChunkDelay):
+				case <-r.Context().Done():
+					return
+				}
+			}
+		}
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			sever()
+		}
+	}
+}

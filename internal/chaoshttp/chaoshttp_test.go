@@ -1,0 +1,143 @@
+package chaoshttp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoBackend returns a backend serving a fixed body, plus a proxy in
+// front of it with the given fault options.
+func echoBackend(t *testing.T, body string, opts Options) (*Proxy, *httptest.Server) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Backend", "yes")
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(backend.Close)
+	p := New(backend.URL, opts)
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front
+}
+
+func TestProxyTransparent(t *testing.T) {
+	p, front := echoBackend(t, "hello through the proxy", Options{})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(front.URL+"/some/path?q=1", "text/plain", strings.NewReader("ping"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != "hello through the proxy" {
+			t.Fatalf("body = %q", b)
+		}
+		if resp.Header.Get("X-Backend") != "yes" {
+			t.Fatal("backend header not forwarded")
+		}
+	}
+	st := p.Stats()
+	if st.Requests != 3 || st.Dropped+st.Delayed+st.Truncated+st.Severed != 0 {
+		t.Fatalf("stats = %+v, want 3 clean requests", st)
+	}
+}
+
+func TestProxyKillAfterAndRestart(t *testing.T) {
+	p, front := echoBackend(t, "ok", Options{KillAfter: 1})
+	if resp, err := http.Get(front.URL); err != nil {
+		t.Fatalf("first request should pass: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := http.Get(front.URL); err == nil {
+		t.Fatal("second request should be severed (KillAfter: 1)")
+	}
+	if !p.Dead() {
+		t.Fatal("proxy should report dead")
+	}
+	p.Restart()
+	// KillAfter re-kills on the next request; Restart is the seam for
+	// schedules driven by the test itself, so re-arm manually.
+	p.opts.KillAfter = 0
+	if resp, err := http.Get(front.URL); err != nil {
+		t.Fatalf("restarted proxy should serve: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if st := p.Stats(); st.Severed == 0 {
+		t.Fatalf("stats = %+v, want severed > 0", st)
+	}
+}
+
+func TestProxyTruncatesMidBody(t *testing.T) {
+	body := strings.Repeat("0123456789", 200) // 2000 bytes
+	p, front := echoBackend(t, body, Options{TruncateProb: 1, TruncateBytes: 37})
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes with no error; want a severed body", len(got))
+	}
+	if len(got) != 37 {
+		t.Fatalf("received %d bytes before the cut, want exactly 37", len(got))
+	}
+	if string(got) != body[:37] {
+		t.Fatal("truncated prefix differs from the backend's bytes")
+	}
+	if st := p.Stats(); st.Truncated != 1 {
+		t.Fatalf("stats = %+v, want 1 truncation", st)
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	_, front := echoBackend(t, "ok", Options{DelayProb: 1, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms", elapsed)
+	}
+}
+
+// TestProxySeededScheduleReplays drives two identically-seeded proxies
+// with the same sequential request sequence and expects identical fault
+// decisions — the property that makes a chaos run reproducible.
+func TestProxySeededScheduleReplays(t *testing.T) {
+	run := func(seed int64) Stats {
+		p, front := echoBackend(t, "payload-payload-payload", Options{
+			Seed: seed, DropProb: 0.3, TruncateProb: 0.3, TruncateBytes: 5,
+		})
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(fmt.Sprintf("%s/%d", front.URL, i))
+			if err != nil {
+				continue // dropped: expected
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return p.Stats()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := run(8)
+	if a == c {
+		t.Fatalf("different seeds produced identical schedules: %+v", a)
+	}
+}

@@ -455,17 +455,23 @@ func (cl *Cluster) hedgeTarget(primary string, j harness.Job, excluded map[strin
 	return ""
 }
 
+// jitteredBackoff is the delay before retry attempt (1-based): an
+// exponential base capped at max, with full jitter on the upper half so
+// retry waves never synchronize across chunks or pullers while the
+// exponential floor is preserved. Shared by the rendezvous coordinator
+// and the work-stealing scheduler.
+func jitteredBackoff(base, max time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
 // backoff sleeps the jittered exponential delay for the given attempt
 // (1-based), or returns early with ctx's error.
 func (cl *Cluster) backoff(ctx context.Context, attempt int) error {
-	d := cl.opts.BackoffBase << (attempt - 1)
-	if d > cl.opts.BackoffMax || d <= 0 {
-		d = cl.opts.BackoffMax
-	}
-	// Full jitter on the upper half keeps retry waves from synchronizing
-	// across chunks while preserving the exponential floor.
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-	t := time.NewTimer(d)
+	t := time.NewTimer(jitteredBackoff(cl.opts.BackoffBase, cl.opts.BackoffMax, attempt))
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -480,12 +486,22 @@ func (cl *Cluster) backoff(ctx context.Context, attempt int) error {
 // same seed, because both feed BuildReference the same measurements in
 // the same order.
 func (cl *Cluster) Reference(ctx context.Context, workers int) (*harness.Reference, error) {
+	return referenceVia(ctx, cl, workers)
+}
+
+// referenceVia builds the normalization table through any remote
+// measurer (the rendezvous cluster or the work-stealing scheduler); the
+// accumulation is keyed by cell identity, so it is independent of which
+// backend measured what and in what order results arrived.
+func referenceVia(ctx context.Context, src interface {
+	MeasureBatch(context.Context, []harness.Job, int) ([]*harness.Measurement, error)
+}, workers int) (*harness.Reference, error) {
 	refs, err := harness.ReferenceCells()
 	if err != nil {
 		return nil, err
 	}
 	jobs := harness.GridJobs(refs, nil)
-	ms, err := cl.MeasureBatch(ctx, jobs, workers)
+	ms, err := src.MeasureBatch(ctx, jobs, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -507,15 +523,21 @@ func (cl *Cluster) Reference(ctx context.Context, workers int) (*harness.Referen
 // (tripping its breaker at the threshold), a healthy one closes its
 // breaker — which is also how a recovered backend rejoins the rotation.
 func (cl *Cluster) ProbeHealth(ctx context.Context) {
+	probeBackends(ctx, cl.clients, cl.breakers)
+}
+
+// probeBackends probes every client's /healthz concurrently and feeds
+// the matching breakers; shared by both coordinators.
+func probeBackends(ctx context.Context, clients map[string]*Client, breakers map[string]*Breaker) {
 	var wg sync.WaitGroup
-	for be, c := range cl.clients {
+	for be, c := range clients {
 		wg.Add(1)
 		go func(be string, c *Client) {
 			defer wg.Done()
 			if err := c.Healthz(ctx); err != nil && ctx.Err() == nil {
-				cl.breakers[be].Failure()
+				breakers[be].Failure()
 			} else if err == nil {
-				cl.breakers[be].Success()
+				breakers[be].Success()
 			}
 		}(be, c)
 	}

@@ -1,0 +1,676 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// SchedulerOptions configures a Scheduler. The zero value selects sane
+// defaults.
+type SchedulerOptions struct {
+	// Seed is the study seed sent with every measure request; nil
+	// defaults to 42 (a pointer keeps seed 0 usable).
+	Seed *int64
+	// LeaseCells is how many consecutive grid cells one lease covers;
+	// <= 0 selects 16. Leases slice the job list in order, so a lease
+	// shares a configuration's benchmark row — the same locality the
+	// local harness's scheduling blocks exploit.
+	LeaseCells int
+	// LeaseExpiry is how long a lease may go without delivering a cell
+	// before another backend may steal it; <= 0 selects 2s. Streaming
+	// makes progress observable per cell, so expiry measures stalled
+	// delivery, not total lease duration — a slow-but-moving backend is
+	// not stolen from.
+	LeaseExpiry time.Duration
+	// MaxLeaseHolders bounds how many backends may hold one lease at
+	// once (the original plus thieves); <= 0 selects 2. First result
+	// wins per cell; the loser's duplicates are discarded.
+	MaxLeaseHolders int
+	// MaxLeaseFailures is how many failed dispatches one lease absorbs
+	// before the run is declared failed; <= 0 selects 32. It bounds the
+	// retry loop when the whole fleet is down.
+	MaxLeaseFailures int
+	// PullersPerBackend is how many concurrent lease streams each
+	// backend serves when MeasureBatch is called with workers <= 0;
+	// <= 0 selects 2.
+	PullersPerBackend int
+	// RequestTimeout is the per-stream deadline; <= 0 selects 5m. The
+	// stream's keep-alives do not extend it — it bounds one lease
+	// end-to-end.
+	RequestTimeout time.Duration
+	// BreakerThreshold and BreakerCooldown shape the per-backend circuit
+	// breaker; they default to 3 and 5s. A dead backend's pullers idle
+	// on the open breaker instead of hammering it, and the half-open
+	// trial is how a restarted backend rejoins.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// a puller sleeps after consecutive dispatch failures; they default
+	// to 50ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HTTPClient overrides the transport; nil selects a dedicated client
+	// with connection pooling sized to the puller count.
+	HTTPClient *http.Client
+	// Tracer records scheduler spans (leases, steals, re-dispatches);
+	// nil disables capture. Tracing never changes the dataset's bytes.
+	Tracer *telemetry.Tracer
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.Seed == nil {
+		s := int64(42)
+		o.Seed = &s
+	}
+	if o.LeaseCells <= 0 {
+		o.LeaseCells = 16
+	}
+	if o.LeaseExpiry <= 0 {
+		o.LeaseExpiry = 2 * time.Second
+	}
+	if o.MaxLeaseHolders <= 0 {
+		o.MaxLeaseHolders = 2
+	}
+	if o.MaxLeaseFailures <= 0 {
+		o.MaxLeaseFailures = 32
+	}
+	if o.PullersPerBackend <= 0 {
+		o.PullersPerBackend = 2
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Minute
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	return o
+}
+
+// Scheduler is the pull-based work-stealing coordinator: a run's cells
+// are sliced into leases, per-backend pullers pull leases from the
+// shared queue as fast as their backend completes them, and results
+// stream back cell-by-cell over NDJSON (/v1/measure?stream=1). A lease
+// that stalls past LeaseExpiry is stolen by an idle backend — first
+// result per cell wins, duplicates are discarded — so a straggler or a
+// mid-stream death costs only the unfinished remainder of its lease,
+// never completed cells.
+//
+// Where Cluster pushes batches to rendezvous-chosen homes (maximizing
+// backend cache reuse across runs), the Scheduler lets backend speed
+// set the division of labor: a 10x-slower backend simply pulls 10x
+// fewer leases. Both satisfy the harness.MeasureBatch contract and
+// return bit-identical results — scheduling is invisible under the
+// determinism contract.
+type Scheduler struct {
+	opts     SchedulerOptions
+	seed     int64
+	backends []string
+	clients  map[string]*Client
+	breakers map[string]*Breaker
+	resolver *Resolver
+	tracer   *telemetry.Tracer
+	logger   *slog.Logger
+
+	leasesIssued  atomic.Int64
+	steals        atomic.Int64
+	redispatches  atomic.Int64
+	cellsDone     atomic.Int64
+	cellsDup      atomic.Int64
+	cellsReq      atomic.Int64
+	truncations   atomic.Int64
+	dispatchFails atomic.Int64
+}
+
+// NewScheduler builds a work-stealing scheduler over the given backend
+// base URLs.
+func NewScheduler(backends []string, opts SchedulerOptions) (*Scheduler, error) {
+	// The router is used only to normalize and dedupe the member list —
+	// the scheduler does not route by key.
+	members := NewRouter(backends).Members()
+	if len(members) == 0 {
+		return nil, errors.New("cluster: no backends")
+	}
+	opts = opts.withDefaults()
+	hc := opts.HTTPClient
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = opts.PullersPerBackend + 1
+		hc = &http.Client{Transport: tr}
+	}
+	s := &Scheduler{
+		opts:     opts,
+		seed:     *opts.Seed,
+		backends: members,
+		clients:  make(map[string]*Client, len(members)),
+		breakers: make(map[string]*Breaker, len(members)),
+		resolver: NewResolver(),
+		tracer:   opts.Tracer,
+		logger:   telemetry.Logger("scheduler"),
+	}
+	for _, m := range members {
+		s.clients[m] = NewClient(m, hc, opts.RequestTimeout)
+		s.breakers[m] = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
+	return s, nil
+}
+
+// Backends returns the member set in sorted order.
+func (s *Scheduler) Backends() []string { return s.backends }
+
+// Tracer returns the scheduler's span recorder (nil when disabled).
+func (s *Scheduler) Tracer() *telemetry.Tracer { return s.tracer }
+
+// lease is one slice of a run's cells. All fields are guarded by the
+// run's mutex.
+type lease struct {
+	id         int
+	idxs       []int // job indices covered, in job order
+	remaining  int   // cells of this lease not yet delivered
+	holders    int   // backends currently streaming this lease
+	holderOf   map[string]int
+	touched    time.Time // last dispatch or cell delivery; expiry base
+	dispatched bool      // has ever been dispatched (first vs re-dispatch)
+	failures   int
+}
+
+// run is the per-MeasureBatch state.
+type run struct {
+	s      *Scheduler
+	jobs   []harness.Job
+	out    []*harness.Measurement
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	done      []bool
+	doneCount int
+	leases    []*lease
+	err       error
+	wake      chan struct{} // closed and replaced to wake idle pullers
+}
+
+func newRun(s *Scheduler, jobs []harness.Job, cancel context.CancelFunc) *run {
+	r := &run{
+		s:      s,
+		jobs:   jobs,
+		out:    make([]*harness.Measurement, len(jobs)),
+		cancel: cancel,
+		done:   make([]bool, len(jobs)),
+		wake:   make(chan struct{}),
+	}
+	for lo := 0; lo < len(jobs); lo += s.opts.LeaseCells {
+		hi := lo + s.opts.LeaseCells
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		idxs := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idxs = append(idxs, i)
+		}
+		r.leases = append(r.leases, &lease{
+			id: len(r.leases), idxs: idxs, remaining: len(idxs),
+			holderOf: make(map[string]int),
+		})
+	}
+	return r
+}
+
+func (r *run) finished() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.doneCount == len(r.jobs) || r.err != nil
+}
+
+// notifyLocked wakes every puller waiting in wait(); callers hold r.mu.
+func (r *run) notifyLocked() {
+	close(r.wake)
+	r.wake = make(chan struct{})
+}
+
+// wait blocks until woken, until the poll interval elapses (so expired
+// leases are noticed without a dedicated timer per lease), or until ctx
+// ends; it reports whether the puller should keep going.
+func (r *run) wait(ctx context.Context) bool {
+	r.mu.Lock()
+	ch := r.wake
+	r.mu.Unlock()
+	poll := r.s.opts.LeaseExpiry / 4
+	if poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	t := time.NewTimer(poll)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// sleep pauses for d or until ctx ends, reporting whether to continue.
+func (r *run) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// acquire hands backend its next lease: the lowest-id idle incomplete
+// lease if any (the front-to-back sweep keeps early blocks finishing
+// first), otherwise the stalest in-flight lease past expiry that the
+// backend is not already holding — a steal. Returns the lease and the
+// job indices still undone at acquisition; nil when nothing is
+// available right now.
+func (r *run) acquire(backend string) (*lease, []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.doneCount == len(r.jobs) || r.err != nil {
+		return nil, nil
+	}
+	now := time.Now()
+	var pick *lease
+	for _, l := range r.leases {
+		if l.remaining > 0 && l.holders == 0 {
+			pick = l
+			break
+		}
+	}
+	steal := false
+	if pick == nil {
+		for _, l := range r.leases {
+			if l.remaining == 0 || l.holders == 0 || l.holders >= r.s.opts.MaxLeaseHolders {
+				continue
+			}
+			if l.holderOf[backend] > 0 {
+				continue
+			}
+			if now.Sub(l.touched) < r.s.opts.LeaseExpiry {
+				continue
+			}
+			if pick == nil || l.touched.Before(pick.touched) {
+				pick = l
+			}
+		}
+		steal = pick != nil
+	}
+	if pick == nil {
+		return nil, nil
+	}
+	redispatch := pick.dispatched && !steal
+	pick.holders++
+	pick.holderOf[backend]++
+	pick.touched = now
+	pick.dispatched = true
+	idxs := make([]int, 0, pick.remaining)
+	for _, i := range pick.idxs {
+		if !r.done[i] {
+			idxs = append(idxs, i)
+		}
+	}
+	r.s.leasesIssued.Add(1)
+	if steal {
+		r.s.steals.Add(1)
+	} else if redispatch {
+		r.s.redispatches.Add(1)
+	}
+	return pick, idxs
+}
+
+// deliver records one measured cell. The first delivery of an index
+// wins; a duplicate (from a stolen lease's loser) reports false and is
+// discarded. Delivery refreshes the lease's expiry clock — a streaming
+// backend that keeps producing is never stolen from.
+func (r *run) deliver(l *lease, idx int, m *harness.Measurement) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.touched = time.Now()
+	if r.done[idx] {
+		return false
+	}
+	r.done[idx] = true
+	r.out[idx] = m
+	r.doneCount++
+	l.remaining--
+	if r.doneCount == len(r.jobs) {
+		// Complete: wake idle pullers so they exit, and cancel the run
+		// context so in-flight duplicate streams abort instead of
+		// finishing work nobody needs.
+		r.notifyLocked()
+		r.cancel()
+	} else if l.remaining == 0 {
+		r.notifyLocked()
+	}
+	return true
+}
+
+// release returns a holder's claim on a lease after its stream ended.
+// A failed dispatch counts against the lease; past MaxLeaseFailures the
+// run is poisoned (the fleet cannot measure these cells). An incomplete
+// lease with no remaining holders goes back to idle and pullers are
+// woken to claim it.
+func (r *run) release(l *lease, backend string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.holders--
+	l.holderOf[backend]--
+	if l.holderOf[backend] <= 0 {
+		delete(l.holderOf, backend)
+	}
+	if err != nil {
+		l.failures++
+		if l.remaining > 0 && l.failures >= r.s.opts.MaxLeaseFailures && r.err == nil {
+			r.err = fmt.Errorf("cluster: lease %d failed %d dispatches, giving up: %w", l.id, l.failures, err)
+			r.cancel()
+			r.notifyLocked()
+			return
+		}
+	}
+	if l.remaining > 0 && l.holders == 0 {
+		r.notifyLocked()
+	}
+}
+
+// fail poisons the run with its first permanent error.
+func (r *run) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.notifyLocked()
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// MeasureBatch measures jobs across the fleet by work-stealing and
+// returns them in job order, satisfying the harness.MeasureBatch
+// contract: results are bit-identical to a local harness run (the
+// determinism contract makes stolen and duplicated cells exact), the
+// first permanent error cancels the batch, and ctx aborts promptly.
+// workers <= 0 selects PullersPerBackend streams per backend; workers
+// > 0 caps the fleet-wide stream count, distributed round-robin.
+func (s *Scheduler) MeasureBatch(ctx context.Context, jobs []harness.Job, workers int) ([]*harness.Measurement, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, span := s.tracer.StartSpan(ctx, "scheduler.MeasureBatch",
+		telemetry.Int("jobs", len(jobs)), telemetry.Int("workers", workers))
+	defer span.End()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := newRun(s, jobs, cancel)
+
+	pullers := make(map[string]int, len(s.backends))
+	if workers > 0 {
+		for i := 0; i < workers; i++ {
+			pullers[s.backends[i%len(s.backends)]]++
+		}
+	} else {
+		for _, be := range s.backends {
+			pullers[be] = s.opts.PullersPerBackend
+		}
+	}
+
+	var wg sync.WaitGroup
+	for be, n := range pullers {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(be string) {
+				defer wg.Done()
+				s.pull(runCtx, r, be)
+			}(be)
+		}
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	err := r.err
+	doneCount := r.doneCount
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// The parent context (not the run context — completion cancels that
+	// one by design) decides whether an incomplete run was an abort.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if doneCount != len(jobs) {
+		return nil, fmt.Errorf("cluster: scheduler finished with %d of %d cells measured", doneCount, len(jobs))
+	}
+	return r.out, nil
+}
+
+// pull is one backend puller: claim a lease, stream it, release,
+// repeat. Transient failures back off exponentially per consecutive
+// failure; an open breaker idles the puller through the cooldown.
+func (s *Scheduler) pull(ctx context.Context, r *run, backend string) {
+	c := s.clients[backend]
+	br := s.breakers[backend]
+	consecFails := 0
+	for {
+		if ctx.Err() != nil || r.finished() {
+			return
+		}
+		if !br.Ready() {
+			if !r.wait(ctx) {
+				return
+			}
+			continue
+		}
+		l, idxs := r.acquire(backend)
+		if l == nil {
+			if !r.wait(ctx) {
+				return
+			}
+			continue
+		}
+		err := s.streamLease(ctx, c, r, l, idxs)
+		r.release(l, backend, err)
+		if err == nil {
+			br.Success()
+			consecFails = 0
+			continue
+		}
+		if ctx.Err() != nil {
+			// Run completion or abort canceled the stream mid-flight;
+			// nothing to record against the backend.
+			return
+		}
+		if permanent(err) {
+			r.fail(err)
+			return
+		}
+		br.Failure()
+		s.dispatchFails.Add(1)
+		if errors.Is(err, ErrStreamTruncated) {
+			s.truncations.Add(1)
+		}
+		consecFails++
+		s.logger.WarnContext(ctx, "lease dispatch failed",
+			slog.String("backend", backend), slog.Int("lease", l.id),
+			slog.Int("consecutive", consecFails), slog.Any("cause", err))
+		if !r.sleep(ctx, jitteredBackoff(s.opts.BackoffBase, s.opts.BackoffMax, consecFails)) {
+			return
+		}
+	}
+}
+
+// streamLease streams one lease's undone cells from one backend,
+// delivering each cell as its line arrives. Completed cells survive a
+// failure partway — only the remainder is re-dispatched.
+func (s *Scheduler) streamLease(ctx context.Context, c *Client, r *run, l *lease, idxs []int) error {
+	if len(idxs) == 0 {
+		return nil
+	}
+	req := &service.MeasureRequest{
+		Seed:   &s.seed,
+		Detail: service.DetailFull,
+		Lane:   service.LaneBulk,
+		Cells:  make([]service.CellRequest, len(idxs)),
+	}
+	for i, idx := range idxs {
+		req.Cells[i] = cellRequest(r.jobs[idx])
+	}
+	s.cellsReq.Add(int64(len(idxs)))
+	ctx, span := s.tracer.StartSpan(ctx, "scheduler.lease",
+		telemetry.String("backend", c.Base()),
+		telemetry.Int("lease", l.id), telemetry.Int("cells", len(idxs)))
+	defer span.End()
+	return c.MeasureStream(ctx, req, func(sc *service.StreamCell) error {
+		m, err := s.resolver.MeasurementFromCell(&sc.Result)
+		if err != nil {
+			return err
+		}
+		if r.deliver(l, idxs[sc.Index], m) {
+			s.cellsDone.Add(1)
+		} else {
+			s.cellsDup.Add(1)
+		}
+		return nil
+	})
+}
+
+// Reference builds the Section 2.6 normalization table from scheduled
+// measurements — bit-identical to a local harness.Reference() at the
+// same seed, because both feed BuildReference the same measurements.
+func (s *Scheduler) Reference(ctx context.Context, workers int) (*harness.Reference, error) {
+	return referenceVia(ctx, s, workers)
+}
+
+// ProbeHealth hits every backend's /healthz once and feeds the
+// breakers, exactly like Cluster.ProbeHealth: failures accumulate
+// toward the breaker threshold, a healthy answer closes the breaker
+// and readmits a recovered backend's pullers.
+func (s *Scheduler) ProbeHealth(ctx context.Context) {
+	probeBackends(ctx, s.clients, s.breakers)
+}
+
+// StartProber probes health on the given interval until ctx is done.
+func (s *Scheduler) StartProber(ctx context.Context, interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.ProbeHealth(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// SchedulerStats is the scheduler-side counter snapshot.
+type SchedulerStats struct {
+	Backends          []BackendStats `json:"backends"`
+	LeasesIssued      int64          `json:"leases_issued"`
+	Steals            int64          `json:"steals"`
+	Redispatches      int64          `json:"redispatches"`
+	CellsMeasured     int64          `json:"cells_measured"`
+	CellsRequested    int64          `json:"cells_requested"`
+	CellsDiscarded    int64          `json:"cells_discarded"`
+	StreamTruncations int64          `json:"stream_truncations"`
+	DispatchFailures  int64          `json:"dispatch_failures"`
+	BreakerOpens      int64          `json:"breaker_opens"`
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{
+		LeasesIssued:      s.leasesIssued.Load(),
+		Steals:            s.steals.Load(),
+		Redispatches:      s.redispatches.Load(),
+		CellsMeasured:     s.cellsDone.Load(),
+		CellsRequested:    s.cellsReq.Load(),
+		CellsDiscarded:    s.cellsDup.Load(),
+		StreamTruncations: s.truncations.Load(),
+		DispatchFailures:  s.dispatchFails.Load(),
+	}
+	for _, m := range s.backends {
+		b := s.breakers[m]
+		opens := b.Opens()
+		lat := s.clients[m].lat.Summary()
+		st.Backends = append(st.Backends, BackendStats{
+			URL:      m,
+			State:    b.State(),
+			Opens:    opens,
+			Requests: lat.Count,
+			P50Ms:    float64(lat.P50) / 1e6,
+			P90Ms:    float64(lat.P90) / 1e6,
+			P99Ms:    float64(lat.P99) / 1e6,
+		})
+		st.BreakerOpens += opens
+	}
+	return st
+}
+
+// WriteMetrics renders the scheduler counters in the Prometheus text
+// exposition format, the work-stealing sibling of Cluster.WriteMetrics.
+func (s *Scheduler) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " counter\n" +
+			name + " " + strconv.FormatInt(v, 10) + "\n")
+	}
+	counter("powerperf_sched_leases_issued_total", "Leases dispatched to backends (first dispatches, re-dispatches, and steals).", st.LeasesIssued)
+	counter("powerperf_sched_steals_total", "Leases stolen from a stalled holder by an idle backend.", st.Steals)
+	counter("powerperf_sched_redispatches_total", "Leases re-dispatched after a failed holder released them.", st.Redispatches)
+	counter("powerperf_sched_cells_measured_total", "Cells delivered first (kept).", st.CellsMeasured)
+	counter("powerperf_sched_cells_requested_total", "Cells requested across all dispatches (including duplicated work).", st.CellsRequested)
+	counter("powerperf_sched_cells_discarded_total", "Duplicate cell deliveries discarded (first result won).", st.CellsDiscarded)
+	counter("powerperf_sched_stream_truncations_total", "Streams severed before their terminal line.", st.StreamTruncations)
+	counter("powerperf_sched_dispatch_failures_total", "Lease dispatches that failed for any transient reason.", st.DispatchFailures)
+	counter("powerperf_sched_breaker_opens_total", "Circuit breaker open transitions across backends.", st.BreakerOpens)
+	name := "powerperf_sched_breaker_state"
+	b.WriteString("# HELP " + name + " Breaker state per backend (0 closed, 1 half-open, 2 open).\n# TYPE " + name + " gauge\n")
+	for _, be := range st.Backends {
+		v := 0
+		switch be.State {
+		case "half-open":
+			v = 1
+		case "open":
+			v = 2
+		}
+		b.WriteString(name + "{backend=" + telemetry.PromQuote(be.URL) + "} " + strconv.Itoa(v) + "\n")
+	}
+	telemetry.Default.WritePrometheus(&b)
+	_, _ = io.WriteString(w, b.String())
+}

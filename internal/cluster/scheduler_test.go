@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/md5"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaoshttp"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/proc"
+	"repro/internal/service"
+)
+
+// chaosBackend is a powerperfd behind a fault-injecting proxy; the
+// scheduler talks only to the proxy.
+func chaosBackend(t *testing.T, sopts service.Options, copts chaoshttp.Options) (*chaoshttp.Proxy, *httptest.Server) {
+	t.Helper()
+	srv := service.NewServer(sopts)
+	backend := httptest.NewServer(srv.Handler())
+	t.Cleanup(backend.Close)
+	p := chaoshttp.New(backend.URL, copts)
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front
+}
+
+// TestSchedulerMatchesLocalHarness is the scheduler's contract test: a
+// single-backend work-stealing run returns measurements deeply equal
+// to a local harness at the same seed.
+func TestSchedulerMatchesLocalHarness(t *testing.T) {
+	srv := service.NewServer(service.Options{Seed: 42})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	s, err := NewScheduler([]string{ts.URL}, SchedulerOptions{Seed: seedPtr(42), LeaseCells: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stockJobs(t, 2)
+	remote, err := s.MeasureBatch(context.Background(), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := harness.New(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := h.MeasureBatch(context.Background(), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if !reflect.DeepEqual(remote[i], local[i]) {
+			t.Fatalf("job %d (%s on %s): scheduled measurement differs from local",
+				i, jobs[i].Bench.Name, jobs[i].CP)
+		}
+	}
+	st := s.Stats()
+	if st.CellsMeasured != int64(len(jobs)) {
+		t.Fatalf("cells_measured = %d, want %d", st.CellsMeasured, len(jobs))
+	}
+	if st.LeasesIssued < int64(len(jobs)/5) {
+		t.Fatalf("leases_issued = %d, want >= %d", st.LeasesIssued, len(jobs)/5)
+	}
+}
+
+// TestSchedulerStudyByteIdenticalUnderChaos is the acceptance test:
+// three backends — one killed mid-study, one a 10x straggler (every
+// response chunk delayed by its chaos proxy), one randomly truncating
+// streams — and the work-stealing study still produces CSVs byte-
+// identical to the committed seed-42 dataset. Completed cells are
+// never re-run: a re-dispatched or stolen lease requests only the
+// cells not yet delivered.
+func TestSchedulerStudyByteIdenticalUnderChaos(t *testing.T) {
+	var victim *chaoshttp.Proxy
+	var victimFront *httptest.Server
+	var victimCells atomic.Int64
+	killAt := int64(150)
+	hooks := &service.Hooks{BeforeMeasure: func(int64, string, string) error {
+		if victimCells.Add(1) == killAt {
+			victim.Kill()
+			victimFront.CloseClientConnections()
+		}
+		return nil
+	}}
+
+	p0, f0 := chaosBackend(t, service.Options{Seed: 42, Hooks: hooks}, chaoshttp.Options{Seed: 1})
+	victim, victimFront = p0, f0
+	// The straggler: compute runs at full speed but every response chunk
+	// crawls out — the shape of a backend with a saturated uplink.
+	_, f1 := chaosBackend(t, service.Options{Seed: 42}, chaoshttp.Options{Seed: 2, ChunkDelay: 2 * time.Millisecond})
+	// The flaky one: ~5% of responses are severed mid-chunk.
+	p2, f2 := chaosBackend(t, service.Options{Seed: 42}, chaoshttp.Options{Seed: 3, TruncateProb: 0.05})
+
+	s, err := NewScheduler([]string{f0.URL, f1.URL, f2.URL}, SchedulerOptions{
+		Seed:             seedPtr(42),
+		LeaseCells:       32,
+		LeaseExpiry:      150 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
+		BackoffBase:      2 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		MaxLeaseFailures: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	ref, err := s.Reference(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf, abuf bytes.Buffer
+	if err := experiments.StreamMeasurementsCSVFrom(ctx, s, ref, nil, &mbuf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.StreamAggregatesCSVFrom(ctx, s, ref, nil, &abuf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if !victim.Dead() {
+		t.Fatalf("victim backend was never killed (computed %d cells, kill at %d)", victimCells.Load(), killAt)
+	}
+
+	for file, got := range map[string][]byte{
+		"measurements.csv": mbuf.Bytes(),
+		"aggregates.csv":   abuf.Bytes(),
+	} {
+		want, err := os.ReadFile(filepath.Join("..", "..", "dataset", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: scheduled bytes differ from committed dataset/%s (%d vs %d bytes)",
+				file, file, len(got), len(want))
+		}
+	}
+
+	st := s.Stats()
+	if st.DispatchFailures == 0 {
+		t.Errorf("expected dispatch failures after the mid-study kill, got 0; stats %+v", st)
+	}
+	if st.Redispatches+st.Steals == 0 {
+		t.Errorf("expected the killed backend's leases to be re-dispatched or stolen; stats %+v", st)
+	}
+	if pst := p2.Stats(); pst.Truncated == 0 {
+		t.Logf("note: the truncating proxy never fired (%+v)", pst)
+	} else if st.StreamTruncations == 0 {
+		t.Errorf("proxy truncated %d streams but the scheduler counted 0", p2.Stats().Truncated)
+	}
+	// No wholesale re-running: duplicated work is bounded by the
+	// re-dispatched remainders and concurrent steals, nowhere near a
+	// second pass over the grid.
+	if st.CellsRequested >= 2*st.CellsMeasured {
+		t.Errorf("cells_requested = %d vs %d measured: completed cells are being re-run",
+			st.CellsRequested, st.CellsMeasured)
+	}
+
+	var metrics bytes.Buffer
+	s.WriteMetrics(&metrics)
+	for _, want := range []string{
+		"powerperf_sched_leases_issued_total",
+		"powerperf_sched_steals_total",
+		"powerperf_sched_cells_discarded_total",
+		"powerperf_sched_stream_truncations_total",
+		"powerperf_sched_breaker_opens_total",
+	} {
+		if !bytes.Contains(metrics.Bytes(), []byte(want)) {
+			t.Errorf("scheduler metrics missing %s", want)
+		}
+	}
+}
+
+// TestSchedulerStudyCSVProperty is the generative determinism suite:
+// across randomized backend counts, lease sizes, puller counts, and
+// seeded chaos schedules (drops, truncations, chunk delays, mid-run
+// kills), the scheduler's CSVs must be md5-identical to a local serial
+// run at the same seed. The scenario battery is itself seeded, so a
+// failure replays exactly.
+func TestSchedulerStudyCSVProperty(t *testing.T) {
+	scenarios := 50
+	if testing.Short() {
+		scenarios = 12
+	}
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	seeds := []int64{0, 1, 2, 42}
+
+	// One real backend fleet serves every scenario: the measure seed
+	// travels in each request, and the shared cache keeps repeated
+	// scenarios cheap, exactly as a long-lived fleet would.
+	var backendURLs []string
+	for i := 0; i < 4; i++ {
+		srv := service.NewServer(service.Options{Seed: 42})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		backendURLs = append(backendURLs, ts.URL)
+	}
+
+	type key struct {
+		seed int64
+		cfgs int
+	}
+	localM := map[key]string{}
+	localA := map[key]string{}
+	refs := map[int64]*harness.Reference{}
+	local := func(seed int64, cfgs int) (string, string, *harness.Reference) {
+		k := key{seed, cfgs}
+		if _, ok := localM[k]; !ok {
+			h, err := harness.New(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refs[seed] == nil {
+				ref, err := h.Reference()
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs[seed] = ref
+			}
+			cps := proc.StockConfigs()[:cfgs]
+			var mbuf, abuf bytes.Buffer
+			ctx := context.Background()
+			if err := experiments.StreamMeasurementsCSVFrom(ctx, h, refs[seed], cps, &mbuf, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := experiments.StreamAggregatesCSVFrom(ctx, h, refs[seed], cps, &abuf, 0); err != nil {
+				t.Fatal(err)
+			}
+			localM[k] = mbuf.String()
+			localA[k] = abuf.String()
+		}
+		return localM[k], localA[k], refs[seed]
+	}
+
+	for i := 0; i < scenarios; i++ {
+		seed := seeds[rng.Intn(len(seeds))]
+		cfgs := 1 + rng.Intn(2)
+		nBackends := 1 + rng.Intn(len(backendURLs))
+		leaseCells := 1 + rng.Intn(9)
+		pullers := 1 + rng.Intn(3)
+
+		// Per-backend chaos, freshly seeded per scenario. A kill is only
+		// scheduled when survivors remain.
+		var urls []string
+		var proxies []*chaoshttp.Proxy
+		var fronts []*httptest.Server
+		killIdx := -1
+		if nBackends > 1 && rng.Intn(4) == 0 {
+			killIdx = rng.Intn(nBackends)
+		}
+		for b := 0; b < nBackends; b++ {
+			copts := chaoshttp.Options{
+				Seed:         rng.Int63(),
+				DropProb:     rng.Float64() * 0.15,
+				TruncateProb: rng.Float64() * 0.25,
+				ChunkDelay:   time.Duration(rng.Intn(2)) * time.Millisecond,
+			}
+			if b == killIdx {
+				copts.KillAfter = int64(1 + rng.Intn(8))
+			}
+			p := chaoshttp.New(backendURLs[b], copts)
+			front := httptest.NewServer(p)
+			proxies = append(proxies, p)
+			fronts = append(fronts, front)
+			urls = append(urls, front.URL)
+		}
+
+		name := fmt.Sprintf("scenario %d: seed=%d cfgs=%d backends=%d lease=%d pullers=%d kill=%d",
+			i, seed, cfgs, nBackends, leaseCells, pullers, killIdx)
+		func() {
+			defer func() {
+				for _, f := range fronts {
+					f.Close()
+				}
+			}()
+			s, err := NewScheduler(urls, SchedulerOptions{
+				Seed:              &seed,
+				LeaseCells:        leaseCells,
+				LeaseExpiry:       50 * time.Millisecond,
+				PullersPerBackend: pullers,
+				BreakerThreshold:  3,
+				BreakerCooldown:   60 * time.Millisecond,
+				BackoffBase:       time.Millisecond,
+				BackoffMax:        15 * time.Millisecond,
+				MaxLeaseFailures:  1000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantM, wantA, ref := local(seed, cfgs)
+			cps := proc.StockConfigs()[:cfgs]
+			var mbuf, abuf bytes.Buffer
+			ctx := context.Background()
+			if err := experiments.StreamMeasurementsCSVFrom(ctx, s, ref, cps, &mbuf, 0); err != nil {
+				t.Fatalf("%s: measurements: %v", name, err)
+			}
+			if err := experiments.StreamAggregatesCSVFrom(ctx, s, ref, cps, &abuf, 0); err != nil {
+				t.Fatalf("%s: aggregates: %v", name, err)
+			}
+			if md5.Sum(mbuf.Bytes()) != md5.Sum([]byte(wantM)) {
+				t.Errorf("%s: measurements.csv md5 differs from local serial run", name)
+			}
+			if md5.Sum(abuf.Bytes()) != md5.Sum([]byte(wantA)) {
+				t.Errorf("%s: aggregates.csv md5 differs from local serial run", name)
+			}
+			// A kill only fires if the victim saw enough requests; work
+			// stealing legitimately lets fast peers absorb everything.
+			if killIdx >= 0 && !proxies[killIdx].Dead() {
+				t.Logf("%s: victim saw %d requests, below its kill threshold", name, proxies[killIdx].Stats().Requests)
+			}
+		}()
+		if t.Failed() {
+			return
+		}
+	}
+}

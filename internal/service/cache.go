@@ -13,6 +13,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -71,12 +72,37 @@ func NewCache(capacity int) *Cache {
 	return NewCacheShards(capacity, cacheShards)
 }
 
+// ValidateCacheShards rejects shard counts the masked router cannot
+// serve: shardFor selects a shard with h & (shards-1), which is only a
+// uniform modulus when shards is a power of two. 0 (the default) is
+// valid; powerperfd checks its -cache-shards flag through this at
+// startup so a bad value is a clean exit, not a silently skewed cache.
+func ValidateCacheShards(n int) error {
+	if n < 0 {
+		return fmt.Errorf("service: cache shards must be >= 0, got %d", n)
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("service: cache shards must be a power of two, got %d", n)
+	}
+	return nil
+}
+
 // NewCacheShards is NewCache with an explicit shard count — the knob
-// the auto-tuner sweeps. shards <= 0 selects the default. Sharding is
-// pure concurrency plumbing: any shard count serves the same values.
+// the auto-tuner sweeps. shards <= 0 selects the default; a count that
+// is not a power of two rounds up to the next one, keeping the masked
+// shard router sound for callers that skip ValidateCacheShards.
+// Sharding is pure concurrency plumbing: any shard count serves the
+// same values.
 func NewCacheShards(capacity, shards int) *Cache {
 	if shards <= 0 {
 		shards = cacheShards
+	}
+	if shards&(shards-1) != 0 {
+		p := 1
+		for p < shards {
+			p <<= 1
+		}
+		shards = p
 	}
 	per := 0
 	if capacity > 0 {
@@ -94,14 +120,16 @@ func NewCacheShards(capacity, shards int) *Cache {
 
 // shardFor routes a key to its shard with an inlined FNV-1a; the
 // stdlib's fnv.New32a allocates its state on every call, which put a
-// heap allocation on every cache lookup of the serving path.
+// heap allocation on every cache lookup of the serving path. The mask
+// replaces the former modulus and requires len(shards) to be a power of
+// two, which NewCacheShards guarantees by construction.
 func (c *Cache) shardFor(key string) *shard {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &c.shards[h%uint32(len(c.shards))]
+	return &c.shards[h&uint32(len(c.shards)-1)]
 }
 
 // Outcome classifies how GetOrComputeOutcome satisfied a request; the

@@ -200,3 +200,33 @@ func TestPoolQueueFullHonorsContext(t *testing.T) {
 		t.Fatalf("full-queue Do err = %v, want deadline exceeded", err)
 	}
 }
+
+func TestValidateCacheShards(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 4, 16, 64, 1024} {
+		if err := ValidateCacheShards(n); err != nil {
+			t.Errorf("ValidateCacheShards(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{-1, -16, 3, 5, 6, 7, 9, 15, 17, 100} {
+		if err := ValidateCacheShards(n); err == nil {
+			t.Errorf("ValidateCacheShards(%d) accepted a count the shard mask cannot serve", n)
+		}
+	}
+}
+
+// TestNewCacheShardsRoundsUpToPowerOfTwo pins the constructor's repair
+// of non-power-of-two counts: the masked router (h & (shards-1)) must
+// always see a power of two, or part of the key space would fold onto
+// a skewed subset of shards.
+func TestNewCacheShardsRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 16}, {-3, 16}, // defaults
+		{1, 1}, {2, 2}, {16, 16},
+		{3, 4}, {5, 8}, {6, 8}, {9, 16}, {17, 32}, {100, 128},
+	} {
+		c := NewCacheShards(0, tc.in)
+		if got := len(c.ShardLens()); got != tc.want {
+			t.Errorf("NewCacheShards(0, %d) built %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}

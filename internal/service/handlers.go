@@ -86,14 +86,45 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
+	l := laneInteractive
+	if req.Lane == LaneBulk {
+		l = laneBulk
+	}
 	full := req.Detail == DetailFull
 
-	// Fan the cells out: claim-by-index across a bounded set of request
-	// goroutines. Real computation is admitted by the shared worker
-	// pool; these goroutines mostly wait on cache fills, so the cap only
-	// bounds bookkeeping, not parallelism.
+	if r.URL.Query().Get("stream") == "1" {
+		s.reqMeasureStream.Add(1)
+		s.measureStream(w, r, seed, l, full, cells)
+		return
+	}
+
 	results := make([]CellResult, len(cells))
-	ctx, cancel := context.WithCancel(r.Context())
+	err = s.fanOutMeasure(r.Context(), seed, l, full, cells, func(i int, res *CellResult) {
+		results[i] = *res
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "draining")
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// Client went away; nothing useful to write.
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, MeasureResponse{Seed: seed, Cells: results})
+}
+
+// fanOutMeasure measures cells with a claim-by-index fan-out across a
+// bounded set of request goroutines, calling sink (possibly from many
+// goroutines at once) for each measured cell, and returns the first
+// error. Real computation is admitted by the shared worker pool through
+// lane l; these goroutines mostly wait on cache fills, so the cap only
+// bounds bookkeeping, not parallelism.
+func (s *Server) fanOutMeasure(ctx context.Context, seed int64, l lane, full bool, cells []cell, sink func(i int, res *CellResult)) error {
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	fan := len(cells)
 	if fan > 64 {
@@ -115,7 +146,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 				if i >= len(cells) || ctx.Err() != nil {
 					return
 				}
-				m, err := s.measureCell(ctx, seed, cells[i])
+				m, err := s.measureCell(ctx, seed, l, cells[i])
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -125,31 +156,58 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 					cancel()
 					return
 				}
-				results[i] = *cellResult(cells[i], m, full)
+				sink(i, cellResult(cells[i], m, full))
 			}
 		}()
 	}
 	wg.Wait()
 	errMu.Lock()
-	err = firstErr
-	errMu.Unlock()
-	if err != nil {
-		switch {
-		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, "draining")
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			// Client went away; nothing useful to write.
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Parent cancellation (client disconnect) with no cell error still
+	// means the batch is incomplete.
+	return ctx.Err()
+}
+
+// measureStream serves one measure request over chunked NDJSON (see
+// stream.go for the line vocabulary): the header line first, one cell
+// line per completed cell in completion order, keep-alives while
+// nothing is ready, and a terminal done or error line. The 200 status
+// commits before any cell computes — a failure mid-batch surfaces as
+// the terminal error line, and a severed stream (no terminal line)
+// tells the client every unsent cell is unmeasured.
+func (s *Server) measureStream(w http.ResponseWriter, r *http.Request, seed int64, l lane, full bool, cells []cell) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	sw := newStreamWriter(w, flusherOf(w))
+	if err := sw.send(&StreamEvent{Header: &StreamHeader{Seed: seed, Cells: len(cells)}}); err != nil {
+		return
+	}
+	sw.flush()
+
+	ch := make(chan StreamCell, 64)
+	var fanErr error
+	go func() {
+		// The deferred close runs after the fanErr write, and run only
+		// reads fanErr after seeing the channel closed, so the error
+		// handoff is race-free.
+		defer close(ch)
+		fanErr = s.fanOutMeasure(ctx, seed, l, full, cells, func(i int, res *CellResult) {
+			ch <- StreamCell{Index: i, Result: *res}
+		})
+	}()
+	if err := sw.run(ch, len(cells), s.opts.StreamKeepAlive, func() error { return fanErr }); err != nil {
+		// The client went away mid-stream. Cancel the fan-out and drain
+		// the channel so no sender blocks forever; in-flight cells finish
+		// into the cache, where the retry will find them.
+		cancel()
+		for range ch {
 		}
-		return
 	}
-	if err := ctx.Err(); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, MeasureResponse{Seed: seed, Cells: results})
 }
 
 // experimentRegistry maps URL ids to the paper's artifact generators.

@@ -40,15 +40,26 @@ type CellRequest struct {
 // selects the response shape: "" or "summary" returns the aggregated
 // outputs only; "full" additionally returns every run sample, the mean
 // counters, and both confidence intervals — enough for a client to
-// reconstruct the harness Measurement bit-identically.
+// reconstruct the harness Measurement bit-identically. Lane selects the
+// worker-pool priority class: "" or "interactive" for ad-hoc requests,
+// "bulk" for study traffic that must yield to interactive callers.
 type MeasureRequest struct {
 	Seed   *int64        `json:"seed,omitempty"`
 	Detail string        `json:"detail,omitempty"`
+	Lane   string        `json:"lane,omitempty"`
 	Cells  []CellRequest `json:"cells"`
 }
 
 // DetailFull requests the reconstruction-grade response shape.
 const DetailFull = "full"
+
+// Wire lane names. The scheduler marks its study traffic LaneBulk so a
+// human poking one cell preempts a five-thousand-cell study at the
+// backend's dequeue point.
+const (
+	LaneInteractive = "interactive"
+	LaneBulk        = "bulk"
+)
 
 // CellResult is one measured cell as served to clients: the request
 // identity echoed back (with the resolved configuration) plus the
@@ -139,6 +150,11 @@ func DecodeMeasureRequest(r io.Reader) (*MeasureRequest, []cell, error) {
 	case "", "summary", DetailFull:
 	default:
 		return nil, nil, fmt.Errorf("service: unknown detail %q (want summary or full)", req.Detail)
+	}
+	switch req.Lane {
+	case "", LaneInteractive, LaneBulk:
+	default:
+		return nil, nil, fmt.Errorf("service: unknown lane %q (want interactive or bulk)", req.Lane)
 	}
 	cells, err := resolveCells(req.Cells)
 	if err != nil {

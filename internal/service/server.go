@@ -48,6 +48,10 @@ type Options struct {
 	// TraceBuffer bounds the tracer's completed-span ring served at
 	// /v1/traces; <= 0 selects telemetry.DefaultSpanBuffer.
 	TraceBuffer int
+	// StreamKeepAlive is the heartbeat cadence of /v1/measure?stream=1
+	// responses while no cell is ready; <= 0 selects the 5s default.
+	// Tests shorten it to exercise keep-alive handling quickly.
+	StreamKeepAlive time.Duration
 	// Hooks injects faults and latency into the measurement path for
 	// tests; nil in production.
 	Hooks *Hooks
@@ -107,9 +111,10 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
-	reqMeasure     atomic.Int64
-	reqExperiments atomic.Int64
-	reqDataset     atomic.Int64
+	reqMeasure       atomic.Int64
+	reqMeasureStream atomic.Int64
+	reqExperiments   atomic.Int64
+	reqDataset       atomic.Int64
 
 	// mon, when attached, contributes /v1/alertz and /debug/dashboard to
 	// the handler — the daemon's own view of the fleet it belongs to.
@@ -152,18 +157,19 @@ func (s *Server) Drain() {
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// measureCell computes (or serves from cache) one cell under one seed.
-// The cache holds the full harness Measurement, so one resident entry
+// measureCell computes (or serves from cache) one cell under one seed,
+// admitting uncached fills through the given worker-pool lane. The
+// cache holds the full harness Measurement, so one resident entry
 // serves both summary and full-detail requests. Each cell records a
 // span annotated with its cache outcome; uncached fills also feed the
 // fill-duration histogram.
-func (s *Server) measureCell(ctx context.Context, seed int64, c cell) (*harness.Measurement, error) {
+func (s *Server) measureCell(ctx context.Context, seed int64, l lane, c cell) (*harness.Measurement, error) {
 	_, span := s.tracer.StartSpan(ctx, "service.cell",
 		telemetry.String("benchmark", c.bench.Name),
 		telemetry.String("processor", c.cp.Proc.Name))
 	v, outcome, err := s.cache.GetOrComputeOutcome(ctx, cellKey(seed, c), func() (any, error) {
 		fillStart := time.Now()
-		v, err := s.pool.Do(ctx, func() (any, error) {
+		v, err := s.pool.DoLane(ctx, l, func() (any, error) {
 			if s.opts.Hooks != nil && s.opts.Hooks.BeforeMeasure != nil {
 				if err := s.opts.Hooks.BeforeMeasure(seed, c.bench.Name, c.cp.Proc.Name); err != nil {
 					return nil, err
@@ -241,19 +247,25 @@ type Stats struct {
 	Requests ReqStats        `json:"requests"`
 }
 
-// QueueStats reports worker-pool pressure.
+// QueueStats reports worker-pool pressure, split by priority lane so an
+// operator can see bulk study traffic queueing behind interactive work
+// (never the reverse — interactive preempts at dequeue).
 type QueueStats struct {
-	Depth    int   `json:"depth"`
-	Capacity int   `json:"capacity"`
-	Inflight int64 `json:"inflight_workers"`
-	Workers  int   `json:"workers"`
+	Depth            int   `json:"depth"`
+	InteractiveDepth int   `json:"interactive_depth"`
+	BulkDepth        int   `json:"bulk_depth"`
+	Capacity         int   `json:"capacity"`
+	Inflight         int64 `json:"inflight_workers"`
+	Workers          int   `json:"workers"`
 }
 
-// ReqStats counts requests per endpoint family.
+// ReqStats counts requests per endpoint family. MeasureStreams counts
+// the subset of measure requests served over chunked NDJSON.
 type ReqStats struct {
-	Measure     int64 `json:"measure"`
-	Experiments int64 `json:"experiments"`
-	Dataset     int64 `json:"dataset"`
+	Measure        int64 `json:"measure"`
+	MeasureStreams int64 `json:"measure_streams"`
+	Experiments    int64 `json:"experiments"`
+	Dataset        int64 `json:"dataset"`
 }
 
 // Stats snapshots the server counters.
@@ -267,15 +279,18 @@ func (s *Server) Stats() Stats {
 		Cache:    cs,
 		HitRate:  cs.HitRate(),
 		Queue: QueueStats{
-			Depth:    s.pool.QueueDepth(),
-			Capacity: s.opts.QueueDepth,
-			Inflight: s.pool.Inflight(),
-			Workers:  s.pool.workers,
+			Depth:            s.pool.QueueDepth(),
+			InteractiveDepth: s.pool.LaneDepth(laneInteractive),
+			BulkDepth:        s.pool.LaneDepth(laneBulk),
+			Capacity:         s.opts.QueueDepth,
+			Inflight:         s.pool.Inflight(),
+			Workers:          s.pool.workers,
 		},
 		Requests: ReqStats{
-			Measure:     s.reqMeasure.Load(),
-			Experiments: s.reqExperiments.Load(),
-			Dataset:     s.reqDataset.Load(),
+			Measure:        s.reqMeasure.Load(),
+			MeasureStreams: s.reqMeasureStream.Load(),
+			Experiments:    s.reqExperiments.Load(),
+			Dataset:        s.reqDataset.Load(),
 		},
 	}
 }

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The NDJSON measure stream (POST /v1/measure?stream=1): one JSON object
+// per line, cells in completion order, each tagged with its request
+// index so the client reassembles request order regardless of arrival
+// order. The line vocabulary is closed — exactly one of the StreamEvent
+// fields is set per line:
+//
+//	{"header":{"seed":42,"cells":122}}     first line, echoes the batch shape
+//	{"cell":{"index":5,"result":{...}}}    one measured cell, any order
+//	{"keepalive":true}                     heartbeat while cells compute
+//	{"error":"..."}                        terminal: the batch failed
+//	{"done":{"cells":122}}                 terminal: every cell was sent
+//
+// A stream that ends without a terminal line was truncated (backend
+// death, severed connection) and the client must treat every unsent cell
+// as unmeasured. Keep-alives let a client distinguish a slow backend
+// from a dead connection without lowering its read deadline below the
+// cost of a cold cell.
+
+// MaxStreamLineBytes bounds one stream line. The largest legitimate line
+// is a full-detail cell (twenty run samples with counters, ~6 KiB);
+// the bound leaves two orders of magnitude of headroom while keeping a
+// malicious or corrupted stream from ballooning the decoder's buffer.
+const MaxStreamLineBytes = 1 << 20
+
+// ErrStreamLineTooLong marks a stream line exceeding MaxStreamLineBytes;
+// the decoder refuses to buffer it and the stream is poisoned.
+var ErrStreamLineTooLong = errors.New("service: stream line exceeds MaxStreamLineBytes")
+
+// StreamHeader is the first line of a measure stream.
+type StreamHeader struct {
+	Seed  int64 `json:"seed"`
+	Cells int   `json:"cells"`
+}
+
+// StreamCell is one measured cell: the index into the request's cell
+// list plus the result, exactly the shape the buffered response carries.
+type StreamCell struct {
+	Index  int        `json:"index"`
+	Result CellResult `json:"result"`
+}
+
+// StreamDone is the terminal line of a successful stream.
+type StreamDone struct {
+	Cells int `json:"cells"`
+}
+
+// StreamEvent is one line of the measure stream; exactly one field is
+// set per line.
+type StreamEvent struct {
+	Header    *StreamHeader `json:"header,omitempty"`
+	Cell      *StreamCell   `json:"cell,omitempty"`
+	KeepAlive bool          `json:"keepalive,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Done      *StreamDone   `json:"done,omitempty"`
+}
+
+// StreamDecoder reads measure-stream lines from r with a hard per-line
+// buffer bound: truncated streams surface as io.ErrUnexpectedEOF,
+// oversized lines as ErrStreamLineTooLong, and malformed JSON as a
+// normal decode error — never a panic, and never a buffer larger than
+// MaxStreamLineBytes (the line buffer is reused across lines, so a
+// long stream allocates one buffer, not one per line). Hardened by
+// FuzzStreamDecode.
+type StreamDecoder struct {
+	r    *bufio.Reader
+	line []byte
+	err  error // sticky: a poisoned stream stays poisoned
+}
+
+// NewStreamDecoder builds a decoder over r.
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	return &StreamDecoder{r: bufio.NewReader(r)}
+}
+
+// Next returns the next stream event. Keep-alive lines are returned
+// like any other event — callers skip them. io.EOF is returned only at
+// a clean boundary after a complete line; EOF mid-line means the stream
+// was severed and surfaces as io.ErrUnexpectedEOF.
+func (d *StreamDecoder) Next() (*StreamEvent, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	ev, err := d.next()
+	if err != nil && err != io.EOF {
+		d.err = err
+	}
+	return ev, err
+}
+
+func (d *StreamDecoder) next() (*StreamEvent, error) {
+	d.line = d.line[:0]
+	for {
+		chunk, err := d.r.ReadSlice('\n')
+		if len(d.line)+len(chunk) > MaxStreamLineBytes {
+			return nil, ErrStreamLineTooLong
+		}
+		d.line = append(d.line, chunk...)
+		switch err {
+		case nil:
+			// Complete line.
+		case bufio.ErrBufferFull:
+			continue // long line spanning reader buffers; keep accumulating
+		case io.EOF:
+			if len(d.line) == 0 {
+				return nil, io.EOF
+			}
+			// Bytes with no trailing newline: the stream died mid-line.
+			return nil, io.ErrUnexpectedEOF
+		default:
+			return nil, err
+		}
+		break
+	}
+	// Trim the newline (and a CR for robustness against proxies).
+	line := d.line[:len(d.line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	if len(line) == 0 {
+		// Blank lines are not part of the protocol, but tolerating them
+		// costs nothing and keeps hand-driven testing pleasant.
+		return d.next()
+	}
+	var ev StreamEvent
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return nil, fmt.Errorf("service: decode stream line: %w", err)
+	}
+	if ev.Header == nil && ev.Cell == nil && !ev.KeepAlive && ev.Error == "" && ev.Done == nil {
+		return nil, errors.New("service: unrecognized stream line")
+	}
+	return &ev, nil
+}
+
+// streamWriter serializes measure-stream lines onto one HTTP response:
+// cells arrive on a channel from the measurement fan-out, keep-alives
+// fire while no cell is ready, and the response flushes whenever the
+// channel momentarily drains (batching flushes under load, staying
+// prompt when cells trickle).
+type streamWriter struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+}
+
+func newStreamWriter(w io.Writer, f http.Flusher) *streamWriter {
+	// json.Encoder terminates every value with '\n' — exactly NDJSON.
+	return &streamWriter{enc: json.NewEncoder(w), flusher: f}
+}
+
+func (sw *streamWriter) send(ev *StreamEvent) error {
+	return sw.enc.Encode(ev)
+}
+
+func (sw *streamWriter) flush() {
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+// run drains cells until the channel closes, then emits the terminal
+// line: the batch's error if errFn reports one, the done line otherwise.
+// keepAlive <= 0 selects the default heartbeat.
+func (sw *streamWriter) run(cells <-chan StreamCell, total int, keepAlive time.Duration, errFn func() error) error {
+	if keepAlive <= 0 {
+		keepAlive = defaultStreamKeepAlive
+	}
+	t := time.NewTimer(keepAlive)
+	defer t.Stop()
+	sent := 0
+	for cells != nil {
+		select {
+		case c, ok := <-cells:
+			if !ok {
+				cells = nil
+				continue
+			}
+			if err := sw.send(&StreamEvent{Cell: &c}); err != nil {
+				return err
+			}
+			sent++
+			// Opportunistic flush: only when no further cell is ready,
+			// so a hot backend coalesces many lines per flush.
+			if len(cells) == 0 {
+				sw.flush()
+			}
+			if !t.Stop() {
+				<-t.C
+			}
+			t.Reset(keepAlive)
+		case <-t.C:
+			if err := sw.send(&StreamEvent{KeepAlive: true}); err != nil {
+				return err
+			}
+			sw.flush()
+			t.Reset(keepAlive)
+		}
+	}
+	if err := errFn(); err != nil {
+		if werr := sw.send(&StreamEvent{Error: err.Error()}); werr != nil {
+			return werr
+		}
+		sw.flush()
+		return nil
+	}
+	if err := sw.send(&StreamEvent{Done: &StreamDone{Cells: sent}}); err != nil {
+		return err
+	}
+	sw.flush()
+	return nil
+}
+
+// defaultStreamKeepAlive is the heartbeat cadence when Options leaves
+// StreamKeepAlive unset: frequent enough that a client waiting on a
+// cold JVM row sees liveness, rare enough to be invisible in traffic.
+const defaultStreamKeepAlive = 5 * time.Second

@@ -1,0 +1,365 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// decodeAll drains a stream body into its events, failing the test on
+// any decode error.
+func decodeAll(t *testing.T, r io.Reader) []*StreamEvent {
+	t.Helper()
+	d := NewStreamDecoder(r)
+	var evs []*StreamEvent
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatalf("decode after %d events: %v", len(evs), err)
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// TestMeasureStreamMatchesBuffered is the protocol contract: the
+// streamed response carries a header, every cell exactly once (tagged
+// with its request index, in whatever completion order), and a done
+// line — and the reassembled cells are deeply equal to the buffered
+// endpoint's response for the same request.
+func TestMeasureStreamMatchesBuffered(t *testing.T) {
+	_, ts := testServer(t)
+	body := `{"seed":5,"detail":"full","cells":[
+		{"benchmark":"mcf","processor":"i7 (45)"},
+		{"benchmark":"jess","processor":"i5 (32)"},
+		{"benchmark":"vips","processor":"Atom (45)"}]}`
+
+	status, buffered := postMeasure(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("buffered: HTTP %d: %s", status, buffered)
+	}
+	var bufResp MeasureResponse
+	if err := json.Unmarshal(buffered, &bufResp); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/measure?stream=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	evs := decodeAll(t, resp.Body)
+	if len(evs) == 0 || evs[0].Header == nil {
+		t.Fatal("stream did not start with a header line")
+	}
+	if evs[0].Header.Seed != 5 || evs[0].Header.Cells != 3 {
+		t.Fatalf("header = %+v, want seed 5, 3 cells", evs[0].Header)
+	}
+	last := evs[len(evs)-1]
+	if last.Done == nil || last.Done.Cells != 3 {
+		t.Fatalf("terminal line = %+v, want done with 3 cells", last)
+	}
+	got := make([]*CellResult, 3)
+	for _, ev := range evs[1 : len(evs)-1] {
+		if ev.KeepAlive {
+			continue
+		}
+		if ev.Cell == nil {
+			t.Fatalf("unexpected mid-stream line: %+v", ev)
+		}
+		if got[ev.Cell.Index] != nil {
+			t.Fatalf("cell index %d delivered twice", ev.Cell.Index)
+		}
+		c := ev.Cell.Result
+		got[ev.Cell.Index] = &c
+	}
+	for i := range got {
+		if got[i] == nil {
+			t.Fatalf("cell %d never delivered", i)
+		}
+		if !reflect.DeepEqual(*got[i], bufResp.Cells[i]) {
+			t.Fatalf("cell %d: streamed result differs from buffered", i)
+		}
+	}
+}
+
+// TestMeasureStreamKeepAlive holds the measurement path long enough
+// that the shortened heartbeat must fire: a client waiting on a cold
+// cell sees liveness lines, not a silent connection.
+func TestMeasureStreamKeepAlive(t *testing.T) {
+	srv := NewServer(Options{
+		Seed:            42,
+		StreamKeepAlive: 2 * time.Millisecond,
+		Hooks: &Hooks{BeforeMeasure: func(int64, string, string) error {
+			time.Sleep(30 * time.Millisecond)
+			return nil
+		}},
+	})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/measure?stream=1", "application/json",
+		strings.NewReader(`{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	keepalives := 0
+	for _, ev := range decodeAll(t, resp.Body) {
+		if ev.KeepAlive {
+			keepalives++
+		}
+	}
+	if keepalives == 0 {
+		t.Fatal("no keep-alive lines while the cell computed")
+	}
+	if st := srv.Stats(); st.Requests.MeasureStreams != 1 {
+		t.Fatalf("measure_streams = %d, want 1", st.Requests.MeasureStreams)
+	}
+}
+
+// TestMeasureStreamError injects a measurement failure and expects the
+// in-band terminal error line: headers went out as 200 before the
+// failure, so the stream protocol is the only way to signal it.
+func TestMeasureStreamError(t *testing.T) {
+	srv := NewServer(Options{
+		Seed: 42,
+		Hooks: &Hooks{BeforeMeasure: func(_ int64, bench, _ string) error {
+			return errors.New("injected fault")
+		}},
+	})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/measure?stream=1", "application/json",
+		strings.NewReader(`{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs := decodeAll(t, resp.Body)
+	last := evs[len(evs)-1]
+	if last.Error == "" || !strings.Contains(last.Error, "injected fault") {
+		t.Fatalf("terminal line = %+v, want the injected error", last)
+	}
+}
+
+// TestMeasureStreamLaneValidation rejects unknown lanes up front, on
+// the streamed and buffered paths alike.
+func TestMeasureStreamLaneValidation(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/measure?stream=1", "application/json",
+		strings.NewReader(`{"lane":"express","cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400 for unknown lane", resp.StatusCode)
+	}
+}
+
+func TestStreamDecoderTolerancesAndTermination(t *testing.T) {
+	in := "{\"header\":{\"seed\":1,\"cells\":2}}\n" +
+		"\r\n" + // blank CRLF line: tolerated
+		"{\"keepalive\":true}\r\n" + // CRLF line: CR trimmed
+		"{\"done\":{\"cells\":2}}\n"
+	evs := decodeAll(t, strings.NewReader(in))
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3 (blank line skipped)", len(evs))
+	}
+	if evs[0].Header == nil || !evs[1].KeepAlive || evs[2].Done == nil {
+		t.Fatalf("unexpected event sequence: %+v", evs)
+	}
+}
+
+func TestStreamDecoderTruncatedMidLine(t *testing.T) {
+	d := NewStreamDecoder(strings.NewReader("{\"keepalive\":true}\n{\"cell\":{\"ind"))
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("first line: %v", err)
+	}
+	if _, err := d.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-line truncation returned %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Poisoned streams stay poisoned.
+	if _, err := d.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("sticky error: got %v", err)
+	}
+}
+
+func TestStreamDecoderOversizedLine(t *testing.T) {
+	r := io.MultiReader(
+		strings.NewReader(`{"error":"`),
+		strings.NewReader(strings.Repeat("x", MaxStreamLineBytes)),
+		strings.NewReader("\"}\n"),
+	)
+	if _, err := NewStreamDecoder(r).Next(); !errors.Is(err, ErrStreamLineTooLong) {
+		t.Fatalf("oversized line returned %v, want ErrStreamLineTooLong", err)
+	}
+}
+
+func TestStreamDecoderRejectsUnknownLines(t *testing.T) {
+	for _, in := range []string{"{}\n", `{"surprise":1}` + "\n", "not json\n"} {
+		if _, err := NewStreamDecoder(strings.NewReader(in)).Next(); err == nil || err == io.EOF {
+			t.Fatalf("line %q decoded without error", in)
+		}
+	}
+}
+
+// FuzzStreamDecode hardens the NDJSON stream decoder against arbitrary
+// bytes: truncated chunks, interleaved keep-alives, binary garbage, and
+// oversized lines must surface as clean errors — never a panic, an
+// infinite loop, or a buffer beyond the per-line bound.
+func FuzzStreamDecode(f *testing.F) {
+	f.Add([]byte("{\"header\":{\"seed\":42,\"cells\":1}}\n{\"keepalive\":true}\n{\"cell\":{\"index\":0,\"result\":{}}}\n{\"done\":{\"cells\":1}}\n"))
+	f.Add([]byte("{\"keepalive\":true}\n{\"cell\":{\"ind")) // severed mid-line
+	f.Add([]byte("\r\n\r\n{\"error\":\"boom\"}\r\n"))
+	f.Add([]byte("{\"done\":{\"cells\":0}}\n{\"done\":{\"cells\":0}}\n"))
+	f.Add([]byte(`{"error":"` + strings.Repeat("y", 4096) + `"}` + "\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n', '\n'})
+	f.Add(bytes.Repeat([]byte("{\"keepalive\":true}\n"), 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewStreamDecoder(bytes.NewReader(data))
+		events := 0
+		var firstErr error
+		for {
+			ev, err := d.Next()
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if ev == nil {
+				t.Fatal("nil event with nil error")
+			}
+			// Exactly one protocol field must be set (Error counts only
+			// when non-empty); the decoder promised a closed vocabulary.
+			set := 0
+			if ev.Header != nil {
+				set++
+			}
+			if ev.Cell != nil {
+				set++
+			}
+			if ev.KeepAlive {
+				set++
+			}
+			if ev.Error != "" {
+				set++
+			}
+			if ev.Done != nil {
+				set++
+			}
+			if set == 0 {
+				t.Fatalf("decoded event with no field set from %q", data)
+			}
+			if events++; events > len(data) {
+				t.Fatal("more events than input bytes: decoder is looping")
+			}
+		}
+		// The per-line buffer must respect the documented bound (plus one
+		// bufio chunk of slack for the read that detected the overflow).
+		if cap(d.line) > MaxStreamLineBytes+bufio.MaxScanTokenSize {
+			t.Fatalf("line buffer grew to %d, bound is %d", cap(d.line), MaxStreamLineBytes)
+		}
+		// Errors are sticky: the poisoned decoder repeats itself.
+		if firstErr != io.EOF {
+			if _, err := d.Next(); err != firstErr {
+				t.Fatalf("sticky error broken: first %v, then %v", firstErr, err)
+			}
+		}
+	})
+}
+
+// TestPoolLanePriority saturates the pool with bulk work and then
+// submits an interactive task: the biased consumer must run it ahead of
+// the queued bulk backlog — the whole point of the two lanes.
+func TestPoolLanePriority(t *testing.T) {
+	p := newWorkPool(1, 64)
+	defer p.Close()
+
+	var bulkStarted, interactiveDone atomic.Int64
+	release := make(chan struct{})
+	// Occupy the single worker so everything below queues behind it.
+	gate := make(chan struct{})
+	go p.DoLane(context.Background(), laneBulk, func() (any, error) {
+		close(gate)
+		<-release
+		return nil, nil
+	})
+	<-gate
+
+	const bulk = 16
+	bulkErrs := make(chan error, bulk)
+	for i := 0; i < bulk; i++ {
+		go func() {
+			_, err := p.DoLane(context.Background(), laneBulk, func() (any, error) {
+				bulkStarted.Add(1)
+				return nil, nil
+			})
+			bulkErrs <- err
+		}()
+	}
+	// Wait until the bulk backlog is actually queued.
+	for start := time.Now(); p.LaneDepth(laneBulk) < bulk; {
+		if time.Since(start) > 5*time.Second {
+			t.Fatalf("bulk backlog never queued (depth %d)", p.LaneDepth(laneBulk))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	interactiveErr := make(chan error, 1)
+	go func() {
+		_, err := p.DoLane(context.Background(), laneInteractive, func() (any, error) {
+			interactiveDone.Add(1)
+			if n := bulkStarted.Load(); n != 0 {
+				t.Errorf("interactive ran after %d bulk tasks, want 0", n)
+			}
+			return nil, nil
+		})
+		interactiveErr <- err
+	}()
+	// Let the interactive submission reach its queue before releasing
+	// the worker.
+	for start := time.Now(); p.LaneDepth(laneInteractive) < 1; {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("interactive task never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	if err := <-interactiveErr; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < bulk; i++ {
+		if err := <-bulkErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if interactiveDone.Load() != 1 || bulkStarted.Load() != bulk {
+		t.Fatalf("interactive=%d bulk=%d, want 1 and %d",
+			interactiveDone.Load(), bulkStarted.Load(), bulk)
+	}
+}
