@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -505,6 +506,56 @@ func TestMeasurePathAllocBudget(t *testing.T) {
 	}
 	if got := measure(managed); got > 7 {
 		t.Errorf("managed cell: %v allocs per MeasureUncached, budget 7 (recorded 6)", got)
+	}
+}
+
+// BenchmarkServedStudyStored is BenchmarkServedStudy with the
+// persistent study store enabled on both backends: the same cold
+// 366-cell cluster study, but every measure batch also runs through the
+// ingest recorder (row capture + async enqueue). The store's write path
+// is a single background goroutine per backend, so the timed section
+// covers exactly what a client sees — the ingest-overhead gate in CI
+// holds this number to within 5% of BenchmarkServedStudy
+// (BENCH_pr8.json records both). The drain/fsync cost lands in the
+// untimed teardown, matching a daemon's shutdown-time flush.
+func BenchmarkServedStudyStored(b *testing.B) {
+	telemetry.SetLogLevel(slog.LevelError)
+	jobs := harness.GridJobs(nil, nil)[:6*61]
+	seed := int64(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st0, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st1, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv0 := service.NewServer(service.Options{Seed: seed, Store: st0})
+		srv1 := service.NewServer(service.Options{Seed: seed, Store: st1})
+		ts0 := httptest.NewServer(srv0.Handler())
+		ts1 := httptest.NewServer(srv1.Handler())
+		cl, err := cluster.New([]string{ts0.URL, ts1.URL}, cluster.Options{Seed: &seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if _, err := cl.MeasureBatch(context.Background(), jobs, 0); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		srv0.Drain()
+		srv1.Drain()
+		ts0.Close()
+		ts1.Close()
+		st0.Close()
+		st1.Close()
+		b.StartTimer()
 	}
 }
 

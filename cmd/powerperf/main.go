@@ -5,10 +5,19 @@
 //
 //	powerperf [-seed N] [-csv DIR] [-full-table2] [artifact ...]
 //	powerperf tune [-seed N] [-configs N] [-repeats N] [-backends N] [-grid quick|full] [-out FILE]
+//	powerperf query [-store-dir DIR] [-rows|-aggregates] [-processor P] [-benchmark B] [-json]
+//	powerperf trend [-store-dir DIR] [-filter-seed N] [-json]
 //
 // Artifacts are table2, table3, table4, table5, fig1 .. fig12, or "all"
 // (the default). With -csv, each artifact's data is also written as
 // DIR/<artifact>.csv, mirroring the paper's companion dataset.
+//
+// The query subcommand inspects a powerperfd -store-dir study store
+// offline (read-only, safe against a live daemon): the study inventory,
+// filtered measurement rows, or the Section 2.6 aggregates recomputed
+// from the stored bits. The trend subcommand replays the stored studies
+// across the fleet's technology generations and reports how the
+// measured energy/performance Pareto frontier drifted.
 //
 // The tune subcommand sweeps the serving pipeline's performance knobs
 // (backend workers, cache shards, batch size, hedge delay) over a
@@ -46,9 +55,18 @@ var artifactOrder = []string{
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("powerperf: ")
-	if len(os.Args) > 1 && os.Args[1] == "tune" {
-		runTune(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "tune":
+			runTune(os.Args[2:])
+			return
+		case "query":
+			runQuery(os.Args[2:])
+			return
+		case "trend":
+			runTrend(os.Args[2:])
+			return
+		}
 	}
 	seed := flag.Int64("seed", 42, "study seed; the same seed reproduces every number")
 	csvDir := flag.String("csv", "", "also write each artifact's data as CSV into this directory")

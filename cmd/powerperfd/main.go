@@ -12,6 +12,7 @@
 //	           [-write-timeout 15m] [-idle-timeout 2m]
 //	           [-trace-buffer 4096] [-pprof] [-log-level info]
 //	           [-monitor-backends self,http://host:8722] [-monitor-interval 5s]
+//	           [-store-dir /var/lib/powerperf]
 //
 // Endpoints:
 //
@@ -26,6 +27,13 @@
 //	GET  /debug/pprof/*         live profiling (only with -pprof)
 //	GET  /v1/alertz             fleet alerts, JSON (only with -monitor-backends)
 //	GET  /debug/dashboard       HTML fleet dashboard (only with -monitor-backends)
+//	GET  /v1/studies[/...]      persistent study store query API (only with -store-dir)
+//
+// With -store-dir set, every completed /v1/measure batch is durably
+// appended to an on-disk segment log (DESIGN.md §14) and served back
+// through /v1/studies: rows, aggregates, CSV export, and the
+// longitudinal Pareto-drift replay. The store recovers torn tails on
+// open and seals (fsyncs) one segment per study.
 //
 // Every request logs one structured access line (method, path, status,
 // duration, trace_id) and records a server span; requests carrying
@@ -50,6 +58,7 @@ import (
 
 	"repro/internal/monitor"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -68,6 +77,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ live-profiling handlers")
 	monBackends := flag.String("monitor-backends", "", "comma-separated backend URLs to monitor; 'self' means this daemon (empty = monitoring off)")
 	monInterval := flag.Duration("monitor-interval", 5*time.Second, "monitor scrape-and-evaluate interval")
+	storeDir := flag.String("store-dir", "", "directory for the persistent study store (empty = store disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -83,6 +93,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	var studyStore *store.Store
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			logger.Error("bad -store-dir", slog.Any("error", err))
+			os.Exit(2)
+		}
+		studyStore = st
+		sst := st.Stats()
+		logger.Info("study store open", slog.String("dir", *storeDir),
+			slog.Int64("segments", sst.Segments), slog.Int64("rows", sst.Rows),
+			slog.Int64("truncated_tail_bytes", sst.TruncatedTail))
+	}
+
 	srv := service.NewServer(service.Options{
 		Seed:          *seed,
 		Workers:       *workers,
@@ -90,6 +114,7 @@ func main() {
 		CacheCapacity: *cacheCells,
 		CacheShards:   *cacheShards,
 		TraceBuffer:   *traceBuffer,
+		Store:         studyStore,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -162,6 +187,13 @@ func main() {
 		logger.Info("shutdown: drained cleanly")
 	case <-shutdownCtx.Done():
 		logger.Warn("shutdown: drain limit hit, exiting with work queued")
+	}
+	if studyStore != nil {
+		// Drain already flushed and fsynced the ingest; this releases
+		// the log file handle.
+		if err := studyStore.Close(); err != nil {
+			logger.Warn("study store close", slog.Any("error", err))
+		}
 	}
 }
 

@@ -53,6 +53,8 @@ type dashboardRow struct {
 	LatSpark    template.HTML
 	HitSpark    template.HTML
 	QueueSpark  template.HTML
+	RowsSpark   template.HTML
+	SealAge     string
 }
 
 type dashboardAlert struct {
@@ -69,6 +71,7 @@ type dashboardData struct {
 	Firing    int
 	Pending   int
 	Rows      []dashboardRow
+	StoreRows []dashboardRow
 	Alerts    []dashboardAlert
 	Rules     []Rule
 }
@@ -118,6 +121,25 @@ var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE htm
 </tr>
 {{end}}
 </table>
+
+{{if .StoreRows}}
+<h2>Study store</h2>
+<table>
+<tr><th>backend</th><th>segments</th><th>rows</th><th>rows trend</th><th>bytes</th><th>last seal</th><th>dropped</th><th>write errors</th></tr>
+{{range .StoreRows}}
+<tr>
+ <td class="mono">{{.URL}}</td>
+ <td>{{printf "%.0f" .StoreSegments}}</td>
+ <td>{{printf "%.0f" .StoreRows}}</td>
+ <td>{{.RowsSpark}}</td>
+ <td>{{printf "%.0f" .StoreBytes}}</td>
+ <td class="dim">{{.SealAge}}</td>
+ <td>{{if .StoreDropped}}<span class="warn">{{printf "%.0f" .StoreDropped}}</span>{{else}}0{{end}}</td>
+ <td>{{if .StoreWriteErr}}<span class="down">{{printf "%.0f" .StoreWriteErr}}</span>{{else}}0{{end}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
 
 <h2>Alerts</h2>
 {{if .Alerts}}
@@ -186,6 +208,20 @@ func (m *Monitor) DashboardHandler() http.Handler {
 			row.HitSpark = sparkline(m.Series(bs.URL, "statsz_cache_hit_rate", sparkN), sparkW, sparkH)
 			row.QueueSpark = sparkline(m.Series(bs.URL, "statsz_queue_depth", sparkN), sparkW, sparkH)
 			data.Rows = append(data.Rows, row)
+			if bs.HasStore {
+				srow := row
+				srow.RowsSpark = sparkline(m.Series(bs.URL, "statsz_store_rows", sparkN), sparkW, sparkH)
+				if bs.StoreLastSeal > 0 {
+					age := snap.Generated.Sub(time.Unix(int64(bs.StoreLastSeal), 0))
+					if age < 0 {
+						age = 0
+					}
+					srow.SealAge = age.Truncate(time.Second).String() + " ago"
+				} else {
+					srow.SealAge = "never"
+				}
+				data.StoreRows = append(data.StoreRows, srow)
+			}
 		}
 		for _, a := range snap.Alerts {
 			da := dashboardAlert{Alert: a, StateClass: a.State.String()}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/proc"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -187,6 +188,76 @@ func TestMetricszRoundTrips(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fams, again) {
 		t.Fatalf("/metricsz round-trip lost information: %d vs %d families", len(fams), len(again))
+	}
+}
+
+// TestStoreGaugesFederate scrapes a store-enabled backend and asserts
+// the /statsz store block lands in the snapshot's store gauges and the
+// dashboard grows a Study store panel; a storeless backend stays out.
+func TestStoreGaugesFederate(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv, ts, _ := newBackend(t, service.Options{Seed: 42, Store: st})
+	_, plainTS, _ := newBackend(t, service.Options{Seed: 42})
+
+	body := `{"cells":[{"benchmark":"mcf","processor":"i7 (45)"},{"benchmark":"jess","processor":"i5 (32)"}]}`
+	resp, err := http.Post(ts.URL+"/v1/measure", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// The ingest is async: wait for the study to seal before scraping.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := srv.Stats().Store; s != nil && s.Segments >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("study never sealed into the store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mon := monitor.New([]string{ts.URL, plainTS.URL}, monitor.Options{Interval: time.Second, Seed: 7})
+	ctx := context.Background()
+	mon.Sweep(ctx)
+	mon.Sweep(ctx)
+
+	snap := mon.Snapshot()
+	byURL := map[string]monitor.BackendSnapshot{}
+	for _, bs := range snap.Backends {
+		byURL[bs.URL] = bs
+	}
+	bs := byURL[ts.URL]
+	if !bs.HasStore {
+		t.Fatalf("store-enabled backend snapshot has no store gauges: %+v", bs)
+	}
+	if bs.StoreSegments != 1 || bs.StoreRows != 2 {
+		t.Errorf("store gauges segments=%v rows=%v, want 1 and 2", bs.StoreSegments, bs.StoreRows)
+	}
+	if bs.StoreBytes <= 0 || bs.StoreLastSeal <= 0 {
+		t.Errorf("store gauges bytes=%v last_seal=%v, want both positive", bs.StoreBytes, bs.StoreLastSeal)
+	}
+	if bs.StoreDropped != 0 || bs.StoreWriteErr != 0 {
+		t.Errorf("store gauges dropped=%v write_errors=%v, want 0", bs.StoreDropped, bs.StoreWriteErr)
+	}
+	if plain := byURL[plainTS.URL]; plain.HasStore {
+		t.Errorf("storeless backend claims store gauges: %+v", plain)
+	}
+
+	rr := httptest.NewRecorder()
+	mon.DashboardHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/dashboard", nil))
+	html := rr.Body.String()
+	if !strings.Contains(html, "Study store") {
+		t.Errorf("dashboard missing the Study store panel")
+	}
+	if n := strings.Count(html, "<td class=\"mono\">"+ts.URL+"</td>"); n < 2 {
+		t.Errorf("store backend appears %d times in dashboard tables, want >= 2 (backends + study store)", n)
 	}
 }
 

@@ -260,6 +260,16 @@ type BackendSnapshot struct {
 	Requests   float64         `json:"requests_total"`
 	FillMeanMS float64         `json:"fill_mean_ms"`
 	TopCells   []CellLatency   `json:"top_cells,omitempty"`
+
+	// Study store gauges, present only when the backend runs with
+	// -store-dir (the /statsz "store" block flattens to statsz_store_*).
+	HasStore      bool    `json:"store,omitempty"`
+	StoreSegments float64 `json:"store_segments,omitempty"`
+	StoreRows     float64 `json:"store_rows,omitempty"`
+	StoreBytes    float64 `json:"store_bytes,omitempty"`
+	StoreLastSeal float64 `json:"store_last_seal_unix,omitempty"`
+	StoreDropped  float64 `json:"store_dropped_studies,omitempty"`
+	StoreWriteErr float64 `json:"store_write_errors,omitempty"`
 }
 
 // Snapshot is the whole fleet view at a moment: what powerperfmon
@@ -310,6 +320,15 @@ func (m *Monitor) Snapshot() Snapshot {
 		}
 		if v, ok := m.store.last(be, "powerperfd_cell_fill_seconds_mean"); ok {
 			bs.FillMeanMS = v * 1e3
+		}
+		if v, ok := m.store.last(be, "statsz_store_segments"); ok {
+			bs.HasStore = true
+			bs.StoreSegments = v
+			bs.StoreRows, _ = m.store.last(be, "statsz_store_rows")
+			bs.StoreBytes, _ = m.store.last(be, "statsz_store_bytes")
+			bs.StoreLastSeal, _ = m.store.last(be, "statsz_store_last_seal_unix")
+			bs.StoreDropped, _ = m.store.last(be, "statsz_store_dropped_studies")
+			bs.StoreWriteErr, _ = m.store.last(be, "statsz_store_write_errors")
 		}
 		snap.Backends = append(snap.Backends, bs)
 	}

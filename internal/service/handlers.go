@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
 // maxRequestBytes bounds a request body; the largest legitimate measure
@@ -27,6 +28,14 @@ const maxRequestBytes = 4 << 20
 //	GET  /healthz               liveness (503 while draining)
 //	GET  /statsz                cache/queue/request counters
 //	GET  /metricsz              counters + latency histograms, Prometheus text
+//
+// With a study store attached (Options.Store), the studies API mounts:
+//
+//	GET  /v1/studies            sealed study list + store inventory
+//	GET  /v1/studies/rows       filtered stored rows, JSON
+//	GET  /v1/studies/aggregates Section 2.6 aggregates over stored rows
+//	GET  /v1/studies/export     stored slice as dataset CSVs
+//	GET  /v1/studies/trend      Pareto-drift replay across technology nodes
 //
 // With a monitor attached (AttachMonitor), two more routes mount:
 //
@@ -46,6 +55,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if s.opts.Store != nil {
+		mux.HandleFunc("GET /v1/studies", s.handleStudiesIndex)
+		mux.HandleFunc("GET /v1/studies/rows", s.handleStudyRows)
+		mux.HandleFunc("GET /v1/studies/aggregates", s.handleStudyAggregates)
+		mux.HandleFunc("GET /v1/studies/export", s.handleStudyExport)
+		mux.HandleFunc("GET /v1/studies/trend", s.handleStudyTrend)
+	}
 	if s.mon != nil {
 		// Attached via AttachMonitor: the daemon's own fleet view.
 		mux.Handle("GET /v1/alertz", s.mon.AlertzHandler())
@@ -92,14 +108,20 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	}
 	full := req.Detail == DetailFull
 
+	// The recorder (nil without a store) captures the batch for the
+	// study log; only a fully measured batch commits.
+	rec := s.ingest.begin(seed, len(cells))
+	defer rec.release()
+
 	if r.URL.Query().Get("stream") == "1" {
 		s.reqMeasureStream.Add(1)
-		s.measureStream(w, r, seed, l, full, cells)
+		s.measureStream(w, r, seed, l, full, cells, rec)
 		return
 	}
 
 	results := make([]CellResult, len(cells))
-	err = s.fanOutMeasure(r.Context(), seed, l, full, cells, func(i int, res *CellResult) {
+	err = s.fanOutMeasure(r.Context(), seed, l, full, cells, func(i int, m *harness.Measurement, res *CellResult) {
+		rec.observe(i, m)
 		results[i] = *res
 	})
 	if err != nil {
@@ -114,6 +136,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	rec.commit()
 	writeJSON(w, http.StatusOK, MeasureResponse{Seed: seed, Cells: results})
 }
 
@@ -123,7 +146,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 // error. Real computation is admitted by the shared worker pool through
 // lane l; these goroutines mostly wait on cache fills, so the cap only
 // bounds bookkeeping, not parallelism.
-func (s *Server) fanOutMeasure(ctx context.Context, seed int64, l lane, full bool, cells []cell, sink func(i int, res *CellResult)) error {
+func (s *Server) fanOutMeasure(ctx context.Context, seed int64, l lane, full bool, cells []cell, sink func(i int, m *harness.Measurement, res *CellResult)) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	fan := len(cells)
@@ -156,7 +179,7 @@ func (s *Server) fanOutMeasure(ctx context.Context, seed int64, l lane, full boo
 					cancel()
 					return
 				}
-				sink(i, cellResult(cells[i], m, full))
+				sink(i, m, cellResult(cells[i], m, full))
 			}
 		}()
 	}
@@ -178,7 +201,7 @@ func (s *Server) fanOutMeasure(ctx context.Context, seed int64, l lane, full boo
 // commits before any cell computes — a failure mid-batch surfaces as
 // the terminal error line, and a severed stream (no terminal line)
 // tells the client every unsent cell is unmeasured.
-func (s *Server) measureStream(w http.ResponseWriter, r *http.Request, seed int64, l lane, full bool, cells []cell) {
+func (s *Server) measureStream(w http.ResponseWriter, r *http.Request, seed int64, l lane, full bool, cells []cell, rec *studyRecorder) {
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -196,7 +219,8 @@ func (s *Server) measureStream(w http.ResponseWriter, r *http.Request, seed int6
 		// reads fanErr after seeing the channel closed, so the error
 		// handoff is race-free.
 		defer close(ch)
-		fanErr = s.fanOutMeasure(ctx, seed, l, full, cells, func(i int, res *CellResult) {
+		fanErr = s.fanOutMeasure(ctx, seed, l, full, cells, func(i int, m *harness.Measurement, res *CellResult) {
+			rec.observe(i, m)
 			ch <- StreamCell{Index: i, Result: *res}
 		})
 	}()
@@ -207,6 +231,12 @@ func (s *Server) measureStream(w http.ResponseWriter, r *http.Request, seed int6
 		cancel()
 		for range ch {
 		}
+		return
+	}
+	// run saw the channel close, so fanErr is settled: a clean fan-out
+	// means every cell measured, and the study commits.
+	if fanErr == nil {
+		rec.commit()
 	}
 }
 

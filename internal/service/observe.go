@@ -27,6 +27,8 @@ func endpointFamily(path string) string {
 		return "measure"
 	case strings.HasPrefix(path, "/v1/experiments"):
 		return "experiments"
+	case strings.HasPrefix(path, "/v1/studies"):
+		return "studies"
 	case strings.HasPrefix(path, "/v1/dataset"):
 		return "dataset"
 	case strings.HasPrefix(path, "/v1/traces"):

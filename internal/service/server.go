@@ -15,6 +15,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/monitor"
 	"repro/internal/proc"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -52,6 +53,11 @@ type Options struct {
 	// responses while no cell is ready; <= 0 selects the 5s default.
 	// Tests shorten it to exercise keep-alive handling quickly.
 	StreamKeepAlive time.Duration
+	// Store, when non-nil, attaches the persistent study store: every
+	// completed /v1/measure batch is durably recorded through an async
+	// ingest queue, and the /v1/studies query API mounts. The server
+	// does not own the store; the caller closes it after Drain returns.
+	Store *store.Store
 	// Hooks injects faults and latency into the measurement path for
 	// tests; nil in production.
 	Hooks *Hooks
@@ -115,6 +121,11 @@ type Server struct {
 	reqMeasureStream atomic.Int64
 	reqExperiments   atomic.Int64
 	reqDataset       atomic.Int64
+	reqStudies       atomic.Int64
+
+	// ingest is the async write path into opts.Store; nil when no store
+	// is attached.
+	ingest *studyIngest
 
 	// mon, when attached, contributes /v1/alertz and /debug/dashboard to
 	// the handler — the daemon's own view of the fleet it belongs to.
@@ -125,7 +136,7 @@ type Server struct {
 // request.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:      opts,
 		cache:     NewCacheShards(opts.CacheCapacity, opts.CacheShards),
 		pool:      newWorkPool(opts.Workers, opts.QueueDepth),
@@ -134,6 +145,10 @@ func NewServer(opts Options) *Server {
 		logger:    telemetry.Logger("powerperfd"),
 		start:     time.Now(),
 	}
+	if opts.Store != nil {
+		s.ingest = newStudyIngest(opts.Store, s.logger)
+	}
+	return s
 }
 
 // AttachMonitor hands the server a fleet monitor; the next Handler()
@@ -147,11 +162,15 @@ func (s *Server) AttachMonitor(m *monitor.Monitor) { s.mon = m }
 func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Drain begins graceful shutdown: health goes unhealthy, new API work is
-// rejected, queued and in-flight cells run to completion. It returns
-// once the pool is idle. Safe to call more than once.
+// rejected, queued and in-flight cells run to completion, and only then
+// does the study ingest flush and fsync — so a SIGTERM mid-study either
+// records the whole study or none of it, never a partial one. It
+// returns once the pool is idle and the store is sealed. Safe to call
+// more than once.
 func (s *Server) Drain() {
 	s.draining.Store(true)
 	s.pool.Close()
+	s.ingest.close()
 }
 
 // Draining reports whether shutdown has begun.
@@ -245,6 +264,9 @@ type Stats struct {
 	HitRate  float64         `json:"cache_hit_rate"`
 	Queue    QueueStats      `json:"queue"`
 	Requests ReqStats        `json:"requests"`
+	// Store reports the persistent study store; omitted when the daemon
+	// runs without one.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // QueueStats reports worker-pool pressure, split by priority lane so an
@@ -266,6 +288,7 @@ type ReqStats struct {
 	MeasureStreams int64 `json:"measure_streams"`
 	Experiments    int64 `json:"experiments"`
 	Dataset        int64 `json:"dataset"`
+	Studies        int64 `json:"studies"`
 }
 
 // Stats snapshots the server counters.
@@ -291,7 +314,9 @@ func (s *Server) Stats() Stats {
 			MeasureStreams: s.reqMeasureStream.Load(),
 			Experiments:    s.reqExperiments.Load(),
 			Dataset:        s.reqDataset.Load(),
+			Studies:        s.reqStudies.Load(),
 		},
+		Store: s.ingest.stats(),
 	}
 }
 

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/proc"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// storeServer builds a server backed by a fresh study store.
+func storeServer(t *testing.T, opts Options) (*Server, *httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	opts.Store = st
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	srv := NewServer(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, st
+}
+
+// configBody renders one configuration's 61-cell measure request — the
+// same shape the study scheduler posts per lease.
+func configBody(t *testing.T, cp proc.ConfiguredProcessor) string {
+	t.Helper()
+	req := MeasureRequest{Lane: LaneBulk}
+	for _, b := range workload.All() {
+		req.Cells = append(req.Cells, CellRequest{
+			Benchmark: b.Name,
+			Processor: cp.Proc.Name,
+			Config: &ConfigJSON{
+				Cores: cp.Config.Cores, SMTWays: cp.Config.SMTWays,
+				ClockGHz: cp.Config.ClockGHz, Turbo: cp.Config.Turbo,
+			},
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// waitRecorded polls /statsz until the ingest has sealed n studies (it
+// is asynchronous behind the measure response).
+func waitRecorded(t *testing.T, url string, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := statsOf(t, url)
+		if st.Store == nil {
+			t.Fatal("statsz has no store block on a store-backed daemon")
+		}
+		if st.Store.Recorded >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest sealed %d studies, want %d", st.Store.Recorded, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStudiesRoundTripByteIdenticalCSV pins the PR's acceptance
+// criterion: run the full seed-42 study through the daemon one
+// configuration lease at a time (as the scheduler does), then export
+// the stored data through /v1/studies/export — the CSVs must be
+// byte-identical to the live dataset endpoint's output, because the
+// store preserves float bits and the export reuses the live streaming
+// code path.
+func TestStudiesRoundTripByteIdenticalCSV(t *testing.T) {
+	_, ts, st := storeServer(t, Options{Workers: 4})
+	cps := proc.ConfigSpace()
+	for _, cp := range cps {
+		code, body := postMeasure(t, ts.URL, configBody(t, cp))
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d %s", cp, code, body)
+		}
+	}
+	waitRecorded(t, ts.URL, int64(len(cps)))
+
+	// The study list reflects one sealed segment per lease.
+	code, b := get(t, ts.URL+"/v1/studies")
+	if code != http.StatusOK {
+		t.Fatalf("studies index: %d %s", code, b)
+	}
+	var idx struct {
+		Store   store.Stats  `json:"store"`
+		Studies []store.Meta `json:"studies"`
+	}
+	if err := json.Unmarshal(b, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Studies) != len(cps) {
+		t.Fatalf("listed %d studies, want %d", len(idx.Studies), len(cps))
+	}
+	if idx.Store.Rows != int64(len(cps)*61) {
+		t.Fatalf("store holds %d rows, want %d", idx.Store.Rows, len(cps)*61)
+	}
+
+	// Filtered row queries hit the same data.
+	q := url.Values{"benchmark": {"mcf"}, "processor": {proc.I7Name}}
+	code, b = get(t, ts.URL+"/v1/studies/rows?"+q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("rows: %d %s", code, b)
+	}
+	var rows struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(b, &rows); err != nil {
+		t.Fatal(err)
+	}
+	i7Configs := 0
+	for _, cp := range cps {
+		if cp.Proc.Name == proc.I7Name {
+			i7Configs++
+		}
+	}
+	if rows.Count != i7Configs {
+		t.Fatalf("mcf-on-i7 rows = %d, want %d (one per i7 config)", rows.Count, i7Configs)
+	}
+
+	// Byte-identical export against the live streamers.
+	c, err := experiments.NewContext(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"measurements", "aggregates"} {
+		code, stored := get(t, ts.URL+"/v1/studies/export?table="+table)
+		if code != http.StatusOK {
+			t.Fatalf("export %s: %d %s", table, code, stored)
+		}
+		var live bytes.Buffer
+		if table == "measurements" {
+			err = experiments.StreamMeasurementsCSV(t.Context(), c, nil, &live, 4)
+		} else {
+			err = experiments.StreamAggregatesCSV(t.Context(), c, nil, &live, 4)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(stored, live.Bytes()) {
+			t.Fatalf("stored %s.csv is not byte-identical to the live stream (%d vs %d bytes)",
+				table, len(stored), live.Len())
+		}
+	}
+
+	// Server-side aggregation over the stored rows covers every config.
+	code, b = get(t, ts.URL+"/v1/studies/aggregates")
+	if code != http.StatusOK {
+		t.Fatalf("aggregates: %d %s", code, b)
+	}
+	var aggs struct {
+		Seeds      []int64              `json:"seeds"`
+		Cells      int                  `json:"cells"`
+		Aggregates []StudyAggregateJSON `json:"aggregates"`
+		Skipped    []string             `json:"skipped"`
+	}
+	if err := json.Unmarshal(b, &aggs); err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs.Aggregates) != len(cps) || len(aggs.Skipped) != 0 {
+		t.Fatalf("aggregated %d configs (%d skipped), want %d/0", len(aggs.Aggregates), len(aggs.Skipped), len(cps))
+	}
+	if len(aggs.Seeds) != 1 || aggs.Seeds[0] != 42 {
+		t.Fatalf("seeds = %v, want [42]", aggs.Seeds)
+	}
+
+	// The trend replay sees all four technology generations from stored
+	// data alone.
+	code, b = get(t, ts.URL+"/v1/studies/trend")
+	if code != http.StatusOK {
+		t.Fatalf("trend: %d %s", code, b)
+	}
+	var rep struct {
+		Generations []struct {
+			NodeNM   int      `json:"node_nm"`
+			Frontier []string `json:"frontier"`
+		} `json:"generations"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Generations) != 4 {
+		t.Fatalf("trend saw %d generations, want 4", len(rep.Generations))
+	}
+	for _, g := range rep.Generations {
+		if len(g.Frontier) == 0 {
+			t.Fatalf("%d nm: empty frontier", g.NodeNM)
+		}
+	}
+
+	// Store stats flow through /statsz for the fleet monitor.
+	stats := statsOf(t, ts.URL)
+	if stats.Store == nil || stats.Store.Segments != int64(len(cps)) || stats.Store.Dropped != 0 {
+		t.Fatalf("statsz store block = %+v", stats.Store)
+	}
+	if st.Stats().Segments != int64(len(cps)) {
+		t.Fatalf("store on disk has %d segments, want %d", st.Stats().Segments, len(cps))
+	}
+}
+
+// TestDrainRecordsWholeStudyOrNothing pins the shutdown ordering fix: a
+// drain that begins while a study batch is mid-measurement must wait
+// for the worker pool AND the batch's ingest handoff, so the store
+// gains the entire study — never a prefix of it.
+func TestDrainRecordsWholeStudyOrNothing(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var enterOnce sync.Once
+	srv, ts, st := storeServer(t, Options{
+		Workers: 2,
+		Hooks: &Hooks{BeforeMeasure: func(seed int64, benchmark, processor string) error {
+			enterOnce.Do(func() { close(entered) })
+			<-block
+			return nil
+		}},
+	})
+
+	req := MeasureRequest{}
+	for _, b := range workload.All()[:8] {
+		req.Cells = append(req.Cells, CellRequest{Benchmark: b.Name, Processor: proc.I7Name})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	postDone := make(chan int, 1)
+	go func() {
+		code, _ := postMeasure(t, ts.URL, string(body))
+		postDone <- code
+	}()
+	<-entered // a cell is inside the measurement path
+	// Wait until the whole batch is admitted (in-flight or queued), so
+	// the drain races only the ingest handoff — the scenario under
+	// test — not the request's own submission.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if srv.pool.QueueDepth()+int(srv.pool.Inflight()) >= len(req.Cells) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never fully queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainDone := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(drainDone)
+	}()
+	// Give the drain a moment to reach the pool barrier, then release
+	// the measurement path. The in-flight batch must run to completion.
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+
+	if code := <-postDone; code != http.StatusOK {
+		t.Fatalf("mid-drain study finished with %d, want 200", code)
+	}
+	<-drainDone
+
+	// Drain returned: the ingest is flushed and fsynced. All or nothing.
+	stats := st.Stats()
+	if stats.Segments != 1 || stats.Rows != 8 {
+		t.Fatalf("after drain: %d segments / %d rows, want exactly 1/8", stats.Segments, stats.Rows)
+	}
+
+	// Post-drain work is rejected and records nothing.
+	code, _ := postMeasure(t, ts.URL, string(body))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain measure: %d, want 503", code)
+	}
+	if got := st.Stats().Segments; got != 1 {
+		t.Fatalf("post-drain measure grew the store to %d segments", got)
+	}
+}
+
+// TestFailedBatchNotRecorded: a batch that errors mid-fan-out commits
+// nothing — the store only ever holds complete studies.
+func TestFailedBatchNotRecorded(t *testing.T) {
+	boom := errors.New("injected fault")
+	srv, ts, st := storeServer(t, Options{
+		Workers: 2,
+		Hooks: &Hooks{BeforeMeasure: func(seed int64, benchmark, processor string) error {
+			if benchmark == "mcf" {
+				return boom
+			}
+			return nil
+		}},
+	})
+	body := `{"cells":[
+		{"benchmark":"jess","processor":"i7 (45)"},
+		{"benchmark":"mcf","processor":"i7 (45)"},
+		{"benchmark":"xalan","processor":"i7 (45)"}
+	]}`
+	code, _ := postMeasure(t, ts.URL, body)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("faulted batch: %d, want 500", code)
+	}
+	srv.Drain()
+	if got := st.Stats().Segments; got != 0 {
+		t.Fatalf("failed batch left %d segments in the store", got)
+	}
+}
+
+// TestStreamedStudyRecorded: the NDJSON streaming path records the
+// completed study just like the buffered path.
+func TestStreamedStudyRecorded(t *testing.T) {
+	_, ts, st := storeServer(t, Options{Workers: 2})
+	body := `{"cells":[
+		{"benchmark":"jess","processor":"i5 (32)"},
+		{"benchmark":"sunflow","processor":"i5 (32)"}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/measure?stream=1", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitRecorded(t, ts.URL, 1)
+	stats := st.Stats()
+	if stats.Segments != 1 || stats.Rows != 2 {
+		t.Fatalf("streamed study stored %d segments / %d rows, want 1/2", stats.Segments, stats.Rows)
+	}
+}
+
+// TestStudiesRoutesAbsentWithoutStore: a storeless daemon serves 404
+// for the studies API and omits the statsz store block.
+func TestStudiesRoutesAbsentWithoutStore(t *testing.T) {
+	_, ts := testServer(t)
+	code, _ := get(t, ts.URL+"/v1/studies")
+	if code != http.StatusNotFound {
+		t.Fatalf("/v1/studies without a store: %d, want 404", code)
+	}
+	if st := statsOf(t, ts.URL); st.Store != nil {
+		t.Fatalf("storeless statsz grew a store block: %+v", st.Store)
+	}
+}

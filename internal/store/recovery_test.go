@@ -1,0 +1,190 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// writeStore seals n studies and returns the log bytes plus the sealed
+// segment boundaries (cumulative offsets).
+func writeStore(t *testing.T, dir string, n int) ([]byte, []int64) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int64
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(testStudy(int64(40+i), time.Unix(1700000000+int64(i), 0).UnixNano(), 7+i)); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, s.Stats().Bytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, ends
+}
+
+// TestCrashRecoveryTornTail simulates a SIGKILL mid-segment-write at
+// every byte position of the final segment (and a sample of earlier
+// positions): the log is cut to that length, reopened, and the store
+// must (a) truncate exactly back to the last wholly sealed segment and
+// (b) serve every sealed segment byte-identically.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	src := t.TempDir()
+	raw, ends := writeStore(t, src, 3)
+
+	full := s3Studies(t, src)
+
+	// Every cut inside the last segment, plus a coarse sweep of cuts
+	// inside the earlier ones.
+	var cuts []int64
+	for c := ends[1]; c < ends[2]; c++ {
+		cuts = append(cuts, c)
+	}
+	for c := int64(0); c < ends[1]; c += 97 {
+		cuts = append(cuts, c)
+	}
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, LogName), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		// Sealed segments strictly before the cut survive; everything
+		// else is the torn tail.
+		wantSealed := 0
+		for _, e := range ends {
+			if cut >= e {
+				wantSealed++
+			}
+		}
+		metas := s.Studies()
+		if len(metas) != wantSealed {
+			t.Fatalf("cut %d: recovered %d segments, want %d", cut, len(metas), wantSealed)
+		}
+		for i, m := range metas {
+			got, err := s.Load(m)
+			if err != nil {
+				t.Fatalf("cut %d: load segment %d: %v", cut, i, err)
+			}
+			if !reflect.DeepEqual(got, full[i]) {
+				t.Fatalf("cut %d: segment %d not byte-identical after recovery", cut, i)
+			}
+		}
+		// The tail is gone from disk: the log ends at the last sealed
+		// boundary and its bytes match the original's prefix exactly.
+		onDisk, err := os.ReadFile(filepath.Join(dir, LogName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := int64(0)
+		if wantSealed > 0 {
+			wantLen = ends[wantSealed-1]
+		}
+		if int64(len(onDisk)) != wantLen || !bytes.Equal(onDisk, raw[:wantLen]) {
+			t.Fatalf("cut %d: recovered log is %d bytes, want the %d-byte sealed prefix", cut, len(onDisk), wantLen)
+		}
+		s.Close()
+	}
+}
+
+// TestCrashRecoveryCorruptTail flips one byte inside the last segment's
+// body: recovery must drop that segment (checksum mismatch) while the
+// earlier sealed segments stay intact and byte-identical.
+func TestCrashRecoveryCorruptTail(t *testing.T) {
+	src := t.TempDir()
+	raw, ends := writeStore(t, src, 3)
+	full := s3Studies(t, src)
+
+	corrupt := append([]byte(nil), raw...)
+	corrupt[ends[1]+headerSize+5] ^= 0x40 // inside segment 3's body
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, LogName), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	metas := s.Studies()
+	if len(metas) != 2 {
+		t.Fatalf("recovered %d segments past corruption, want 2", len(metas))
+	}
+	for i, m := range metas {
+		got, err := s.Load(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, full[i]) {
+			t.Fatalf("segment %d damaged by tail corruption recovery", i)
+		}
+	}
+	if got := s.Stats().TruncatedTail; got != int64(len(raw))-ends[1] {
+		t.Fatalf("truncated %d bytes, want %d", got, int64(len(raw))-ends[1])
+	}
+}
+
+// TestAppendAfterRecovery proves the store stays writable after a torn
+// tail: recover, append a fresh study, reopen, and all segments decode.
+func TestAppendAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	raw, ends := writeStore(t, dir, 2)
+	// Tear the second segment.
+	if err := os.WriteFile(filepath.Join(dir, LogName), raw[:ends[0]+13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testStudy(99, time.Now().UnixNano(), 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	metas := s2.Studies()
+	if len(metas) != 2 {
+		t.Fatalf("got %d segments after append-over-torn-tail, want 2", len(metas))
+	}
+	if metas[1].Seed != 99 {
+		t.Fatalf("appended segment seed = %d, want 99", metas[1].Seed)
+	}
+	if _, err := s2.Load(metas[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// s3Studies loads every sealed study from a healthy store directory.
+func s3Studies(t *testing.T, dir string) []*Study {
+	t.Helper()
+	s, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var out []*Study
+	if err := s.Scan(func(st *Study) error { out = append(out, st); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// On-disk segment layout (all integers little-endian):
+//
+//	header  magic "PPS1" (4) | body length u64 (8)
+//	body    study id u64 | seed i64 | sealed unix-nanos i64 | row count u32
+//	        | column data (see encodeBody)
+//	footer  CRC-32 (IEEE) of body u32 | magic "PPSF" (4)
+//
+// The body is columnar: one column per determinism-tuple field
+// (benchmark, processor, cores, SMT, clock, turbo — seed and seal time
+// are segment-level, a study has exactly one of each) followed by the
+// measured-output columns. The two string columns are
+// dictionary-encoded: the study grid repeats 61 benchmark names and at
+// most 8 processor names thousands of times, so indexes beat inline
+// strings by an order of magnitude. Float columns store raw IEEE-754
+// bits — the store's fidelity contract is bit-exact round-trip, never
+// a decimal rendering.
+const (
+	segMagic   = "PPS1"
+	footMagic  = "PPSF"
+	headerSize = 4 + 8
+	footerSize = 4 + 4
+	bodyFixed  = 8 + 8 + 8 + 4
+	// maxSegmentBytes bounds one segment: far above any real study
+	// (a full 45x61 grid encodes under 1 MiB) and low enough that a
+	// corrupt length field cannot make recovery or decode allocate
+	// unboundedly.
+	maxSegmentBytes = 64 << 20
+	// maxSegmentRows bounds a segment's row count the same way.
+	maxSegmentRows = 1 << 20
+)
+
+// Errors surfaced by the codec and recovery scan.
+var (
+	ErrTornSegment    = errors.New("store: torn or truncated segment")
+	ErrCorruptSegment = errors.New("store: corrupt segment")
+)
+
+// encodeSegment renders one sealed study as a complete segment
+// (header, columnar body, checksummed footer), appending to dst.
+func encodeSegment(dst []byte, st *Study) ([]byte, error) {
+	if len(st.Rows) == 0 {
+		return nil, errors.New("store: study has no rows")
+	}
+	if len(st.Rows) > maxSegmentRows {
+		return nil, fmt.Errorf("store: study of %d rows exceeds the %d-row segment bound", len(st.Rows), maxSegmentRows)
+	}
+	body := encodeBody(make([]byte, 0, bodyFixed+64*len(st.Rows)), st)
+	if len(body) > maxSegmentBytes {
+		return nil, fmt.Errorf("store: %d-byte segment exceeds the %d-byte bound", len(body), maxSegmentBytes)
+	}
+	dst = append(dst, segMagic...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	dst = append(dst, footMagic...)
+	return dst, nil
+}
+
+func encodeBody(b []byte, st *Study) []byte {
+	rows := st.Rows
+	b = binary.LittleEndian.AppendUint64(b, st.ID)
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Seed))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.SealedUnixNano))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rows)))
+
+	// Dictionary string columns: unique values in first-seen order, then
+	// one uvarint index per row.
+	b = encodeStringColumn(b, rows, func(r *Row) string { return r.Benchmark })
+	b = encodeStringColumn(b, rows, func(r *Row) string { return r.Processor })
+
+	// Config columns.
+	b = encodeUvarintColumn(b, rows, func(r *Row) uint64 { return uint64(r.Cores) })
+	b = encodeUvarintColumn(b, rows, func(r *Row) uint64 { return uint64(r.SMTWays) })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.ClockGHz })
+	b = encodeBitColumn(b, rows, func(r *Row) bool { return r.Turbo })
+
+	// Measured outputs.
+	b = encodeUvarintColumn(b, rows, func(r *Row) uint64 { return uint64(r.Runs) })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Seconds })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Watts })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.EnergyJ })
+	for _, ci := range []func(*Row) *CI{
+		func(r *Row) *CI { return &r.TimeCI },
+		func(r *Row) *CI { return &r.PowerCI },
+	} {
+		b = encodeFloatColumn(b, rows, func(r *Row) float64 { return ci(r).Mean })
+		b = encodeFloatColumn(b, rows, func(r *Row) float64 { return ci(r).Half })
+		b = encodeFloatColumn(b, rows, func(r *Row) float64 { return ci(r).Level })
+		b = encodeUvarintColumn(b, rows, func(r *Row) uint64 { return uint64(ci(r).N) })
+	}
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Counters.Cycles })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Counters.Instructions })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Counters.AppInstructions })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Counters.ServiceInstructions })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Counters.LLCMisses })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Counters.DTLBMisses })
+	b = encodeFloatColumn(b, rows, func(r *Row) float64 { return r.Counters.BranchInstructions })
+	return b
+}
+
+func encodeStringColumn(b []byte, rows []Row, get func(*Row) string) []byte {
+	dict := make(map[string]uint64, 64)
+	var values []string
+	idx := make([]uint64, len(rows))
+	for i := range rows {
+		v := get(&rows[i])
+		id, ok := dict[v]
+		if !ok {
+			id = uint64(len(values))
+			dict[v] = id
+			values = append(values, v)
+		}
+		idx[i] = id
+	}
+	b = binary.AppendUvarint(b, uint64(len(values)))
+	for _, v := range values {
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	for _, id := range idx {
+		b = binary.AppendUvarint(b, id)
+	}
+	return b
+}
+
+func encodeUvarintColumn(b []byte, rows []Row, get func(*Row) uint64) []byte {
+	for i := range rows {
+		b = binary.AppendUvarint(b, get(&rows[i]))
+	}
+	return b
+}
+
+func encodeFloatColumn(b []byte, rows []Row, get func(*Row) float64) []byte {
+	for i := range rows {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(get(&rows[i])))
+	}
+	return b
+}
+
+func encodeBitColumn(b []byte, rows []Row, get func(*Row) bool) []byte {
+	n := (len(rows) + 7) / 8
+	off := len(b)
+	b = append(b, make([]byte, n)...)
+	for i := range rows {
+		if get(&rows[i]) {
+			b[off+i/8] |= 1 << (i % 8)
+		}
+	}
+	return b
+}
+
+// bodyReader is a bounds-checked cursor over a segment body. Every read
+// fails cleanly at the end of the buffer, so a truncated or corrupt body
+// surfaces as ErrCorruptSegment rather than a panic (pinned by
+// FuzzSegmentDecode).
+type bodyReader struct {
+	b   []byte
+	off int
+}
+
+func (r *bodyReader) remaining() int { return len(r.b) - r.off }
+
+func (r *bodyReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, ErrCorruptSegment
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *bodyReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, ErrCorruptSegment
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *bodyReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrCorruptSegment
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *bodyReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrCorruptSegment
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+// decodeSegmentBody decodes a verified segment body back into a Study.
+// Allocation is bounded by the body length: row counts and dictionary
+// sizes are validated against the bytes actually present before any
+// slice is sized from them.
+func decodeSegmentBody(body []byte) (*Study, error) {
+	r := &bodyReader{b: body}
+	id, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	seedU, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	sealedU, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	nRows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// A row costs at least 30 bytes on disk (two dict indexes, four
+	// varints, 22 eight-byte floats is far more — use the cheapest
+	// possible row as the bound), so a claimed count beyond what the
+	// remaining bytes could hold is corruption, rejected before the
+	// rows slice is allocated.
+	if nRows == 0 || nRows > maxSegmentRows || int(nRows) > r.remaining() {
+		return nil, ErrCorruptSegment
+	}
+	st := &Study{
+		ID:             id,
+		Seed:           int64(seedU),
+		SealedUnixNano: int64(sealedU),
+		Rows:           make([]Row, nRows),
+	}
+	rows := st.Rows
+
+	if err := decodeStringColumn(r, rows, func(row *Row, v string) { row.Benchmark = v }); err != nil {
+		return nil, err
+	}
+	if err := decodeStringColumn(r, rows, func(row *Row, v string) { row.Processor = v }); err != nil {
+		return nil, err
+	}
+	if err := decodeUvarintColumn(r, rows, func(row *Row, v uint64) { row.Cores = int(v) }); err != nil {
+		return nil, err
+	}
+	if err := decodeUvarintColumn(r, rows, func(row *Row, v uint64) { row.SMTWays = int(v) }); err != nil {
+		return nil, err
+	}
+	if err := decodeFloatColumn(r, rows, func(row *Row, v float64) { row.ClockGHz = v }); err != nil {
+		return nil, err
+	}
+	if err := decodeBitColumn(r, rows, func(row *Row, v bool) { row.Turbo = v }); err != nil {
+		return nil, err
+	}
+	if err := decodeUvarintColumn(r, rows, func(row *Row, v uint64) { row.Runs = int(v) }); err != nil {
+		return nil, err
+	}
+	if err := decodeFloatColumn(r, rows, func(row *Row, v float64) { row.Seconds = v }); err != nil {
+		return nil, err
+	}
+	if err := decodeFloatColumn(r, rows, func(row *Row, v float64) { row.Watts = v }); err != nil {
+		return nil, err
+	}
+	if err := decodeFloatColumn(r, rows, func(row *Row, v float64) { row.EnergyJ = v }); err != nil {
+		return nil, err
+	}
+	for _, ci := range []func(*Row) *CI{
+		func(row *Row) *CI { return &row.TimeCI },
+		func(row *Row) *CI { return &row.PowerCI },
+	} {
+		if err := decodeFloatColumn(r, rows, func(row *Row, v float64) { ci(row).Mean = v }); err != nil {
+			return nil, err
+		}
+		if err := decodeFloatColumn(r, rows, func(row *Row, v float64) { ci(row).Half = v }); err != nil {
+			return nil, err
+		}
+		if err := decodeFloatColumn(r, rows, func(row *Row, v float64) { ci(row).Level = v }); err != nil {
+			return nil, err
+		}
+		if err := decodeUvarintColumn(r, rows, func(row *Row, v uint64) { ci(row).N = int(v) }); err != nil {
+			return nil, err
+		}
+	}
+	for _, set := range []func(*Row, float64){
+		func(row *Row, v float64) { row.Counters.Cycles = v },
+		func(row *Row, v float64) { row.Counters.Instructions = v },
+		func(row *Row, v float64) { row.Counters.AppInstructions = v },
+		func(row *Row, v float64) { row.Counters.ServiceInstructions = v },
+		func(row *Row, v float64) { row.Counters.LLCMisses = v },
+		func(row *Row, v float64) { row.Counters.DTLBMisses = v },
+		func(row *Row, v float64) { row.Counters.BranchInstructions = v },
+	} {
+		if err := decodeFloatColumn(r, rows, set); err != nil {
+			return nil, err
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, ErrCorruptSegment
+	}
+	return st, nil
+}
+
+func decodeStringColumn(r *bodyReader, rows []Row, set func(*Row, string)) error {
+	nVals, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	// Each dictionary value costs at least one length byte; each row
+	// costs at least one index byte.
+	if nVals == 0 || int64(nVals) > int64(r.remaining()) {
+		return ErrCorruptSegment
+	}
+	values := make([]string, nVals)
+	for i := range values {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		raw, err := r.bytes(int(n))
+		if err != nil {
+			return err
+		}
+		values[i] = string(raw)
+	}
+	for i := range rows {
+		id, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if id >= nVals {
+			return ErrCorruptSegment
+		}
+		set(&rows[i], values[id])
+	}
+	return nil
+}
+
+func decodeUvarintColumn(r *bodyReader, rows []Row, set func(*Row, uint64)) error {
+	for i := range rows {
+		v, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		set(&rows[i], v)
+	}
+	return nil
+}
+
+func decodeFloatColumn(r *bodyReader, rows []Row, set func(*Row, float64)) error {
+	for i := range rows {
+		v, err := r.u64()
+		if err != nil {
+			return err
+		}
+		set(&rows[i], math.Float64frombits(v))
+	}
+	return nil
+}
+
+func decodeBitColumn(r *bodyReader, rows []Row, set func(*Row, bool)) error {
+	raw, err := r.bytes((len(rows) + 7) / 8)
+	if err != nil {
+		return err
+	}
+	for i := range rows {
+		set(&rows[i], raw[i/8]&(1<<(i%8)) != 0)
+	}
+	return nil
+}
+
+// DecodeSegment parses one complete segment (header through footer) from
+// the front of b, returning the study and the bytes consumed. It
+// distinguishes a segment that is merely cut short (ErrTornSegment —
+// recovery truncates here) from one whose bytes are present but wrong
+// (ErrCorruptSegment). It never panics on arbitrary input (pinned by
+// FuzzSegmentDecode).
+func DecodeSegment(b []byte) (*Study, int, error) {
+	if len(b) < headerSize {
+		return nil, 0, ErrTornSegment
+	}
+	if string(b[:4]) != segMagic {
+		return nil, 0, ErrCorruptSegment
+	}
+	bodyLen := binary.LittleEndian.Uint64(b[4:])
+	if bodyLen < bodyFixed || bodyLen > maxSegmentBytes {
+		return nil, 0, ErrCorruptSegment
+	}
+	total := headerSize + int(bodyLen) + footerSize
+	if len(b) < total {
+		return nil, 0, ErrTornSegment
+	}
+	body := b[headerSize : headerSize+int(bodyLen)]
+	foot := b[headerSize+int(bodyLen) : total]
+	if string(foot[4:8]) != footMagic {
+		return nil, 0, ErrCorruptSegment
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(foot) {
+		return nil, 0, ErrCorruptSegment
+	}
+	st, err := decodeSegmentBody(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, total, nil
+}
