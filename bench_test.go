@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/harness"
@@ -586,6 +587,45 @@ func BenchmarkScheduledStudy(b *testing.B) {
 		}
 
 		b.StopTimer()
+		ts0.Close()
+		ts1.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkServedStudySLO is BenchmarkServedStudy with this PR's full
+// observability stack armed on both backends: SLO engines fed by every
+// request (two atomic adds on the hot path plus ring ticks on the read
+// path), exemplar-carrying latency histograms, and tail-sampled
+// tracers. The CI slo lane holds this number to within 5% of the plain
+// served study (BENCH_pr9.json records both) — objectives must be
+// close to free at serving time.
+func BenchmarkServedStudySLO(b *testing.B) {
+	telemetry.SetLogLevel(slog.LevelError)
+	jobs := harness.GridJobs(nil, nil)[:6*61]
+	seed := int64(42)
+	tail := &telemetry.TailPolicy{SlowSpan: 2 * time.Second, KeepErrors: true, SampleRate: 0.05}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv0 := service.NewServer(service.Options{Seed: seed, SLO: service.DefaultSLOConfig(), TailSampling: tail})
+		srv1 := service.NewServer(service.Options{Seed: seed, SLO: service.DefaultSLOConfig(), TailSampling: tail})
+		ts0 := httptest.NewServer(srv0.Handler())
+		ts1 := httptest.NewServer(srv1.Handler())
+		cl, err := cluster.New([]string{ts0.URL, ts1.URL}, cluster.Options{Seed: &seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if _, err := cl.MeasureBatch(context.Background(), jobs, 0); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		srv0.Drain()
+		srv1.Drain()
 		ts0.Close()
 		ts1.Close()
 		b.StartTimer()

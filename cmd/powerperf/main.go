@@ -7,6 +7,7 @@
 //	powerperf tune [-seed N] [-configs N] [-repeats N] [-backends N] [-grid quick|full] [-out FILE]
 //	powerperf query [-store-dir DIR] [-rows|-aggregates] [-processor P] [-benchmark B] [-json]
 //	powerperf trend [-store-dir DIR] [-filter-seed N] [-json]
+//	powerperf slo [-daemon URL] [-json]
 //
 // Artifacts are table2, table3, table4, table5, fig1 .. fig12, or "all"
 // (the default). With -csv, each artifact's data is also written as
@@ -18,6 +19,10 @@
 // from the stored bits. The trend subcommand replays the stored studies
 // across the fleet's technology generations and reports how the
 // measured energy/performance Pareto frontier drifted.
+//
+// The slo subcommand fetches a live daemon's /v1/sloz snapshot and
+// renders its error budgets, burn rates, and breach exemplars (with
+// ready-to-paste trace URLs) as a terminal table.
 //
 // The tune subcommand sweeps the serving pipeline's performance knobs
 // (backend workers, cache shards, batch size, hedge delay) over a
@@ -65,6 +70,9 @@ func main() {
 			return
 		case "trend":
 			runTrend(os.Args[2:])
+			return
+		case "slo":
+			runSlo(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/slo"
+)
+
+// runSlo implements `powerperf slo`: fetch a daemon's /v1/sloz snapshot
+// and render the error budgets, burn rates, and alert states as a
+// terminal table (or raw JSON with -json). A firing objective's
+// exemplar trace ids are printed with ready-to-paste /v1/traces URLs so
+// a page goes straight to the offending request.
+func runSlo(args []string) {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	daemon := fs.String("daemon", "http://localhost:8722", "powerperfd base URL")
+	jsonOut := fs.Bool("json", false, "print the raw /v1/sloz snapshot as JSON")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	fs.Parse(args)
+
+	base := strings.TrimRight(*daemon, "/")
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(base + "/v1/sloz")
+	if err != nil {
+		log.Fatalf("fetch %s/v1/sloz: %v", base, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("read sloz: %v", err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		log.Fatalf("%s serves no /v1/sloz — daemon running with -slo=false?", base)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("sloz: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	var snap slo.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		log.Fatalf("sloz unparseable: %v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(snap); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("SLOs at %s (generated %s)\n\n", base, snap.GeneratedAt.Format(time.RFC3339))
+	fmt.Printf("%-18s %-13s %8s %9s %8s %10s %10s %s\n",
+		"OBJECTIVE", "KIND", "TARGET", "BUDGET", "COMPL", "FAST-BURN", "SLOW-BURN", "ALERT")
+	for _, o := range snap.Objectives {
+		fmt.Printf("%-18s %-13s %7.3f%% %8.1f%% %7.3f%% %10.3g %10.3g %s\n",
+			o.Name, o.Kind, o.Target*100, o.BudgetRemaining*100, o.Compliance*100,
+			o.Burn.Fast, o.Burn.Slow, o.AlertState)
+	}
+	var exemplars bool
+	for _, o := range snap.Objectives {
+		if len(o.Exemplars) == 0 {
+			continue
+		}
+		if !exemplars {
+			fmt.Println("\nBREACH EXEMPLARS")
+			exemplars = true
+		}
+		for _, e := range o.Exemplars {
+			fmt.Printf("  %-18s %8.3fs  %s/v1/traces?trace=%s\n", o.Name, e.Seconds, base, e.TraceID)
+		}
+	}
+	if len(snap.Alerts) > 0 {
+		fmt.Println("\nBURN ALERTS")
+		for _, a := range snap.Alerts {
+			fmt.Printf("  [%-8s] %-14s %-18s %s\n", a.State, a.Rule, a.Series, a.Reason)
+		}
+	}
+}

@@ -24,6 +24,7 @@
 //	GET  /healthz               liveness; 503 while draining
 //	GET  /statsz                cache hit rate, shard occupancy, queue depth
 //	GET  /metricsz              counters + latency histograms, Prometheus text
+//	GET  /v1/sloz               SLO budgets and burn-rate alerts (default on; -slo=false)
 //	GET  /debug/pprof/*         live profiling (only with -pprof)
 //	GET  /v1/alertz             fleet alerts, JSON (only with -monitor-backends)
 //	GET  /debug/dashboard       HTML fleet dashboard (only with -monitor-backends)
@@ -49,7 +50,6 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +75,9 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection closes (0 = none)")
 	traceBuffer := flag.Int("trace-buffer", 0, "completed spans retained for /v1/traces (0 = 4096)")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ live-profiling handlers")
+	sloOn := flag.Bool("slo", true, "track service-level objectives: /v1/sloz, burn-rate alerts, slo_* gauges")
+	sloLatency := flag.Duration("slo-latency-threshold", 2*time.Second, "measure-latency SLO good/bad boundary")
+	tailSample := flag.Float64("trace-tail-sample", 0, "tail-based trace sampling keep rate in (0,1]: slow and errored traces always kept, others probabilistically (0 = keep everything)")
 	monBackends := flag.String("monitor-backends", "", "comma-separated backend URLs to monitor; 'self' means this daemon (empty = monitoring off)")
 	monInterval := flag.Duration("monitor-interval", 5*time.Second, "monitor scrape-and-evaluate interval")
 	storeDir := flag.String("store-dir", "", "directory for the persistent study store (empty = store disabled)")
@@ -107,7 +110,7 @@ func main() {
 			slog.Int64("truncated_tail_bytes", sst.TruncatedTail))
 	}
 
-	srv := service.NewServer(service.Options{
+	opts := service.Options{
 		Seed:          *seed,
 		Workers:       *workers,
 		QueueDepth:    *queue,
@@ -115,7 +118,26 @@ func main() {
 		CacheShards:   *cacheShards,
 		TraceBuffer:   *traceBuffer,
 		Store:         studyStore,
-	})
+	}
+	if *sloOn {
+		cfg := service.DefaultSLOConfig()
+		cfg.Objectives[0].LatencyThreshold = *sloLatency
+		opts.SLO = cfg
+	}
+	if *tailSample > 0 {
+		if *tailSample > 1 {
+			logger.Error("bad -trace-tail-sample", slog.Float64("rate", *tailSample))
+			os.Exit(2)
+		}
+		// Slow traces (by the latency SLO's own yardstick) and errored
+		// traces always survive; the rate only thins the healthy bulk.
+		opts.TailSampling = &telemetry.TailPolicy{
+			SlowSpan:   *sloLatency,
+			KeepErrors: true,
+			SampleRate: *tailSample,
+		}
+	}
+	srv := service.NewServer(opts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -138,11 +160,7 @@ func main() {
 		// default — the endpoints expose internals and cost samples.
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/pprof/", service.PprofHandler())
 		handler = mux
 		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
 	}

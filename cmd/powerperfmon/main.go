@@ -8,12 +8,18 @@
 //
 //	powerperfmon -backends http://a:8722,http://b:8722 [-interval 5s]
 //	             [-top 5] [-once] [-http :8723] [-log-level warn]
+//	powerperfmon profile -backends URLS [-seconds 5] [-gap 2s] [-top 5] [-json]
 //
 // -once runs a single sweep and prints the fleet snapshot as JSON to
 // stdout (scripts and CI smoke tests consume this); otherwise the
 // summary redraws in place every interval until interrupted. -http
 // additionally serves GET /v1/alertz and GET /debug/dashboard from the
 // same monitor, making the CLI a standalone monitoring sidecar.
+//
+// The profile subcommand harvests every backend's /debug/pprof
+// endpoints twice and prints per-backend CPU busy, allocation rate,
+// heap in use, and the top allocation regressors between the captures,
+// plus the fleet-merged allocation delta.
 package main
 
 import (
@@ -35,6 +41,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		runProfile(os.Args[2:])
+		return
+	}
 	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")
 	interval := flag.Duration("interval", 5*time.Second, "scrape-and-evaluate interval")
 	top := flag.Int("top", 5, "slowest cells to show per backend (0 = hide)")

@@ -1,0 +1,47 @@
+package cluster
+
+// Per-backend SLO attribution. The coordinator's resilience tactics —
+// hedging a straggler, failing over off a dead member, stealing a
+// stalled lease — are exactly the moments it pays latency or capacity
+// to cover for one specific backend. Counting those interventions per
+// victim turns "the fleet burned error budget" into "backend X cost us
+// N hedges and M steals", which is what an SLO post-mortem actually
+// needs. The counters ride Stats()/WriteMetrics like every other
+// coordinator counter, so monitors federate them with zero new scrape
+// code.
+
+import "sync/atomic"
+
+// backendAttr holds the interventions charged against one backend.
+type backendAttr struct {
+	hedgedAway  atomic.Int64 // batches duplicated away because this primary straggled
+	hedgeLosses atomic.Int64 // hedge duplicates that answered before this primary
+	failedOver  atomic.Int64 // chunks re-routed off this backend after it died
+	stolenFrom  atomic.Int64 // leases stolen from this stalled holder
+	leaseFails  atomic.Int64 // lease dispatches this holder failed
+}
+
+// attribution is a fixed-member attribution table. The member set is
+// frozen at construction, so lookups are lock-free reads of an
+// immutable map and the counters themselves are atomics.
+type attribution struct {
+	by map[string]*backendAttr
+}
+
+func newAttribution(members []string) *attribution {
+	a := &attribution{by: make(map[string]*backendAttr, len(members))}
+	for _, m := range members {
+		a.by[m] = &backendAttr{}
+	}
+	return a
+}
+
+// get returns the backend's counter block; an unknown name (cannot
+// happen for member-derived call sites) gets a discard block so call
+// sites stay unconditional.
+func (a *attribution) get(backend string) *backendAttr {
+	if b, ok := a.by[backend]; ok {
+		return b
+	}
+	return &backendAttr{}
+}

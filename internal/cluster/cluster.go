@@ -119,6 +119,7 @@ type Cluster struct {
 	hedgeWins   atomic.Int64
 	failovers   atomic.Int64
 	cellsDone   atomic.Int64
+	attr        *attribution
 }
 
 // New builds a cluster over the given backend base URLs.
@@ -144,6 +145,7 @@ func New(backends []string, opts Options) (*Cluster, error) {
 		resolver: NewResolver(),
 		tracer:   opts.Tracer,
 		logger:   telemetry.Logger("cluster"),
+		attr:     newAttribution(members),
 	}
 	for _, m := range members {
 		cl.clients[m] = NewClient(m, hc, opts.RequestTimeout)
@@ -312,6 +314,7 @@ func (cl *Cluster) MeasureBatch(ctx context.Context, jobs []harness.Job, workers
 		// The backend is down (retries exhausted or breaker open): fail
 		// its cells over to the next-ranked survivors.
 		cl.failovers.Add(1)
+		cl.attr.get(backend).failedOver.Add(1)
 		_, foSpan := cl.tracer.StartSpan(ctx, "cluster.failover",
 			telemetry.String("from", backend),
 			telemetry.Int("cells", len(idxs)),
@@ -583,6 +586,15 @@ type BackendStats struct {
 	P50Ms    float64 `json:"latency_p50_ms"`
 	P90Ms    float64 `json:"latency_p90_ms"`
 	P99Ms    float64 `json:"latency_p99_ms"`
+
+	// SLO attribution: resilience interventions charged against this
+	// backend. HedgedAway/HedgeLosses/FailedOver are coordinator-side
+	// (rendezvous cluster); StolenFrom/LeaseFailures are scheduler-side.
+	HedgedAway    int64 `json:"hedged_away,omitempty"`
+	HedgeLosses   int64 `json:"hedge_losses,omitempty"`
+	FailedOver    int64 `json:"failed_over,omitempty"`
+	StolenFrom    int64 `json:"stolen_from,omitempty"`
+	LeaseFailures int64 `json:"lease_failures,omitempty"`
 }
 
 // Stats snapshots the cluster counters.
@@ -599,14 +611,18 @@ func (cl *Cluster) Stats() Stats {
 		b := cl.breakers[m]
 		opens := b.Opens()
 		lat := cl.clients[m].lat.Summary()
+		at := cl.attr.get(m)
 		st.Backends = append(st.Backends, BackendStats{
-			URL:      m,
-			State:    b.State(),
-			Opens:    opens,
-			Requests: lat.Count,
-			P50Ms:    float64(lat.P50) / 1e6,
-			P90Ms:    float64(lat.P90) / 1e6,
-			P99Ms:    float64(lat.P99) / 1e6,
+			URL:         m,
+			State:       b.State(),
+			Opens:       opens,
+			Requests:    lat.Count,
+			P50Ms:       float64(lat.P50) / 1e6,
+			P90Ms:       float64(lat.P90) / 1e6,
+			P99Ms:       float64(lat.P99) / 1e6,
+			HedgedAway:  at.hedgedAway.Load(),
+			HedgeLosses: at.hedgeLosses.Load(),
+			FailedOver:  at.failedOver.Load(),
 		})
 		st.BreakerOpens += opens
 	}
@@ -643,6 +659,24 @@ func (cl *Cluster) WriteMetrics(w io.Writer) {
 		// backslash must not corrupt the page (round-trip guard).
 		b.WriteString(name + "{backend=" + telemetry.PromQuote(be.URL) + "} " + strconv.Itoa(v) + "\n")
 	}
+	// Per-backend SLO attribution: which member each intervention was
+	// charged against.
+	perBackend := func(name, help string, value func(BackendStats) int64) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " counter\n")
+		for _, be := range st.Backends {
+			b.WriteString(name + "{backend=" + telemetry.PromQuote(be.URL) + "} " +
+				strconv.FormatInt(value(be), 10) + "\n")
+		}
+	}
+	perBackend("powerperf_cluster_hedged_away_total",
+		"Batches duplicated away because this primary straggled.",
+		func(be BackendStats) int64 { return be.HedgedAway })
+	perBackend("powerperf_cluster_hedge_losses_total",
+		"Hedge duplicates that answered before this primary.",
+		func(be BackendStats) int64 { return be.HedgeLosses })
+	perBackend("powerperf_cluster_failed_over_total",
+		"Chunks re-routed off this backend after it died.",
+		func(be BackendStats) int64 { return be.FailedOver })
 	// The process-global histogram families follow the counters: in a
 	// coordinator process that includes the per-backend request-latency
 	// distributions the clients record.

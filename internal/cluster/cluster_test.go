@@ -219,6 +219,37 @@ func TestClusterHedging(t *testing.T) {
 		t.Errorf("expected at least one hedge win, got 0; stats %+v", st)
 	}
 
+	// SLO attribution: every hedge must be charged against the straggler,
+	// never the fast backend that covered for it.
+	for _, be := range st.Backends {
+		switch be.URL {
+		case slow.URL:
+			if be.HedgedAway == 0 {
+				t.Errorf("straggler %s has no hedged_away attribution; stats %+v", be.URL, st)
+			}
+			if be.HedgeLosses == 0 {
+				t.Errorf("straggler %s has no hedge_losses attribution; stats %+v", be.URL, st)
+			}
+		case fast.URL:
+			// A cold-start hedge may fire against the fast backend too,
+			// but it must never lose the race to the 40ms straggler.
+			if be.HedgeLosses != 0 {
+				t.Errorf("fast backend %s charged with hedge losses (%d)", be.URL, be.HedgeLosses)
+			}
+		}
+	}
+	var metrics bytes.Buffer
+	cl.WriteMetrics(&metrics)
+	for _, want := range []string{
+		"powerperf_cluster_hedged_away_total{backend=",
+		"powerperf_cluster_hedge_losses_total{backend=",
+		"powerperf_cluster_failed_over_total{backend=",
+	} {
+		if !bytes.Contains(metrics.Bytes(), []byte(want)) {
+			t.Errorf("cluster metrics missing attribution family %s", want)
+		}
+	}
+
 	h, err := harness.New(42)
 	if err != nil {
 		t.Fatal(err)

@@ -57,6 +57,7 @@ func (cl *Cluster) measureOnce(ctx context.Context, primary, hedge string, req *
 			return
 		}
 		cl.hedgesFired.Add(1)
+		cl.attr.get(primary).hedgedAway.Add(1)
 		// The hedge span marks the decision instant; the duplicate
 		// request itself is visible as the hedge backend's server span
 		// under the same trace.
@@ -78,6 +79,7 @@ func (cl *Cluster) measureOnce(ctx context.Context, primary, hedge string, req *
 				cl.breakers[ex.backend].Success()
 				if ex.backend != primary {
 					cl.hedgeWins.Add(1)
+					cl.attr.get(primary).hedgeLosses.Add(1)
 				}
 				return ex.resp, ex.backend, nil
 			}

@@ -142,6 +142,7 @@ type Scheduler struct {
 	cellsReq      atomic.Int64
 	truncations   atomic.Int64
 	dispatchFails atomic.Int64
+	attr          *attribution
 }
 
 // NewScheduler builds a work-stealing scheduler over the given backend
@@ -169,6 +170,7 @@ func NewScheduler(backends []string, opts SchedulerOptions) (*Scheduler, error) 
 		resolver: NewResolver(),
 		tracer:   opts.Tracer,
 		logger:   telemetry.Logger("scheduler"),
+		attr:     newAttribution(members),
 	}
 	for _, m := range members {
 		s.clients[m] = NewClient(m, hc, opts.RequestTimeout)
@@ -342,6 +344,15 @@ func (r *run) acquire(backend string) (*lease, []int) {
 	r.s.leasesIssued.Add(1)
 	if steal {
 		r.s.steals.Add(1)
+		// Charge the steal to the stalled holder(s) being covered for —
+		// the thief is doing the fleet a favor, the victim ate the
+		// latency budget. holderOf cannot include the thief (filtered
+		// above), so every key is a victim.
+		for victim, n := range pick.holderOf {
+			if victim != backend && n > 0 {
+				r.s.attr.get(victim).stolenFrom.Add(1)
+			}
+		}
 	} else if redispatch {
 		r.s.redispatches.Add(1)
 	}
@@ -390,6 +401,7 @@ func (r *run) release(l *lease, backend string, err error) {
 	}
 	if err != nil {
 		l.failures++
+		r.s.attr.get(backend).leaseFails.Add(1)
 		if l.remaining > 0 && l.failures >= r.s.opts.MaxLeaseFailures && r.err == nil {
 			r.err = fmt.Errorf("cluster: lease %d failed %d dispatches, giving up: %w", l.id, l.failures, err)
 			r.cancel()
@@ -627,14 +639,17 @@ func (s *Scheduler) Stats() SchedulerStats {
 		b := s.breakers[m]
 		opens := b.Opens()
 		lat := s.clients[m].lat.Summary()
+		at := s.attr.get(m)
 		st.Backends = append(st.Backends, BackendStats{
-			URL:      m,
-			State:    b.State(),
-			Opens:    opens,
-			Requests: lat.Count,
-			P50Ms:    float64(lat.P50) / 1e6,
-			P90Ms:    float64(lat.P90) / 1e6,
-			P99Ms:    float64(lat.P99) / 1e6,
+			URL:           m,
+			State:         b.State(),
+			Opens:         opens,
+			Requests:      lat.Count,
+			P50Ms:         float64(lat.P50) / 1e6,
+			P90Ms:         float64(lat.P90) / 1e6,
+			P99Ms:         float64(lat.P99) / 1e6,
+			StolenFrom:    at.stolenFrom.Load(),
+			LeaseFailures: at.leaseFails.Load(),
 		})
 		st.BreakerOpens += opens
 	}
@@ -671,6 +686,21 @@ func (s *Scheduler) WriteMetrics(w io.Writer) {
 		}
 		b.WriteString(name + "{backend=" + telemetry.PromQuote(be.URL) + "} " + strconv.Itoa(v) + "\n")
 	}
+	// Per-backend SLO attribution: which stalled or failed member each
+	// intervention covered for.
+	perBackend := func(name, help string, value func(BackendStats) int64) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " counter\n")
+		for _, be := range st.Backends {
+			b.WriteString(name + "{backend=" + telemetry.PromQuote(be.URL) + "} " +
+				strconv.FormatInt(value(be), 10) + "\n")
+		}
+	}
+	perBackend("powerperf_sched_stolen_from_total",
+		"Leases stolen from this stalled holder.",
+		func(be BackendStats) int64 { return be.StolenFrom })
+	perBackend("powerperf_sched_lease_failures_total",
+		"Lease dispatches this holder failed.",
+		func(be BackendStats) int64 { return be.LeaseFailures })
 	telemetry.Default.WritePrometheus(&b)
 	_, _ = io.WriteString(w, b.String())
 }

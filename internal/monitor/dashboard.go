@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/profiling"
 )
 
 // sparkline renders a series tail as an inline SVG polyline — no
@@ -63,6 +65,26 @@ type dashboardAlert struct {
 	Age        string
 }
 
+// dashboardSLO is one objective's error-budget gauge row.
+type dashboardSLO struct {
+	URL string
+	SLOStatus
+	GaugePct   float64 // clamped budget fraction for the bar width
+	GaugeClass string  // ok / warn / crit by budget remaining
+	StateClass string
+}
+
+// dashboardProfile is one backend's continuous-profiling row.
+type dashboardProfile struct {
+	Backend     string
+	Err         string
+	CPUBusyPct  float64
+	AllocMBs    float64
+	HeapInuseMB float64
+	TopAlloc    string
+	TopCPU      string
+}
+
 type dashboardData struct {
 	Generated string
 	Build     string
@@ -72,6 +94,9 @@ type dashboardData struct {
 	Pending   int
 	Rows      []dashboardRow
 	StoreRows []dashboardRow
+	SLORows   []dashboardSLO
+	ProfRows  []dashboardProfile
+	FleetTop  string
 	Alerts    []dashboardAlert
 	Rules     []Rule
 }
@@ -94,6 +119,10 @@ var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE htm
  .firing { color: #f2647b; font-weight: 700; } .pending { color: #e8b55a; } .resolved { color: #5fd38a; }
  .mono { font-family: ui-monospace, monospace; } .dim { color: #8a94a0; }
  .none { color: #5fd38a; }
+ .gaugebg { width: 140px; height: 10px; background: #232a32; border-radius: 5px; overflow: hidden; }
+ .gauge { height: 100%; border-radius: 5px; } .gauge.ok { background: #5fd38a; }
+ .gauge.warng { background: #e8b55a; } .gauge.crit { background: #f2647b; }
+ .inactive { color: #8a94a0; }
 </style>
 </head>
 <body>
@@ -141,6 +170,43 @@ var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE htm
 </table>
 {{end}}
 
+{{if .SLORows}}
+<h2>Service objectives</h2>
+<table>
+<tr><th>backend</th><th>objective</th><th>error budget</th><th>compliance</th><th>fast burn</th><th>slow burn</th><th>alert</th></tr>
+{{range .SLORows}}
+<tr>
+ <td class="mono">{{.URL}}</td>
+ <td>{{.Objective}}</td>
+ <td><div class="gaugebg" title="{{printf "%.1f%%" .BudgetPct}} of budget left"><div class="gauge {{.GaugeClass}}" style="width:{{printf "%.0f" .GaugePct}}%"></div></div></td>
+ <td>{{printf "%.3f%%" .CompliancePct}}</td>
+ <td>{{printf "%.3g" .FastBurn}}</td>
+ <td>{{printf "%.3g" .SlowBurn}}</td>
+ <td class="{{.StateClass}}">{{.AlertState}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+
+{{if .ProfRows}}
+<h2>Continuous profiling</h2>
+<table>
+<tr><th>backend</th><th>cpu busy</th><th>alloc rate</th><th>heap inuse</th><th>top alloc delta</th><th>top cpu</th></tr>
+{{range .ProfRows}}
+<tr>
+ <td class="mono">{{.Backend}}</td>
+ <td>{{printf "%.1f%%" .CPUBusyPct}}</td>
+ <td>{{printf "%.2f MB/s" .AllocMBs}}</td>
+ <td>{{printf "%.1f MB" .HeapInuseMB}}</td>
+ <td class="mono dim" style="white-space:normal">{{.TopAlloc}}</td>
+ <td class="mono dim" style="white-space:normal">{{.TopCPU}}</td>
+</tr>
+{{if .Err}}<tr><td></td><td colspan="5" class="down">{{.Err}}</td></tr>{{end}}
+{{end}}
+</table>
+{{if .FleetTop}}<p class="dim">fleet-merged alloc delta: <span class="mono">{{.FleetTop}}</span></p>{{end}}
+{{end}}
+
 <h2>Alerts</h2>
 {{if .Alerts}}
 <table>
@@ -179,6 +245,68 @@ var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE htm
 
 // HitRatePct converts the stored fraction for display.
 func (r dashboardRow) HitRatePct() float64 { return r.HitRate * 100 }
+
+// BudgetPct is the raw error-budget remaining as a percentage (may be
+// negative once the budget is blown).
+func (s dashboardSLO) BudgetPct() float64 { return s.BudgetRemaining * 100 }
+
+// CompliancePct converts compliance for display.
+func (s dashboardSLO) CompliancePct() float64 { return s.Compliance * 100 }
+
+// sloRow builds one error-budget gauge row from a federated status.
+func sloRow(url string, st SLOStatus) dashboardSLO {
+	row := dashboardSLO{URL: url, SLOStatus: st}
+	row.GaugePct = st.BudgetRemaining * 100
+	if row.GaugePct < 0 {
+		row.GaugePct = 0
+	}
+	if row.GaugePct > 100 {
+		row.GaugePct = 100
+	}
+	switch {
+	case st.BudgetRemaining <= 0.1:
+		row.GaugeClass = "crit"
+	case st.BudgetRemaining <= 0.5:
+		row.GaugeClass = "warng"
+	default:
+		row.GaugeClass = "ok"
+	}
+	switch st.AlertState {
+	case "firing":
+		row.StateClass = "down"
+	case "pending":
+		row.StateClass = "warn"
+	case "inactive":
+		row.StateClass = "inactive"
+	default:
+		row.StateClass = "none"
+	}
+	return row
+}
+
+// topEntries formats the first n profile entries; cpu values are sampled
+// nanoseconds, alloc values are byte deltas (signed).
+func topEntries(entries []profiling.Entry, n int, cpu bool) string {
+	var b strings.Builder
+	for i, e := range entries {
+		if i >= n {
+			break
+		}
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		name := e.Name
+		if idx := strings.LastIndex(name, "/"); idx >= 0 {
+			name = name[idx+1:]
+		}
+		if cpu {
+			fmt.Fprintf(&b, "%s %.2fs", name, float64(e.Value)/1e9)
+		} else {
+			fmt.Fprintf(&b, "%s %+.2f MB", name, float64(e.Value)/1e6)
+		}
+	}
+	return b.String()
+}
 
 // DashboardHandler serves GET /debug/dashboard: a self-contained HTML
 // fleet view (no scripts, no external assets) that meta-refreshes every
@@ -222,7 +350,22 @@ func (m *Monitor) DashboardHandler() http.Handler {
 				}
 				data.StoreRows = append(data.StoreRows, srow)
 			}
+			for _, st := range bs.SLOs {
+				data.SLORows = append(data.SLORows, sloRow(bs.URL, st))
+			}
 		}
+		for _, pr := range snap.Profiles {
+			data.ProfRows = append(data.ProfRows, dashboardProfile{
+				Backend:     pr.Backend,
+				Err:         pr.Err,
+				CPUBusyPct:  pr.CPUBusyFrac * 100,
+				AllocMBs:    pr.AllocPerSec / 1e6,
+				HeapInuseMB: float64(pr.HeapInuse) / 1e6,
+				TopAlloc:    topEntries(pr.TopAllocDiff, 3, false),
+				TopCPU:      topEntries(pr.TopCPU, 3, true),
+			})
+		}
+		data.FleetTop = topEntries(snap.FleetAllocDelta, 5, false)
 		for _, a := range snap.Alerts {
 			da := dashboardAlert{Alert: a, StateClass: a.State.String()}
 			var since time.Time

@@ -3,13 +3,16 @@ package monitor
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/telemetry"
 )
 
@@ -50,6 +53,14 @@ type Options struct {
 	// HTTPClient overrides the scrape transport; nil selects a dedicated
 	// client.
 	HTTPClient *http.Client
+	// ProfileEvery turns on continuous profiling: every this many
+	// sweeps, one asynchronous pprof harvest (CPU window + heap) runs
+	// against each backend's /debug/pprof endpoints and feeds the
+	// profile_* series (see profile.go). 0 disables profiling.
+	ProfileEvery int
+	// ProfileSeconds is the CPU sampling window per harvest; <= 0
+	// selects 1.
+	ProfileSeconds int
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +139,16 @@ func DefaultRules() []Rule {
 			Kind: KindTrend, Cmp: Below, Window: 12, Value: 0.5, MinR2: 0.2,
 			Help: "Backend uptime trending down across scrapes: the process is crash-looping.",
 		},
+		{
+			Name: "alloc_rate_regressed", Series: "profile_alloc_bytes_per_sec",
+			Kind: KindCI, Cmp: Above, Window: 5, Baseline: 20, RelTol: 0.25, Robust: true,
+			Help: "Continuous-profiling allocation rate left its rolling baseline — an allocation regression shipped (the profile diff names the functions).",
+		},
+		{
+			Name: "error_budget_exhausted", Series: `slo_error_budget_remaining{objective="availability"}`,
+			Kind: KindThreshold, Cmp: Below, Value: 0, For: 2, Clear: 2,
+			Help: "The availability SLO's rolling error budget is spent (federated from the backend's /metricsz slo gauges).",
+		},
 	}
 }
 
@@ -142,6 +163,12 @@ type Monitor struct {
 	detector *Detector
 	logger   *slog.Logger
 	start    time.Time
+
+	// fleet is the continuous profiler, nil unless Options.ProfileEvery
+	// is set; profBusy serializes harvests, harvests counts completions.
+	fleet    *profiling.Fleet
+	profBusy atomic.Bool
+	harvests atomic.Int64
 
 	sweeps  atomic.Int64
 	running atomic.Bool
@@ -165,7 +192,7 @@ func New(backends []string, opts Options) *Monitor {
 	if rules == nil {
 		rules = DefaultRules()
 	}
-	return &Monitor{
+	m := &Monitor{
 		opts:     opts,
 		backends: bes,
 		store:    st,
@@ -174,6 +201,16 @@ func New(backends []string, opts Options) *Monitor {
 		logger:   logger,
 		start:    time.Now(),
 	}
+	if opts.ProfileEvery > 0 {
+		m.fleet = profiling.NewFleet(profiling.FleetOptions{
+			Backends:   bes,
+			Seconds:    opts.ProfileSeconds,
+			Timeout:    opts.Timeout,
+			HTTPClient: opts.HTTPClient,
+			UserAgent:  "powerperfmon/" + Version + " " + telemetry.BuildInfo().UserAgentToken(),
+		})
+	}
+	return m
 }
 
 // Backends returns the monitored backend URLs.
@@ -188,7 +225,7 @@ func (m *Monitor) Detector() *Detector { return m.detector }
 func (m *Monitor) Sweep(ctx context.Context) {
 	m.scraper.scrapeAll(ctx)
 	m.detector.Evaluate(m.backends, time.Now())
-	m.sweeps.Add(1)
+	m.maybeProfile(ctx, m.sweeps.Add(1))
 }
 
 // Sweeps reports completed scrape-evaluate cycles.
@@ -270,6 +307,60 @@ type BackendSnapshot struct {
 	StoreLastSeal float64 `json:"store_last_seal_unix,omitempty"`
 	StoreDropped  float64 `json:"store_dropped_studies,omitempty"`
 	StoreWriteErr float64 `json:"store_write_errors,omitempty"`
+
+	// SLOs federates the backend's slo_* gauges (present only when the
+	// backend runs its SLO engine): per-objective error budgets, burn
+	// rates, and the worst burn-alert state.
+	SLOs []SLOStatus `json:"slos,omitempty"`
+}
+
+// SLOStatus is one objective's federated state, read back from the
+// backend's /metricsz slo_* gauges.
+type SLOStatus struct {
+	Objective       string  `json:"objective"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Compliance      float64 `json:"compliance"`
+	FastBurn        float64 `json:"fast_burn"`
+	SlowBurn        float64 `json:"slow_burn"`
+	// AlertState is the worst of the objective's burn rules: inactive,
+	// resolved, pending, or firing.
+	AlertState string `json:"alert_state"`
+}
+
+// sloStatuses reassembles per-objective SLO state from the federated
+// slo_* series of one backend.
+func (m *Monitor) sloStatuses(backend string) []SLOStatus {
+	const budgetPrefix = `slo_error_budget_remaining{objective="`
+	var out []SLOStatus
+	for _, key := range m.store.seriesKeys(backend) {
+		if !strings.HasPrefix(key, budgetPrefix) || !strings.HasSuffix(key, `"}`) {
+			continue
+		}
+		obj := key[len(budgetPrefix) : len(key)-2]
+		st := SLOStatus{Objective: obj, AlertState: StateInactive.String()}
+		st.BudgetRemaining, _ = m.store.last(backend, key)
+		st.Compliance, _ = m.store.last(backend, fmt.Sprintf(`slo_compliance{objective=%q}`, obj))
+		st.FastBurn, _ = m.store.last(backend, fmt.Sprintf(`slo_burn_rate{objective=%q,window="fast"}`, obj))
+		st.SlowBurn, _ = m.store.last(backend, fmt.Sprintf(`slo_burn_rate{objective=%q,window="slow"}`, obj))
+		worst := 0.0
+		for _, rule := range []string{"slo_fast_burn", "slo_slow_burn"} {
+			if v, ok := m.store.last(backend, fmt.Sprintf(`slo_alert_state{objective=%q,rule=%q}`, obj, rule)); ok && v > worst {
+				worst = v
+			}
+		}
+		// The gauge encodes rank(state): 0 inactive, 1 resolved, 2
+		// pending, 3 firing.
+		switch int(worst) {
+		case 1:
+			st.AlertState = StateResolved.String()
+		case 2:
+			st.AlertState = StatePending.String()
+		case 3:
+			st.AlertState = StateFiring.String()
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // Snapshot is the whole fleet view at a moment: what powerperfmon
@@ -281,6 +372,12 @@ type Snapshot struct {
 	Interval  time.Duration     `json:"interval_ns"`
 	Backends  []BackendSnapshot `json:"backends"`
 	Alerts    []Alert           `json:"alerts"`
+
+	// Continuous-profiling digest, present only with ProfileEvery set:
+	// per-backend reports plus the fleet-merged allocation delta (which
+	// functions the whole fleet's newest harvest window charged).
+	Profiles        []profiling.BackendReport `json:"profiles,omitempty"`
+	FleetAllocDelta []profiling.Entry         `json:"fleet_alloc_delta,omitempty"`
 }
 
 // Snapshot assembles the current fleet view.
@@ -330,7 +427,12 @@ func (m *Monitor) Snapshot() Snapshot {
 			bs.StoreDropped, _ = m.store.last(be, "statsz_store_dropped_studies")
 			bs.StoreWriteErr, _ = m.store.last(be, "statsz_store_write_errors")
 		}
+		bs.SLOs = m.sloStatuses(be)
 		snap.Backends = append(snap.Backends, bs)
+	}
+	if m.fleet != nil {
+		snap.Profiles = m.fleet.Report(5)
+		snap.FleetAllocDelta = profiling.TopK(m.fleet.MergedAllocDelta(), 10)
 	}
 	return snap
 }

@@ -1,0 +1,444 @@
+package profiling
+
+// Minimal pprof profile decoder. The fleet profiler needs to read the
+// gzipped-protobuf profiles that /debug/pprof serves, but this
+// repository takes no dependencies, so this file decodes the handful
+// of proto fields the profile.proto schema defines for samples,
+// locations, functions, and the string table — enough to flatten a
+// profile to per-function values, merge profiles across a fleet, and
+// diff consecutive harvests. Unknown fields are skipped by wire type,
+// so richer producers (labels, mappings, comments) parse fine.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ValueType names one sample dimension, e.g. {"cpu","nanoseconds"} or
+// {"alloc_space","bytes"}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one stack with its measured values, stack leaf first.
+type Sample struct {
+	Stack  []string
+	Values []int64
+}
+
+// Profile is a decoded pprof profile, resolved to function names.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	Period        int64
+	PeriodType    ValueType
+}
+
+// decode limits, far above anything the runtime emits but low enough
+// that a corrupt length prefix cannot balloon memory.
+const (
+	maxProfileBytes = 64 << 20
+	maxSamples      = 1 << 20
+)
+
+// Parse decodes a pprof profile, transparently gunzipping (the wire
+// form /debug/pprof serves is always gzipped; files may not be).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profiling: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxProfileBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("profiling: gunzip: %w", err)
+		}
+		if len(raw) > maxProfileBytes {
+			return nil, fmt.Errorf("profiling: profile exceeds %d bytes decompressed", maxProfileBytes)
+		}
+		data = raw
+	}
+	return decodeProfile(data)
+}
+
+// protobuf scanner ------------------------------------------------------
+
+type protoDec struct {
+	b []byte
+	i int
+}
+
+func (d *protoDec) done() bool { return d.i >= len(d.b) }
+
+func (d *protoDec) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.i >= len(d.b) {
+			return 0, fmt.Errorf("truncated varint")
+		}
+		c := d.b[d.i]
+		d.i++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("varint overflow")
+}
+
+// field reads the next tag and returns the field number, and either the
+// varint value (wire type 0) or the length-delimited payload (type 2).
+func (d *protoDec) field() (num int, val uint64, payload []byte, err error) {
+	tag, err := d.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	num = int(tag >> 3)
+	switch tag & 7 {
+	case 0:
+		val, err = d.varint()
+		return num, val, nil, err
+	case 1: // fixed64: skip
+		if d.i+8 > len(d.b) {
+			return 0, 0, nil, fmt.Errorf("truncated fixed64")
+		}
+		d.i += 8
+		return num, 0, nil, nil
+	case 2:
+		n, err := d.varint()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if uint64(len(d.b)-d.i) < n {
+			return 0, 0, nil, fmt.Errorf("truncated field %d payload", num)
+		}
+		payload = d.b[d.i : d.i+int(n)]
+		d.i += int(n)
+		return num, 0, payload, nil
+	case 5: // fixed32: skip
+		if d.i+4 > len(d.b) {
+			return 0, 0, nil, fmt.Errorf("truncated fixed32")
+		}
+		d.i += 4
+		return num, 0, nil, nil
+	default:
+		return 0, 0, nil, fmt.Errorf("unsupported wire type %d", tag&7)
+	}
+}
+
+// ints decodes a repeated integer field: packed (payload non-nil) or a
+// single varint occurrence, appending to dst.
+func appendInts(dst []uint64, val uint64, payload []byte) ([]uint64, error) {
+	if payload == nil {
+		return append(dst, val), nil
+	}
+	d := protoDec{b: payload}
+	for !d.done() {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// profile.proto shapes --------------------------------------------------
+
+type pbValueType struct{ typ, unit int64 }
+
+func decodeValueType(b []byte) (pbValueType, error) {
+	var vt pbValueType
+	d := protoDec{b: b}
+	for !d.done() {
+		num, val, _, err := d.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			vt.typ = int64(val)
+		case 2:
+			vt.unit = int64(val)
+		}
+	}
+	return vt, nil
+}
+
+func decodeProfile(data []byte) (*Profile, error) {
+	type pbSample struct {
+		locs   []uint64
+		values []uint64
+	}
+	type pbLine struct{ funcID uint64 }
+	type pbLocation struct {
+		id      uint64
+		address uint64
+		lines   []pbLine
+	}
+	type pbFunction struct {
+		id   uint64
+		name int64
+	}
+
+	var (
+		sampleTypes []pbValueType
+		samples     []pbSample
+		locations   []pbLocation
+		functions   []pbFunction
+		strtab      []string
+		prof        Profile
+		periodType  pbValueType
+	)
+
+	d := protoDec{b: data}
+	for !d.done() {
+		num, val, payload, err := d.field()
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		switch num {
+		case 1: // sample_type
+			vt, err := decodeValueType(payload)
+			if err != nil {
+				return nil, fmt.Errorf("profiling: sample_type: %w", err)
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			if len(samples) >= maxSamples {
+				return nil, fmt.Errorf("profiling: over %d samples", maxSamples)
+			}
+			var s pbSample
+			sd := protoDec{b: payload}
+			for !sd.done() {
+				n, v, p, err := sd.field()
+				if err != nil {
+					return nil, fmt.Errorf("profiling: sample: %w", err)
+				}
+				switch n {
+				case 1:
+					if s.locs, err = appendInts(s.locs, v, p); err != nil {
+						return nil, fmt.Errorf("profiling: sample locs: %w", err)
+					}
+				case 2:
+					if s.values, err = appendInts(s.values, v, p); err != nil {
+						return nil, fmt.Errorf("profiling: sample values: %w", err)
+					}
+				}
+			}
+			samples = append(samples, s)
+		case 4: // location
+			var loc pbLocation
+			ld := protoDec{b: payload}
+			for !ld.done() {
+				n, v, p, err := ld.field()
+				if err != nil {
+					return nil, fmt.Errorf("profiling: location: %w", err)
+				}
+				switch n {
+				case 1:
+					loc.id = v
+				case 3:
+					loc.address = v
+				case 4:
+					var line pbLine
+					pd := protoDec{b: p}
+					for !pd.done() {
+						ln, lv, _, err := pd.field()
+						if err != nil {
+							return nil, fmt.Errorf("profiling: line: %w", err)
+						}
+						if ln == 1 {
+							line.funcID = lv
+						}
+					}
+					loc.lines = append(loc.lines, line)
+				}
+			}
+			locations = append(locations, loc)
+		case 5: // function
+			var fn pbFunction
+			fd := protoDec{b: payload}
+			for !fd.done() {
+				n, v, _, err := fd.field()
+				if err != nil {
+					return nil, fmt.Errorf("profiling: function: %w", err)
+				}
+				switch n {
+				case 1:
+					fn.id = v
+				case 2:
+					fn.name = int64(v)
+				}
+			}
+			functions = append(functions, fn)
+		case 6: // string_table
+			strtab = append(strtab, string(payload))
+		case 9:
+			prof.TimeNanos = int64(val)
+		case 10:
+			prof.DurationNanos = int64(val)
+		case 11:
+			periodType, err = decodeValueType(payload)
+			if err != nil {
+				return nil, fmt.Errorf("profiling: period_type: %w", err)
+			}
+		case 12:
+			prof.Period = int64(val)
+		}
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(strtab) {
+			return ""
+		}
+		return strtab[i]
+	}
+	for _, vt := range sampleTypes {
+		prof.SampleTypes = append(prof.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	prof.PeriodType = ValueType{Type: str(periodType.typ), Unit: str(periodType.unit)}
+
+	funcName := make(map[uint64]string, len(functions))
+	for _, fn := range functions {
+		funcName[fn.id] = str(fn.name)
+	}
+	// A location's frames are its inlined lines, innermost first; name
+	// the location by its innermost function, falling back to the raw
+	// address when symbolization is absent.
+	locName := make(map[uint64]string, len(locations))
+	for _, loc := range locations {
+		name := ""
+		if len(loc.lines) > 0 {
+			name = funcName[loc.lines[0].funcID]
+		}
+		if name == "" {
+			name = fmt.Sprintf("0x%x", loc.address)
+		}
+		locName[loc.id] = name
+	}
+
+	prof.Samples = make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		out := Sample{
+			Stack:  make([]string, len(s.locs)),
+			Values: make([]int64, len(s.values)),
+		}
+		for i, id := range s.locs {
+			name, ok := locName[id]
+			if !ok {
+				name = "[unknown]"
+			}
+			out.Stack[i] = name
+		}
+		for i, v := range s.values {
+			out.Values[i] = int64(v)
+		}
+		prof.Samples = append(prof.Samples, out)
+	}
+	return &prof, nil
+}
+
+// queries ---------------------------------------------------------------
+
+// TypeIndex returns the index of the named sample dimension, -1 when
+// absent (e.g. "cpu" for CPU profiles, "alloc_space" for heap).
+func (p *Profile) TypeIndex(name string) int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Flat sums dimension idx per leaf function: the self-cost view that
+// fleet merging and diffing operate on.
+func (p *Profile) Flat(idx int) map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range p.Samples {
+		if idx < 0 || idx >= len(s.Values) || len(s.Stack) == 0 {
+			continue
+		}
+		out[s.Stack[0]] += s.Values[idx]
+	}
+	return out
+}
+
+// Total sums dimension idx over every sample.
+func (p *Profile) Total(idx int) int64 {
+	var t int64
+	for _, s := range p.Samples {
+		if idx >= 0 && idx < len(s.Values) {
+			t += s.Values[idx]
+		}
+	}
+	return t
+}
+
+// Diff returns cur-prev per function, omitting zero deltas. Functions
+// present only in prev appear with negative values, so a diff reads as
+// "what this window added".
+func Diff(cur, prev map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range cur {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range prev {
+		if _, ok := cur[k]; !ok && v != 0 {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// Merge sums several flat views into one, the per-fleet aggregate.
+func Merge(flats ...map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for _, f := range flats {
+		for k, v := range f {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Entry is one row of a TopK report.
+type Entry struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// TopK returns the k largest entries by absolute value, ties broken by
+// name so reports are stable.
+func TopK(flat map[string]int64, k int) []Entry {
+	out := make([]Entry, 0, len(flat))
+	for name, v := range flat {
+		out = append(out, Entry{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Value, out[j].Value
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -5,6 +5,7 @@
 package profiling
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -14,7 +15,9 @@ import (
 // Start begins CPU profiling into cpuPath when non-empty and returns a
 // stop function that finalizes both profiles; it writes a heap profile to
 // memPath (when non-empty) at stop time. Call the returned function
-// exactly once, after the workload completes.
+// exactly once, after the workload completes. The stop function always
+// attempts both finalizations — a failed CPU-file close must not cost
+// the heap profile — and joins whatever errors occurred.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
@@ -28,24 +31,27 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		}
 	}
 	return func() error {
+		var errs []error
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
-				return fmt.Errorf("profiling: %w", err)
+				errs = append(errs, fmt.Errorf("profiling: cpu: %w", err))
 			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				return fmt.Errorf("profiling: %w", err)
+				errs = append(errs, fmt.Errorf("profiling: heap: %w", err))
+			} else {
+				runtime.GC() // settle the heap so the profile reflects live objects
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					errs = append(errs, fmt.Errorf("profiling: heap: %w", err))
+				}
+				if err := f.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("profiling: heap: %w", err))
+				}
 			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile reflects live objects
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("profiling: %w", err)
-			}
-			return f.Close()
 		}
-		return nil
+		return errors.Join(errs...)
 	}, nil
 }

@@ -37,6 +37,10 @@ const maxRequestBytes = 4 << 20
 //	GET  /v1/studies/export     stored slice as dataset CSVs
 //	GET  /v1/studies/trend      Pareto-drift replay across technology nodes
 //
+// With an SLO engine attached (Options.SLO), the objective API mounts:
+//
+//	GET  /v1/sloz               objectives, error budgets, burn-rate alerts
+//
 // With a monitor attached (AttachMonitor), two more routes mount:
 //
 //	GET  /v1/alertz             fleet alerts (pending/firing/resolved), JSON
@@ -52,6 +56,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/dataset", s.handleDataset)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	if s.sloEng != nil {
+		mux.HandleFunc("GET /v1/sloz", s.handleSloz)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)

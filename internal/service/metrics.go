@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -70,6 +71,13 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	// cluster per-backend exchanges when a coordinator shares the
 	// process) renders as a Prometheus histogram after the counters.
 	telemetry.Default.WritePrometheus(&b)
+
+	// SLO state last: error budgets, burn rates, and alert states per
+	// objective, which the fleet monitor federates onto the dashboard.
+	// Rendering advances the engine, so scrapes double as its clock.
+	if s.sloEng != nil {
+		s.sloEng.WriteMetrics(&b, time.Now())
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

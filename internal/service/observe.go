@@ -33,6 +33,10 @@ func endpointFamily(path string) string {
 		return "dataset"
 	case strings.HasPrefix(path, "/v1/traces"):
 		return "traces"
+	case path == "/v1/sloz":
+		return "sloz"
+	case path == "/v1/alertz":
+		return "alertz"
 	case path == "/healthz", path == "/statsz", path == "/metricsz":
 		return strings.TrimPrefix(path, "/")
 	default:
@@ -80,7 +84,7 @@ func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter 
 // daemon's log stays about its workload.
 func monitoringPlane(family string) bool {
 	switch family {
-	case "healthz", "statsz", "metricsz", "traces":
+	case "healthz", "statsz", "metricsz", "traces", "sloz", "alertz":
 		return true
 	}
 	return false
@@ -120,11 +124,34 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		}
 		dur := time.Since(start)
 
+		var trace telemetry.TraceID
 		if span != nil {
 			span.Annotate(telemetry.String("status", strconv.Itoa(sw.status)))
+			if sw.status >= 500 {
+				// The error attribute is what tail sampling keys on: a
+				// failed request's whole trace survives the sampler.
+				span.Annotate(telemetry.String("error", http.StatusText(sw.status)))
+			}
+			trace = span.Trace()
 			span.End()
 		}
-		httpHist(family).Observe(dur)
+		if trace != 0 {
+			// Exemplar-linked observation: the histogram bucket this
+			// request lands in remembers the trace, so a burn-rate page
+			// reached from /metricsz links straight to /v1/traces.
+			httpHist(family).ObserveWithExemplar(dur, trace)
+		} else {
+			httpHist(family).Observe(dur)
+		}
+		if s.sloEng != nil && !plane {
+			s.sloEng.Observe(SLOAvailability, sw.status < 500)
+			if sw.status >= 500 {
+				s.sloEng.RecordBreach(SLOAvailability, trace, dur.Seconds())
+			}
+			if family == "measure" {
+				s.sloEng.ObserveLatency(SLOLatency, dur, trace)
+			}
+		}
 		level := slog.LevelInfo
 		if plane {
 			level = slog.LevelDebug

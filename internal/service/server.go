@@ -15,6 +15,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/monitor"
 	"repro/internal/proc"
+	"repro/internal/slo"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -58,6 +59,18 @@ type Options struct {
 	// ingest queue, and the /v1/studies query API mounts. The server
 	// does not own the store; the caller closes it after Drain returns.
 	Store *store.Store
+	// SLO, when non-nil, attaches the service-level-objective engine:
+	// the observe middleware feeds the stock objectives (see
+	// DefaultSLOConfig), burn-rate alerts walk the monitor's detector
+	// lifecycle, /v1/sloz mounts, and slo_* gauges join /metricsz. A
+	// durability objective with no Source is bound to the study-ingest
+	// counters automatically when a store is attached.
+	SLO *slo.Config
+	// TailSampling, when non-nil, switches the tracer to tail-based
+	// sampling: whole traces are kept when any span is slow or errored,
+	// probabilistically otherwise. Nil keeps every span (the
+	// pre-sampling behavior).
+	TailSampling *telemetry.TailPolicy
 	// Hooks injects faults and latency into the measurement path for
 	// tests; nil in production.
 	Hooks *Hooks
@@ -130,6 +143,10 @@ type Server struct {
 	// mon, when attached, contributes /v1/alertz and /debug/dashboard to
 	// the handler — the daemon's own view of the fleet it belongs to.
 	mon *monitor.Monitor
+
+	// sloEng, when attached, is fed by the observe middleware and served
+	// at /v1/sloz; nil when Options.SLO was not set.
+	sloEng *slo.Engine
 }
 
 // NewServer builds a server; no measurement work happens until the first
@@ -147,6 +164,31 @@ func NewServer(opts Options) *Server {
 	}
 	if opts.Store != nil {
 		s.ingest = newStudyIngest(opts.Store, s.logger)
+	}
+	if opts.TailSampling != nil {
+		s.tracer.SetTailPolicy(opts.TailSampling)
+	}
+	if opts.SLO != nil {
+		cfg := *opts.SLO
+		cfg.Objectives = append([]slo.Objective(nil), cfg.Objectives...)
+		for i := range cfg.Objectives {
+			o := &cfg.Objectives[i]
+			if o.Kind == slo.KindDurability && o.Source == nil && s.ingest != nil {
+				ing := s.ingest
+				o.Source = func() (good, total int64) {
+					st := ing.stats()
+					return st.Recorded, st.Recorded + st.Dropped + st.WriteErrors
+				}
+			}
+		}
+		eng, err := slo.New(cfg)
+		if err != nil {
+			// A bad objective set must not take the serving path down;
+			// the daemon runs without SLO tracking and says so.
+			s.logger.Error("slo engine disabled", slog.Any("error", err))
+		} else {
+			s.sloEng = eng
+		}
 	}
 	return s
 }

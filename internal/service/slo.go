@@ -1,0 +1,81 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/slo"
+)
+
+// The daemon's stock objective names. The observe middleware feeds the
+// first two from live traffic; the third samples the study-ingest
+// counters. Custom Options.SLO configs may use any names, but only
+// these are fed automatically.
+const (
+	// SLOLatency judges /v1/measure wall time against its threshold.
+	SLOLatency = "measure-latency"
+	// SLOAvailability judges every API request (non-5xx is good).
+	SLOAvailability = "availability"
+	// SLODurability judges study-ingest outcomes (committed vs dropped).
+	SLODurability = "ingest-durability"
+)
+
+// DefaultSLOConfig returns the daemon's stock objectives: measure
+// latency under 2s at 99%, API availability at 99.5%, and ingest
+// durability at 99.9%. Windows, thresholds, and cadence keep the
+// multi-window burn-rate defaults (5m/1h fast at 14.4, 6h/3d slow
+// at 1). Callers tune fields before passing the config to Options.
+func DefaultSLOConfig() *slo.Config {
+	return &slo.Config{
+		Objectives: []slo.Objective{
+			{
+				Name:             SLOLatency,
+				Kind:             slo.KindLatency,
+				Description:      "Measure requests complete within the latency threshold.",
+				Target:           0.99,
+				LatencyThreshold: 2 * time.Second,
+			},
+			{
+				Name:        SLOAvailability,
+				Kind:        slo.KindAvailability,
+				Description: "API requests succeed (any non-5xx status).",
+				Target:      0.995,
+			},
+			{
+				Name:        SLODurability,
+				Kind:        slo.KindDurability,
+				Description: "Completed study batches reach the durable store.",
+				Target:      0.999,
+			},
+		},
+	}
+}
+
+// SLOEngine exposes the attached SLO engine, nil when Options.SLO was
+// not set (tests drive it directly; the cluster attributes per-backend
+// outcomes through it).
+func (s *Server) SLOEngine() *slo.Engine { return s.sloEng }
+
+// handleSloz serves the SLO snapshot: objectives with budgets and
+// windowed burn rates, plus live burn-rate alerts annotated with
+// breach-exemplar trace ids (resolve them at /v1/traces?trace=<id>).
+func (s *Server) handleSloz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sloEng.Snapshot(time.Now()))
+}
+
+// PprofHandler returns the standard /debug/pprof mux (index, cmdline,
+// profile, symbol, trace, and the named runtime profiles via the index
+// handler). powerperfd mounts it under -pprof, and the fleet profiler
+// harvests /debug/pprof/profile and /debug/pprof/heap from it; tests
+// reuse it so their in-process backends profile exactly like the
+// daemon.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/slo"
+	"repro/internal/telemetry"
+)
+
+// sloTestOptions compresses the SLO windows so a unit test can walk
+// burn rates without waiting on wall-clock minutes.
+func sloTestOptions(threshold time.Duration) Options {
+	return Options{
+		Seed: 42,
+		SLO: &slo.Config{
+			Objectives: []slo.Objective{
+				{Name: SLOLatency, Kind: slo.KindLatency, Target: 0.99, LatencyThreshold: threshold},
+				{Name: SLOAvailability, Kind: slo.KindAvailability, Target: 0.95},
+			},
+			Resolution:   10 * time.Millisecond,
+			BudgetWindow: time.Minute,
+			FastShort:    50 * time.Millisecond,
+			FastLong:     200 * time.Millisecond,
+			SlowShort:    time.Second,
+			SlowLong:     2 * time.Second,
+		},
+	}
+}
+
+// TestSlozEndpointAndMiddlewareFeed: traffic through the observe
+// middleware lands in the SLO engine and comes back out of /v1/sloz.
+func TestSlozEndpointAndMiddlewareFeed(t *testing.T) {
+	srv := NewServer(sloTestOptions(2 * time.Second))
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// API traffic (counts), monitoring-plane traffic (must not).
+	for i := 0; i < 5; i++ {
+		if st, _ := get(t, ts.URL+"/v1/experiments"); st != http.StatusOK {
+			t.Fatalf("experiments status %d", st)
+		}
+		get(t, ts.URL+"/healthz")
+	}
+	// A 4xx is still "available" (the server answered).
+	if st, _ := postMeasure(t, ts.URL, `{"cells":[{"benchmark":"nope","processor":"nope"}]}`); st != http.StatusBadRequest {
+		t.Fatalf("bad cell status %d", st)
+	}
+
+	st, body := get(t, ts.URL+"/v1/sloz")
+	if st != http.StatusOK {
+		t.Fatalf("sloz status %d: %s", st, body)
+	}
+	var snap slo.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("sloz unparseable: %v", err)
+	}
+	var avail *slo.ObjectiveStatus
+	for i := range snap.Objectives {
+		if snap.Objectives[i].Name == SLOAvailability {
+			avail = &snap.Objectives[i]
+		}
+	}
+	if avail == nil {
+		t.Fatalf("availability objective missing: %s", body)
+	}
+	// 5 experiments + 1 measure = 6 observed; healthz and sloz reads are
+	// monitoring plane and must not count.
+	if avail.Total != 6 {
+		t.Fatalf("availability total = %d, want 6 (monitoring plane leaked in?)", avail.Total)
+	}
+	if avail.Good != 6 {
+		t.Fatalf("availability good = %d (a 4xx must not burn budget)", avail.Good)
+	}
+
+	// /metricsz carries the slo_* gauges and stays lint-clean with them.
+	st, page := get(t, ts.URL+"/metricsz")
+	if st != http.StatusOK {
+		t.Fatalf("metricsz status %d", st)
+	}
+	text := string(page)
+	for _, want := range []string{"slo_error_budget_remaining{objective=", "slo_burn_rate{objective=", "slo_alert_state{objective="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metricsz missing %q", want)
+		}
+	}
+	if problems := telemetry.LintPrometheus(text); len(problems) != 0 {
+		t.Fatalf("metricsz with SLO gauges fails lint: %v", problems)
+	}
+}
+
+// TestMeasureLatencyExemplarFlow: a slow measure request burns the
+// latency SLO and leaves an exemplar whose trace resolves at
+// /v1/traces — the page-to-trace link the burn alerts promise.
+func TestMeasureLatencyExemplarFlow(t *testing.T) {
+	opts := sloTestOptions(time.Nanosecond) // every request breaches
+	srv := NewServer(opts)
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if st, body := postMeasure(t, ts.URL, `{"cells":[{"benchmark":"mcf","processor":"i7 (45)"}]}`); st != http.StatusOK {
+		t.Fatalf("measure status %d: %s", st, body)
+	}
+
+	snap := srv.SLOEngine().Snapshot(time.Now())
+	var lat *slo.ObjectiveStatus
+	for i := range snap.Objectives {
+		if snap.Objectives[i].Name == SLOLatency {
+			lat = &snap.Objectives[i]
+		}
+	}
+	if lat == nil || lat.Total == 0 {
+		t.Fatalf("latency objective not fed: %+v", snap.Objectives)
+	}
+	if len(lat.Exemplars) == 0 {
+		t.Fatal("latency breach left no exemplar")
+	}
+	trace := lat.Exemplars[0].TraceID
+	if trace == "" {
+		t.Fatal("exemplar has empty trace id")
+	}
+	st, body := get(t, ts.URL+"/v1/traces?trace="+trace)
+	if st != http.StatusOK {
+		t.Fatalf("traces status %d", st)
+	}
+	if !strings.Contains(string(body), "http.measure") {
+		t.Fatalf("exemplar trace %s does not resolve to the measure span: %s", trace, body)
+	}
+
+	// The same trace id must appear as an OpenMetrics exemplar on the
+	// http latency histogram.
+	_, page := get(t, ts.URL+"/metricsz")
+	if !strings.Contains(string(page), `# {trace_id="`+trace+`"`) {
+		// Another measure-family request may have overwritten the slot;
+		// any trace_id exemplar on the family is still proof of wiring.
+		if !strings.Contains(string(page), "# {trace_id=") {
+			t.Fatalf("metricsz carries no exemplars:\n%.2000s", page)
+		}
+	}
+}
+
+// TestSlozAbsentWithoutConfig: no Options.SLO, no /v1/sloz route, no
+// slo_* gauges — the feature is strictly opt-in.
+func TestSlozAbsentWithoutConfig(t *testing.T) {
+	srv, ts := testServer(t)
+	if srv.SLOEngine() != nil {
+		t.Fatal("engine attached without config")
+	}
+	st, _ := get(t, ts.URL+"/v1/sloz")
+	if st != http.StatusNotFound {
+		t.Fatalf("sloz without engine: status %d", st)
+	}
+	_, page := get(t, ts.URL+"/metricsz")
+	if strings.Contains(string(page), "slo_error_budget_remaining") {
+		t.Fatal("slo gauges leaked into an engine-less daemon")
+	}
+}
+
+// TestTailSamplingThinsTraces: with a tail policy, healthy traces are
+// sampled while slow ones survive.
+func TestTailSamplingThinsTraces(t *testing.T) {
+	opts := Options{
+		Seed: 42,
+		TailSampling: &telemetry.TailPolicy{
+			SlowSpan:   time.Hour, // nothing is slow
+			KeepErrors: true,
+			SampleRate: 0, // drop every healthy trace
+		},
+	}
+	srv := NewServer(opts)
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 8; i++ {
+		get(t, ts.URL+"/v1/experiments")
+	}
+	kept, dropped := srv.Tracer().TailStats()
+	if dropped == 0 {
+		t.Fatalf("tail sampler dropped nothing (kept=%d dropped=%d)", kept, dropped)
+	}
+	if kept != 0 {
+		t.Fatalf("healthy traces kept at rate 0 (kept=%d)", kept)
+	}
+}

@@ -26,6 +26,7 @@ type Histogram struct {
 	counts [histBuckets]atomic.Int64
 	count  atomic.Int64
 	sumNS  atomic.Int64
+	ex     exemplars
 }
 
 // Observe records one duration. Non-positive durations land in the
@@ -239,7 +240,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 		sort.Strings(values)
 		for _, lv := range values {
-			s := f.hists[lv].Snapshot()
+			h := f.hists[lv]
+			s := h.Snapshot()
 			top := 0
 			for i, c := range s.Counts {
 				if c > 0 {
@@ -251,13 +253,20 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			for i := 0; i <= top; i++ {
 				bucketSum += s.Counts[i]
 			}
+			withExemplars := h.ex.any.Load()
 			for i := 0; i <= top; i++ {
 				if s.Counts[i] == 0 && i != top {
 					continue
 				}
 				cum += s.Counts[i]
 				le := strconv.FormatFloat(float64(BucketBound(i))/1e9, 'g', -1, 64)
-				fmt.Fprintf(&b, "%s_bucket{%s} %d\n", f.name, labelPairs(f.labelKey, lv, le), cum)
+				fmt.Fprintf(&b, "%s_bucket{%s} %d", f.name, labelPairs(f.labelKey, lv, le), cum)
+				if withExemplars {
+					if e := h.ex.slots[i].Load(); e != nil {
+						appendExemplar(&b, e)
+					}
+				}
+				b.WriteByte('\n')
 			}
 			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", f.name, labelPairs(f.labelKey, lv, "+Inf"), bucketSum)
 			suffix := ""

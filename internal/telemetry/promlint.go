@@ -13,14 +13,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
-// promSample is one parsed exposition line: name{labels} value.
+// promSample is one parsed exposition line: name{labels} value, plus
+// whether the line carried an OpenMetrics exemplar suffix.
 type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-	line   int
+	name     string
+	labels   map[string]string
+	value    float64
+	line     int
+	exemplar bool
 }
 
 // LintPrometheus parses Prometheus text exposition and returns a list
@@ -34,11 +37,20 @@ func LintPrometheus(text string) []string {
 	helpFor := map[string]bool{}
 	typeFor := map[string]string{}
 	var samples []promSample
+	sawEOF := false
 
 	for i, line := range strings.Split(text, "\n") {
 		n := i + 1
 		line = strings.TrimSpace(line)
 		if line == "" {
+			continue
+		}
+		if sawEOF {
+			report("line %d: content after # EOF: %s", n, line)
+			continue
+		}
+		if line == "# EOF" {
+			sawEOF = true
 			continue
 		}
 		if strings.HasPrefix(line, "# HELP ") {
@@ -90,6 +102,12 @@ func LintPrometheus(text string) []string {
 		}
 		if _, ok := typeFor[fam]; !ok {
 			report("line %d: sample %s has no # TYPE for family %s", s.line, s.name, fam)
+		}
+		// OpenMetrics allows exemplars only on counters and histogram
+		// buckets; anything else is a writer bug.
+		if s.exemplar && typeFor[fam] != "counter" &&
+			!(typeFor[fam] == "histogram" && strings.HasSuffix(s.name, "_bucket")) {
+			report("line %d: exemplar on %s, which is neither a counter nor a histogram bucket", s.line, s.name)
 		}
 	}
 
@@ -221,11 +239,18 @@ func parseLe(s string) (float64, error) {
 	return v, nil
 }
 
-// parsePromLine splits `name{k="v",...} value` (labels optional) into a
-// sample, validating the metric-name charset and label quoting.
+// parsePromLine splits `name{k="v",...} value [# exemplar]` (labels
+// and exemplar optional) into a sample, validating the metric-name
+// charset, label quoting, and exemplar shape.
 func parsePromLine(line string) (promSample, error) {
 	s := promSample{labels: map[string]string{}}
-	rest := line
+	rest, exText := splitExemplarText(line)
+	if exText != "" {
+		if err := lintExemplar(exText); err != nil {
+			return s, err
+		}
+		s.exemplar = true
+	}
 	brace := strings.IndexByte(rest, '{')
 	if brace >= 0 {
 		end := strings.LastIndexByte(rest, '}')
@@ -263,6 +288,82 @@ func parsePromLine(line string) (promSample, error) {
 	}
 	s.value = v
 	return s, nil
+}
+
+// splitExemplarText splits a sample line at the first unquoted '#',
+// which by the exposition grammar can only open an exemplar: label
+// values were quoted, and floats cannot contain '#'. Returns the
+// sample text and the exemplar text ("" when none).
+func splitExemplarText(line string) (sample, exemplar string) {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case '#':
+			if !inQuote {
+				return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return line, ""
+}
+
+// lintExemplar validates the text after an exemplar's '#' marker:
+// `{labels} value [timestamp]`, with the OpenMetrics 128-character
+// bound on the label set.
+func lintExemplar(s string) error {
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("exemplar must open with '{': %q", s)
+	}
+	end := -1
+	inQuote := false
+	for i := 1; i < len(s) && end < 0; i++ {
+		switch s[i] {
+		case '"':
+			if s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case '}':
+			if !inQuote {
+				end = i
+			}
+		}
+	}
+	if end < 0 {
+		return fmt.Errorf("unterminated exemplar label set: %q", s)
+	}
+	labelText := s[1:end]
+	var setLen int
+	for _, pair := range splitLabels(labelText) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed exemplar label %q", pair)
+		}
+		v := strings.TrimSpace(pair[eq+1:])
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted exemplar label value %q", pair)
+		}
+		setLen += utf8.RuneCountInString(strings.TrimSpace(pair[:eq])) + utf8.RuneCountInString(v[1:len(v)-1])
+	}
+	if setLen > 128 {
+		return fmt.Errorf("exemplar label set is %d runes, over the OpenMetrics 128 limit", setLen)
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar wants `{labels} value [timestamp]`: %q", s)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("unparseable exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("unparseable exemplar timestamp %q", fields[1])
+		}
+	}
+	return nil
 }
 
 // splitLabels splits a label body on commas outside quotes.

@@ -21,11 +21,13 @@ type Label struct {
 	Value string
 }
 
-// MetricPoint is one parsed sample line: Name{Labels} Value.
+// MetricPoint is one parsed sample line: Name{Labels} Value, plus the
+// OpenMetrics exemplar suffix when the line carried one.
 type MetricPoint struct {
-	Name   string
-	Labels []Label
-	Value  float64
+	Name     string
+	Labels   []Label
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // Label returns the value of the named label and whether it is present.
@@ -150,6 +152,11 @@ func ParsePrometheus(text string) ([]MetricFamily, error) {
 			f.Type = fields[1]
 			typeFor[fields[0]] = fields[1]
 			declared[fields[0]] = true
+		case line == "# EOF":
+			// OpenMetrics terminator. Everything after it is outside the
+			// exposition by definition, so parsing stops here — a page
+			// truncated *after* its # EOF still federates cleanly.
+			return fams, nil
 		case strings.HasPrefix(line, "#"):
 			// Other comments are legal and carry no structure.
 		default:
@@ -183,10 +190,21 @@ func sampleFamily(name string, typeFor map[string]string) string {
 
 // parsePromPoint parses one sample line with full label-value
 // unescaping (\" \\ \n), which the promlint parser — a validator, not a
-// reader — skips.
+// reader — skips. An OpenMetrics exemplar suffix (` # {labels} value
+// [timestamp]`) parses into the point's Exemplar field.
 func parsePromPoint(line string) (MetricPoint, error) {
 	var p MetricPoint
-	rest := line
+	// Split any exemplar off first — its own '{' must not be mistaken
+	// for the sample's label set. An unquoted '#' can only open an
+	// exemplar: label values are quoted and floats cannot contain one.
+	rest, exText := splitExemplarText(line)
+	if exText != "" {
+		ex, err := parseExemplar(exText)
+		if err != nil {
+			return p, fmt.Errorf("%w in %q", err, line)
+		}
+		p.Exemplar = ex
+	}
 	if brace := strings.IndexByte(rest, '{'); brace >= 0 {
 		p.Name = rest[:brace]
 		labels, tail, err := parseLabelBody(rest[brace+1:])
@@ -196,11 +214,11 @@ func parsePromPoint(line string) (MetricPoint, error) {
 		p.Labels = labels
 		rest = strings.TrimSpace(tail)
 	} else {
-		fields := strings.Fields(rest)
-		if len(fields) != 2 {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
 			return p, fmt.Errorf("want `name value`: %s", line)
 		}
-		p.Name, rest = fields[0], fields[1]
+		p.Name, rest = rest[:sp], strings.TrimSpace(rest[sp+1:])
 	}
 	if !validMetricName(p.Name) {
 		return p, fmt.Errorf("invalid metric name %q", p.Name)
@@ -213,6 +231,36 @@ func parsePromPoint(line string) (MetricPoint, error) {
 	}
 	p.Value = v
 	return p, nil
+}
+
+// parseExemplar parses the text after an exemplar's '#' marker:
+// `{labels} value [timestamp]`.
+func parseExemplar(s string) (*Exemplar, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("exemplar must open with '{'")
+	}
+	labels, tail, err := parseLabelBody(s[1:])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(tail)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar wants `{labels} value [timestamp]`")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("unparseable exemplar value %q", fields[0])
+	}
+	e := &Exemplar{Labels: labels, Value: v}
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable exemplar timestamp %q", fields[1])
+		}
+		e.TS, e.HasTS = ts, true
+	}
+	return e, nil
 }
 
 // parseLabelBody scans `k="v",k2="v2"}` (the text after the opening
@@ -295,10 +343,22 @@ func RenderPrometheus(w io.Writer, fams []MetricFamily) {
 			b.WriteString(s.Key())
 			b.WriteByte(' ')
 			b.WriteString(formatPromValue(s.Value))
+			if s.Exemplar != nil {
+				appendExemplar(&b, s.Exemplar)
+			}
 			b.WriteByte('\n')
 		}
 	}
 	_, _ = io.WriteString(w, b.String())
+}
+
+// RenderOpenMetrics renders families exactly as RenderPrometheus does
+// and appends the OpenMetrics `# EOF` terminator, closing the
+// tolerate-and-round-trip loop for pages produced by OpenMetrics-style
+// renderers.
+func RenderOpenMetrics(w io.Writer, fams []MetricFamily) {
+	RenderPrometheus(w, fams)
+	_, _ = io.WriteString(w, "# EOF\n")
 }
 
 // formatPromValue renders a sample value the way the repository's

@@ -220,3 +220,114 @@ func TestBuildInfo(t *testing.T) {
 		t.Fatalf("BuildInfo not stable: %+v vs %+v", again, b)
 	}
 }
+
+func TestParsePrometheusExemplarsRoundTrip(t *testing.T) {
+	page := `# HELP req_seconds Request latency.
+# TYPE req_seconds histogram
+req_seconds_bucket{le="0.25"} 3 # {trace_id="00000000deadbeef",endpoint="measure"} 0.21 1754640000.125
+req_seconds_bucket{le="+Inf"} 4 # {trace_id="00000000cafef00d"} 1.5
+req_seconds_sum 2.2
+req_seconds_count 4
+# HELP errs_total Errors.
+# TYPE errs_total counter
+errs_total 7 # {trace_id="0000000000000001"} 1
+# EOF
+`
+	fams, err := ParsePrometheus(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2", len(fams))
+	}
+	b0 := fams[0].Samples[0]
+	if b0.Exemplar == nil {
+		t.Fatalf("bucket lost its exemplar: %+v", b0)
+	}
+	if got := b0.Exemplar.TraceID(); got != "00000000deadbeef" {
+		t.Fatalf("exemplar trace id = %q", got)
+	}
+	if b0.Exemplar.Value != 0.21 || !b0.Exemplar.HasTS || b0.Exemplar.TS != 1754640000.125 {
+		t.Fatalf("exemplar parsed wrong: %+v", b0.Exemplar)
+	}
+	if b0.Value != 3 {
+		t.Fatalf("bucket value = %v, want 3", b0.Value)
+	}
+	if fams[0].Samples[1].Exemplar == nil || fams[0].Samples[1].Exemplar.HasTS {
+		t.Fatalf("timestampless exemplar parsed wrong: %+v", fams[0].Samples[1].Exemplar)
+	}
+	if fams[1].Samples[0].Exemplar == nil || fams[1].Samples[0].Value != 7 {
+		t.Fatalf("counter exemplar parsed wrong: %+v", fams[1].Samples[0])
+	}
+
+	// Round trip: render with the OpenMetrics terminator, parse again,
+	// families identical.
+	var out strings.Builder
+	RenderOpenMetrics(&out, fams)
+	if !strings.HasSuffix(out.String(), "# EOF\n") {
+		t.Fatalf("RenderOpenMetrics missing # EOF:\n%s", out.String())
+	}
+	again, err := ParsePrometheus(out.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\npage:\n%s", err, out.String())
+	}
+	if !reflect.DeepEqual(fams, again) {
+		t.Fatalf("round trip drifted:\nwant %+v\ngot  %+v", fams, again)
+	}
+}
+
+func TestParsePrometheusEOFTerminates(t *testing.T) {
+	page := "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n# EOF\nthis is not exposition text\n"
+	fams, err := ParsePrometheus(page)
+	if err != nil {
+		t.Fatalf("content after # EOF must be ignored, got error: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Samples[0].Value != 1 {
+		t.Fatalf("parsed wrong: %+v", fams)
+	}
+}
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.LabeledHistogram("lat_seconds", "Latency.", "endpoint", "measure")
+	h.Observe(3 * time.Millisecond)
+	h.ObserveWithExemplar(200*time.Millisecond, TraceID(0xdeadbeef), String("endpoint", "measure"))
+	if e := h.Exemplar(bucketIndex(200 * time.Millisecond)); e == nil || e.TraceID() != TraceID(0xdeadbeef).String() {
+		t.Fatalf("bucket exemplar = %+v", e)
+	}
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	page := b.String()
+	if !strings.Contains(page, `# {trace_id="00000000deadbeef",endpoint="measure"} 0.2`) {
+		t.Fatalf("exposition lost the exemplar:\n%s", page)
+	}
+	// The page must lint clean and parse back with the exemplar intact.
+	if probs := LintPrometheus(page); len(probs) != 0 {
+		t.Fatalf("lint problems: %v\n%s", probs, page)
+	}
+	fams, err := ParsePrometheus(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, s := range fams[0].Samples {
+		if s.Exemplar != nil && s.Exemplar.TraceID() == TraceID(0xdeadbeef).String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("parsed page lost the exemplar: %+v", fams[0].Samples)
+	}
+}
+
+func TestObserveWithExemplarZeroTraceDegrades(t *testing.T) {
+	var h Histogram
+	h.ObserveWithExemplar(5*time.Millisecond, 0)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("observation lost")
+	}
+	if e := h.Exemplar(bucketIndex(5 * time.Millisecond)); e != nil {
+		t.Fatalf("zero trace must not store an exemplar: %+v", e)
+	}
+}

@@ -1,0 +1,209 @@
+package telemetry
+
+// Tail-based trace sampling. Head sampling decides at span start, when
+// nothing is known; tail sampling decides at trace completion, when
+// duration and errors are: traces containing a slow span (at or over
+// the SLO threshold) or an error keep every span, the unremarkable
+// rest keep a deterministic fraction. Retention then scales with
+// traffic while the ring keeps exactly the traces an SLO page needs.
+//
+// Mechanics: with a policy installed, completed spans buffer per trace
+// until the trace's last open span ends (starts and ends are counted,
+// so well-nested usage needs no explicit root marker); the verdict
+// then applies to the whole buffered trace at once. Buffers are
+// bounded — overflowing traces flush early on the evidence so far, and
+// spans of traces evicted that way fall back to per-span verdicts — so
+// a span leak cannot grow the pending set without limit.
+
+import (
+	"time"
+)
+
+// TailPolicy configures tail-based retention. The zero value keeps
+// nothing but slow/error traces; a nil policy on the tracer keeps
+// everything (the default, and the pre-sampling behavior).
+type TailPolicy struct {
+	// SlowSpan keeps the whole trace when any span's duration reaches
+	// it — wire this to the latency SLO threshold so every
+	// budget-burning request retains its full trace. 0 disables the
+	// slow rule.
+	SlowSpan time.Duration
+	// KeepErrors keeps traces where any span carries an "error" attr.
+	KeepErrors bool
+	// SampleRate is the keep fraction for unremarkable traces, in
+	// [0,1]. The verdict is a deterministic hash of the trace id, so
+	// every process in a fleet keeps or drops the same trace.
+	SampleRate float64
+	// MaxPending bounds traces buffered awaiting completion
+	// (<=0 selects 256). MaxSpansPerTrace bounds one trace's buffer
+	// (<=0 selects 128).
+	MaxPending       int
+	MaxSpansPerTrace int
+}
+
+func (p *TailPolicy) maxPending() int {
+	if p.MaxPending <= 0 {
+		return 256
+	}
+	return p.MaxPending
+}
+
+func (p *TailPolicy) maxSpans() int {
+	if p.MaxSpansPerTrace <= 0 {
+		return 128
+	}
+	return p.MaxSpansPerTrace
+}
+
+// spanKeep reports whether this one span forces whole-trace retention.
+func (p *TailPolicy) spanKeep(d SpanData) bool {
+	if p.SlowSpan > 0 && d.Dur >= p.SlowSpan {
+		return true
+	}
+	if p.KeepErrors {
+		for _, a := range d.Attrs {
+			if a.Key == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hashKeep is the probabilistic verdict: a splitmix64 finalizer over
+// the trace id against the rate threshold, deterministic fleet-wide.
+func (p *TailPolicy) hashKeep(trace TraceID) bool {
+	if p.SampleRate >= 1 {
+		return true
+	}
+	if p.SampleRate <= 0 {
+		return false
+	}
+	x := uint64(trace)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x) < p.SampleRate*float64(1<<64)
+}
+
+// pendingTrace buffers one incomplete trace's completed spans.
+type pendingTrace struct {
+	open  int // started minus ended spans
+	spans []SpanData
+	keep  bool // a buffered span already forced retention
+}
+
+// SetTailPolicy installs (or, with nil, removes) the tail-sampling
+// policy. Install before traffic: spans started before the policy was
+// set are judged individually rather than as whole traces.
+func (t *Tracer) SetTailPolicy(p *TailPolicy) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.policy = p
+	if p == nil && t.pend != nil {
+		// Flush everything buffered so no spans are stranded.
+		for trace, pt := range t.pend {
+			for _, d := range pt.spans {
+				t.commitLocked(d)
+			}
+			delete(t.pend, trace)
+		}
+		t.pendOrder = t.pendOrder[:0]
+	}
+	t.mu.Unlock()
+}
+
+// TailStats returns how many spans the sampler has committed and
+// dropped since the tracer was built (both zero with no policy ever
+// installed).
+func (t *Tracer) TailStats() (kept, dropped int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.tailKept.Load(), t.tailDropped.Load()
+}
+
+// registerStart counts a span into its trace's pending entry. Called
+// under t.mu with a policy installed.
+func (t *Tracer) registerStart(trace TraceID) {
+	if t.pend == nil {
+		t.pend = make(map[TraceID]*pendingTrace)
+	}
+	pt := t.pend[trace]
+	if pt == nil {
+		if len(t.pend) >= t.policy.maxPending() {
+			t.evictOldestLocked()
+		}
+		pt = &pendingTrace{}
+		t.pend[trace] = pt
+		t.pendOrder = append(t.pendOrder, trace)
+	}
+	pt.open++
+}
+
+// sampleCommit routes one completed span through the policy. Called
+// under t.mu.
+func (t *Tracer) sampleCommit(d SpanData) {
+	pol := t.policy
+	pt := t.pend[d.Trace]
+	if pt == nil {
+		// Trace unknown (started pre-policy, or evicted): judge the
+		// span alone.
+		if pol.spanKeep(d) || pol.hashKeep(d.Trace) {
+			t.commitLocked(d)
+			t.tailKept.Add(1)
+		} else {
+			t.tailDropped.Add(1)
+		}
+		return
+	}
+	pt.open--
+	if pol.spanKeep(d) {
+		pt.keep = true
+	}
+	pt.spans = append(pt.spans, d)
+	if pt.open <= 0 || len(pt.spans) >= pol.maxSpans() {
+		t.flushLocked(d.Trace, pt)
+	}
+}
+
+// flushLocked applies the verdict to a buffered trace and removes it
+// from the pending set.
+func (t *Tracer) flushLocked(trace TraceID, pt *pendingTrace) {
+	keep := pt.keep || t.policy.hashKeep(trace)
+	if keep {
+		for _, d := range pt.spans {
+			t.commitLocked(d)
+		}
+		t.tailKept.Add(int64(len(pt.spans)))
+	} else {
+		t.tailDropped.Add(int64(len(pt.spans)))
+	}
+	delete(t.pend, trace)
+	for i, id := range t.pendOrder {
+		if id == trace {
+			t.pendOrder = append(t.pendOrder[:i], t.pendOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// evictOldestLocked flushes the longest-pending trace early so the
+// buffer stays bounded; its still-open spans will be judged
+// individually when they end.
+func (t *Tracer) evictOldestLocked() {
+	for len(t.pendOrder) > 0 {
+		trace := t.pendOrder[0]
+		pt := t.pend[trace]
+		if pt == nil { // already flushed; drop the stale order entry
+			t.pendOrder = t.pendOrder[1:]
+			continue
+		}
+		t.flushLocked(trace, pt)
+		return
+	}
+}

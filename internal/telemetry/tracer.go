@@ -24,6 +24,14 @@ type Tracer struct {
 	ring []SpanData // completed spans, oldest first once full
 	next int        // ring write cursor
 	full bool
+
+	// Tail sampling (sampler.go). policy nil means keep everything;
+	// pend buffers incomplete traces awaiting a whole-trace verdict.
+	policy      *TailPolicy
+	pend        map[TraceID]*pendingTrace
+	pendOrder   []TraceID // registration order, for bounded eviction
+	tailKept    atomic.Int64
+	tailDropped atomic.Int64
 }
 
 // DefaultSpanBuffer is the completed-span retention when NewTracer is
@@ -142,6 +150,11 @@ func (t *Tracer) start(ctx context.Context, trace TraceID, parent SpanID, name s
 		start: time.Now(),
 	}
 	s.data.Start = s.start
+	t.mu.Lock()
+	if t.policy != nil {
+		t.registerStart(trace)
+	}
+	t.mu.Unlock()
 	return ContextWithSpan(ctx, s), s
 }
 
@@ -182,6 +195,17 @@ func (s *Span) End() {
 
 func (t *Tracer) commit(d SpanData) {
 	t.mu.Lock()
+	if t.policy != nil {
+		t.sampleCommit(d)
+	} else {
+		t.commitLocked(d)
+	}
+	t.mu.Unlock()
+}
+
+// commitLocked appends one span to the retention ring. Caller holds
+// t.mu.
+func (t *Tracer) commitLocked(d SpanData) {
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, d)
 	} else {
@@ -189,7 +213,6 @@ func (t *Tracer) commit(d SpanData) {
 		t.full = true
 	}
 	t.next = (t.next + 1) % cap(t.ring)
-	t.mu.Unlock()
 }
 
 // Snapshot copies the retained spans, oldest first.
