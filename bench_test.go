@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/monitor"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -624,6 +625,66 @@ func BenchmarkServedStudySLO(b *testing.B) {
 		}
 
 		b.StopTimer()
+		srv0.Drain()
+		srv1.Drain()
+		ts0.Close()
+		ts1.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkServedStudyTraced is BenchmarkServedStudy with this PR's
+// fleet trace analytics armed: a monitor scrape loop runs against both
+// backends for the whole study — sweeps, span harvests, cross-process
+// assembly, and critical-path extraction all live in its background
+// loop, exactly where a deployed sidecar monitor does that work. The
+// timed section is the client-visible study; the sweeps and harvests
+// contend with it for the backends and the CPU (the 250ms cadence here
+// is still ~4x a production scrape interval). Each iteration ends
+// (untimed, like
+// the daemon's shutdown path) with a final harvest and a summary
+// check proving assembly really ran. The CI trace lane holds this
+// number to within 5% of the plain served study in the same run
+// (BENCH_pr10.json records both) — waterfalls must be close to free
+// at study time.
+func BenchmarkServedStudyTraced(b *testing.B) {
+	telemetry.SetLogLevel(slog.LevelError)
+	jobs := harness.GridJobs(nil, nil)[:6*61]
+	seed := int64(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv0 := service.NewServer(service.Options{Seed: seed})
+		srv1 := service.NewServer(service.Options{Seed: seed})
+		ts0 := httptest.NewServer(srv0.Handler())
+		ts1 := httptest.NewServer(srv1.Handler())
+		cl, err := cluster.New([]string{ts0.URL, ts1.URL}, cluster.Options{Seed: &seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := monitor.New([]string{ts0.URL, ts1.URL}, monitor.Options{
+			Interval: 250 * time.Millisecond,
+			Timeout:  2 * time.Second,
+			Seed:     7,
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		mon.Start(ctx)
+		for mon.Sweeps() == 0 { // cold-start sweep is setup, not study
+			time.Sleep(time.Millisecond)
+		}
+		b.StartTimer()
+
+		if _, err := cl.MeasureBatch(context.Background(), jobs, 0); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		mon.HarvestTraces(ctx)
+		if sum := mon.TraceAnalytics().Summary(5); sum.Stats.SpansSeen == 0 {
+			b.Fatal("trace analytics saw no spans")
+		}
+		cancel()
 		srv0.Drain()
 		srv1.Drain()
 		ts0.Close()

@@ -9,6 +9,8 @@
 //	powerperfmon -backends http://a:8722,http://b:8722 [-interval 5s]
 //	             [-top 5] [-once] [-http :8723] [-log-level warn]
 //	powerperfmon profile -backends URLS [-seconds 5] [-gap 2s] [-top 5] [-json]
+//	powerperfmon trace -backends URLS [-trace ID] [-seed N] [-op NAME]
+//	             [-min-ms X] [-top 10] [-json]
 //
 // -once runs a single sweep and prints the fleet snapshot as JSON to
 // stdout (scripts and CI smoke tests consume this); otherwise the
@@ -20,6 +22,11 @@
 // endpoints twice and prints per-backend CPU busy, allocation rate,
 // heap in use, and the top allocation regressors between the captures,
 // plus the fleet-merged allocation delta.
+//
+// The trace subcommand harvests every backend's span retention,
+// assembles cross-process traces, and prints critical-path stage
+// shares, the slowest traces, and per-operation RED stats — or one
+// trace's full waterfall with -trace.
 package main
 
 import (
@@ -43,6 +50,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "profile" {
 		runProfile(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/telemetry"
+	"repro/internal/traceanalytics"
+)
+
+// runTrace implements `powerperfmon trace`: harvest every backend's
+// span retention, stitch cross-process traces, and print the fleet
+// view — stage shares of critical-path time, the slowest assembled
+// traces with their dominant stage, and the per-operation RED table.
+// -trace renders one trace's full waterfall and critical path instead;
+// -json emits the same data for scripts.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	backends := fs.String("backends", "", "comma-separated backend base URLs (required)")
+	traceID := fs.String("trace", "", "render this trace id's waterfall instead of the fleet summary")
+	seed := fs.String("seed", "", "only traces of studies run at this seed")
+	op := fs.String("op", "", "only traces containing a span with this name")
+	minMS := fs.Float64("min-ms", 0, "only traces at least this many ms of wall time")
+	top := fs.Int("top", 10, "traces to list in the summary")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	fs.Parse(args)
+
+	var targets []string
+	for _, t := range strings.Split(*backends, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "powerperfmon trace: -backends is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+
+	mon := monitor.New(targets, monitor.Options{Interval: time.Second})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mon.HarvestTraces(ctx)
+	eng := mon.TraceAnalytics()
+
+	if *traceID != "" {
+		id, err := telemetry.ParseID(*traceID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powerperfmon trace: bad -trace id:", err)
+			os.Exit(2)
+		}
+		tr := eng.Trace(telemetry.TraceID(id))
+		if tr == nil {
+			fmt.Fprintln(os.Stderr, "powerperfmon trace: trace not assembled:", *traceID)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			emitJSON(tr)
+			return
+		}
+		printWaterfall(tr)
+		return
+	}
+
+	query := traceanalytics.Query{Seed: *seed, Op: *op, Limit: *top}
+	if *minMS > 0 {
+		query.MinDur = time.Duration(*minMS * 1e6)
+	}
+	traces := eng.Search(query)
+	sum := eng.Summary(*top)
+
+	if *jsonOut {
+		digests := make([]traceanalytics.Digest, 0, len(traces))
+		for _, tr := range traces {
+			digests = append(digests, tr.Digest())
+		}
+		emitJSON(struct {
+			Summary traceanalytics.Summary  `json:"summary"`
+			Traces  []traceanalytics.Digest `json:"traces"`
+		}{sum, digests})
+		return
+	}
+
+	st := sum.Stats
+	fmt.Printf("fleet: %d traces assembled from %d spans (%d held, %d duplicate scrapes, %d evicted)\n",
+		st.Traces, st.SpansSeen, st.SpansHeld, st.Duplicates, st.Evicted)
+	if len(sum.StageShares) > 0 {
+		fmt.Println("critical-path stage shares:")
+		for _, sh := range sum.StageShares {
+			fmt.Printf("  %-18s %5.1f%%  %s\n", sh.Stage, sh.Frac*100, bar(sh.Frac, 40))
+		}
+	}
+	if len(traces) > 0 {
+		fmt.Println("slowest traces:")
+		for _, tr := range traces {
+			d := tr.Digest()
+			line := fmt.Sprintf("  %s  %8.2fms  %-28s spans=%-4d sources=%s",
+				d.ID, d.WallMS, d.Root, d.SpanCount, strings.Join(d.Sources, ","))
+			if d.TopStage != "" {
+				line += fmt.Sprintf("  top=%s %.0f%%", d.TopStage, d.TopStageFrac*100)
+			}
+			fmt.Println(line)
+		}
+	}
+	if len(sum.RED) > 0 {
+		fmt.Println("RED (per operation, per backend):")
+		red := sum.RED
+		sort.SliceStable(red, func(i, j int) bool { return red[i].Count > red[j].Count })
+		for i, r := range red {
+			if i >= 2*(*top) {
+				fmt.Printf("  ... %d more rows (use -json for all)\n", len(red)-i)
+				break
+			}
+			fmt.Printf("  %-26s %-28s n=%-6d err=%-4d %6.1f/s  p50=%.2fms p90=%.2fms p99=%.2fms\n",
+				r.Name, r.Backend, r.Count, r.Errors, r.RatePerSec, r.P50MS, r.P90MS, r.P99MS)
+		}
+	}
+}
+
+// printWaterfall renders one assembled trace: the span tree with
+// timeline bars, then the critical path and its stage attribution.
+func printWaterfall(tr *traceanalytics.Trace) {
+	fmt.Printf("trace %s  root=%s  wall=%.2fms  spans=%d  sources=%s",
+		tr.ID, tr.Root, tr.WallMS, tr.SpanCount, strings.Join(tr.Sources, ","))
+	if tr.Seed != "" {
+		fmt.Printf("  seed=%s", tr.Seed)
+	}
+	if tr.Truncated {
+		fmt.Printf("  (truncated)")
+	}
+	fmt.Println()
+	wall := tr.WallMS
+	if wall <= 0 {
+		wall = 1
+	}
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		mark := " "
+		if sp.OnCritical {
+			mark = "*"
+		}
+		fmt.Printf("%s %9.2fms %s%s [%s %s] %s\n",
+			mark, sp.DurMS, strings.Repeat("  ", sp.Depth), sp.Name,
+			sp.Source, sp.Stage, timeline(sp.StartOffsetMS/wall, sp.DurMS/wall, 32))
+	}
+	fmt.Println("critical path (self time, timeline order):")
+	for _, seg := range tr.Critical {
+		fmt.Printf("  +%9.2fms %8.2fms  %-26s [%s]\n", seg.OffsetMS, seg.DurMS, seg.Name, seg.Stage)
+	}
+	fmt.Println("stage attribution:")
+	for _, sh := range tr.Stages {
+		fmt.Printf("  %-18s %8.2fms %5.1f%%  %s\n", sh.Stage, sh.MS, sh.Frac*100, bar(sh.Frac, 40))
+	}
+}
+
+// bar renders frac of width cells as a unicode block bar.
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+// timeline renders a span's [start, start+dur) window inside a
+// fixed-width track, both as fractions of the trace wall time.
+func timeline(startFrac, durFrac float64, width int) string {
+	lo := int(startFrac * float64(width))
+	hi := int((startFrac + durFrac) * float64(width))
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > width {
+		hi = width
+	}
+	return strings.Repeat("·", lo) + strings.Repeat("█", hi-lo) + strings.Repeat("·", width-hi)
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "powerperfmon trace:", err)
+		os.Exit(1)
+	}
+}

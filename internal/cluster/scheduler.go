@@ -292,14 +292,18 @@ func (r *run) sleep(ctx context.Context, d time.Duration) bool {
 // acquire hands backend its next lease: the lowest-id idle incomplete
 // lease if any (the front-to-back sweep keeps early blocks finishing
 // first), otherwise the stalest in-flight lease past expiry that the
-// backend is not already holding — a steal. Returns the lease and the
-// job indices still undone at acquisition; nil when nothing is
-// available right now.
-func (r *run) acquire(backend string) (*lease, []int) {
+// backend is not already holding — a steal. Returns the lease, the
+// job indices still undone at acquisition, and the dispatch kind
+// ("first" initial dispatch, "steal" expired-lease takeover,
+// "redispatch" re-issue after the previous holder released without
+// finishing) — the lease span carries it so trace analytics can
+// attribute critical-path time to steal/re-dispatch stages. Lease is
+// nil when nothing is available right now.
+func (r *run) acquire(backend string) (*lease, []int, string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.doneCount == len(r.jobs) || r.err != nil {
-		return nil, nil
+		return nil, nil, ""
 	}
 	now := time.Now()
 	var pick *lease
@@ -328,7 +332,7 @@ func (r *run) acquire(backend string) (*lease, []int) {
 		steal = pick != nil
 	}
 	if pick == nil {
-		return nil, nil
+		return nil, nil, ""
 	}
 	redispatch := pick.dispatched && !steal
 	pick.holders++
@@ -356,7 +360,14 @@ func (r *run) acquire(backend string) (*lease, []int) {
 	} else if redispatch {
 		r.s.redispatches.Add(1)
 	}
-	return pick, idxs
+	kind := "first"
+	switch {
+	case steal:
+		kind = "steal"
+	case redispatch:
+		kind = "redispatch"
+	}
+	return pick, idxs, kind
 }
 
 // deliver records one measured cell. The first delivery of an index
@@ -505,14 +516,14 @@ func (s *Scheduler) pull(ctx context.Context, r *run, backend string) {
 			}
 			continue
 		}
-		l, idxs := r.acquire(backend)
+		l, idxs, kind := r.acquire(backend)
 		if l == nil {
 			if !r.wait(ctx) {
 				return
 			}
 			continue
 		}
-		err := s.streamLease(ctx, c, r, l, idxs)
+		err := s.streamLease(ctx, c, r, l, idxs, kind)
 		r.release(l, backend, err)
 		if err == nil {
 			br.Success()
@@ -546,7 +557,7 @@ func (s *Scheduler) pull(ctx context.Context, r *run, backend string) {
 // streamLease streams one lease's undone cells from one backend,
 // delivering each cell as its line arrives. Completed cells survive a
 // failure partway — only the remainder is re-dispatched.
-func (s *Scheduler) streamLease(ctx context.Context, c *Client, r *run, l *lease, idxs []int) error {
+func (s *Scheduler) streamLease(ctx context.Context, c *Client, r *run, l *lease, idxs []int, kind string) error {
 	if len(idxs) == 0 {
 		return nil
 	}
@@ -561,7 +572,7 @@ func (s *Scheduler) streamLease(ctx context.Context, c *Client, r *run, l *lease
 	}
 	s.cellsReq.Add(int64(len(idxs)))
 	ctx, span := s.tracer.StartSpan(ctx, "scheduler.lease",
-		telemetry.String("backend", c.Base()),
+		telemetry.String("backend", c.Base()), telemetry.String("kind", kind),
 		telemetry.Int("lease", l.id), telemetry.Int("cells", len(idxs)))
 	defer span.End()
 	return c.MeasureStream(ctx, req, func(sc *service.StreamCell) error {

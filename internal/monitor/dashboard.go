@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/profiling"
+	"repro/internal/traceanalytics"
 )
 
 // sparkline renders a series tail as an inline SVG polyline — no
@@ -85,20 +86,58 @@ type dashboardProfile struct {
 	TopCPU      string
 }
 
+// dashboardStage is one pipeline stage's share of fleet critical-path
+// time, rendered as a horizontal bar.
+type dashboardStage struct {
+	Stage  string
+	Pct    float64
+	BarPct float64 // clamped to [0,100] for the bar width
+}
+
+// dashboardCrit is one top-critical-path row.
+type dashboardCrit struct {
+	ID        string
+	Root      string
+	WallMS    float64
+	Seed      string
+	Sources   string
+	SpanCount int
+	TopStage  string
+	TopPct    float64
+}
+
+// dashboardWF is one waterfall bar in the slowest-trace panel.
+type dashboardWF struct {
+	Name     string
+	Source   string
+	Stage    string
+	IndentPx int
+	LeftPct  float64
+	WidthPct float64
+	DurMS    float64
+	Critical bool
+}
+
 type dashboardData struct {
-	Generated string
-	Build     string
-	Sweeps    int64
-	Interval  string
-	Firing    int
-	Pending   int
-	Rows      []dashboardRow
-	StoreRows []dashboardRow
-	SLORows   []dashboardSLO
-	ProfRows  []dashboardProfile
-	FleetTop  string
-	Alerts    []dashboardAlert
-	Rules     []Rule
+	Generated   string
+	Build       string
+	Sweeps      int64
+	Interval    string
+	Firing      int
+	Pending     int
+	Rows        []dashboardRow
+	StoreRows   []dashboardRow
+	SLORows     []dashboardSLO
+	ProfRows    []dashboardProfile
+	FleetTop    string
+	TraceStats  string
+	StageBars   []dashboardStage
+	CritRows    []dashboardCrit
+	Waterfall   []dashboardWF
+	WaterfallID string
+	WaterfallMS float64
+	Alerts      []dashboardAlert
+	Rules       []Rule
 }
 
 var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
@@ -110,6 +149,7 @@ var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE htm
 <style>
  body { font: 13px/1.5 system-ui, sans-serif; margin: 1.2em; background: #101418; color: #d8dde3; }
  h1 { font-size: 1.25em; margin: 0 0 .2em; } h2 { font-size: 1.05em; margin: 1.4em 0 .4em; }
+ h3 { font-size: .95em; margin: 1em 0 .3em; }
  .meta { color: #8a94a0; margin-bottom: 1em; }
  table { border-collapse: collapse; width: 100%; }
  th, td { text-align: left; padding: .3em .7em; border-bottom: 1px solid #232a32; white-space: nowrap; }
@@ -123,6 +163,9 @@ var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE htm
  .gauge { height: 100%; border-radius: 5px; } .gauge.ok { background: #5fd38a; }
  .gauge.warng { background: #e8b55a; } .gauge.crit { background: #f2647b; }
  .inactive { color: #8a94a0; }
+ .wfbg { width: 320px; height: 10px; background: #232a32; border-radius: 2px; }
+ .wf { height: 100%; border-radius: 2px; background: #3d5a7a; }
+ .wf.crit { background: #6ab0f3; }
 </style>
 </head>
 <body>
@@ -205,6 +248,53 @@ var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE htm
 {{end}}
 </table>
 {{if .FleetTop}}<p class="dim">fleet-merged alloc delta: <span class="mono">{{.FleetTop}}</span></p>{{end}}
+{{end}}
+
+{{if .StageBars}}
+<h2>Trace analytics</h2>
+<p class="dim">{{.TraceStats}}</p>
+<table>
+<tr><th>critical-path stage</th><th>fleet share</th><th></th></tr>
+{{range .StageBars}}
+<tr>
+ <td class="mono">{{.Stage}}</td>
+ <td>{{printf "%.1f%%" .Pct}}</td>
+ <td><div class="wfbg"><div class="wf crit" style="width:{{printf "%.1f" .BarPct}}%"></div></div></td>
+</tr>
+{{end}}
+</table>
+{{if .CritRows}}
+<h3>Top critical paths</h3>
+<table>
+<tr><th>trace</th><th>root</th><th>wall</th><th>seed</th><th>sources</th><th>spans</th><th>dominant stage</th></tr>
+{{range .CritRows}}
+<tr>
+ <td class="mono dim">{{.ID}}</td>
+ <td>{{.Root}}</td>
+ <td>{{printf "%.2fms" .WallMS}}</td>
+ <td>{{.Seed}}</td>
+ <td class="mono dim" style="white-space:normal">{{.Sources}}</td>
+ <td>{{.SpanCount}}</td>
+ <td>{{.TopStage}} {{printf "%.0f%%" .TopPct}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+{{if .Waterfall}}
+<h3>Slowest trace <span class="mono dim">{{.WaterfallID}}</span> &middot; {{printf "%.2fms" .WaterfallMS}}</h3>
+<table>
+<tr><th>span</th><th>source</th><th>stage</th><th>self/total</th><th>timeline</th></tr>
+{{range .Waterfall}}
+<tr>
+ <td class="mono" style="padding-left:{{.IndentPx}}px">{{.Name}}</td>
+ <td class="mono dim">{{.Source}}</td>
+ <td class="dim">{{.Stage}}</td>
+ <td>{{printf "%.2fms" .DurMS}}</td>
+ <td><div class="wfbg"><div class="wf{{if .Critical}} crit{{end}}" style="margin-left:{{printf "%.1f" .LeftPct}}%;width:{{printf "%.1f" .WidthPct}}%"></div></div></td>
+</tr>
+{{end}}
+</table>
+{{end}}
 {{end}}
 
 <h2>Alerts</h2>
@@ -308,6 +398,49 @@ func topEntries(entries []profiling.Entry, n int, cpu bool) string {
 	return b.String()
 }
 
+// slowestWaterfall renders the slowest assembled trace's span tree as
+// timeline bars, capped at maxRows spans.
+func (m *Monitor) slowestWaterfall(maxRows int) ([]dashboardWF, string, float64) {
+	traces := m.analytics.Search(traceanalytics.Query{Limit: 1})
+	if len(traces) == 0 {
+		return nil, "", 0
+	}
+	tr := traces[0]
+	wall := tr.WallMS
+	if wall <= 0 {
+		wall = 1
+	}
+	var rows []dashboardWF
+	for i := range tr.Spans {
+		if len(rows) >= maxRows {
+			break
+		}
+		sp := &tr.Spans[i]
+		width := sp.DurMS / wall * 100
+		if width < 0.5 {
+			width = 0.5
+		}
+		left := sp.StartOffsetMS / wall * 100
+		if left+width > 100 {
+			left = 100 - width
+		}
+		if left < 0 {
+			left = 0
+		}
+		rows = append(rows, dashboardWF{
+			Name:     sp.Name,
+			Source:   sp.Source,
+			Stage:    sp.Stage,
+			IndentPx: sp.Depth * 12,
+			LeftPct:  left,
+			WidthPct: width,
+			DurMS:    sp.DurMS,
+			Critical: sp.OnCritical,
+		})
+	}
+	return rows, tr.ID, tr.WallMS
+}
+
 // DashboardHandler serves GET /debug/dashboard: a self-contained HTML
 // fleet view (no scripts, no external assets) that meta-refreshes every
 // 5 seconds.
@@ -366,6 +499,33 @@ func (m *Monitor) DashboardHandler() http.Handler {
 			})
 		}
 		data.FleetTop = topEntries(snap.FleetAllocDelta, 5, false)
+		if snap.Traces != nil {
+			st := snap.Traces.Stats
+			data.TraceStats = fmt.Sprintf("%d traces assembled from %d spans (%d held, %d duplicate scrapes, %d evicted)",
+				st.Traces, st.SpansSeen, st.SpansHeld, st.Duplicates, st.Evicted)
+			for _, sh := range snap.Traces.StageShares {
+				bar := sh.Frac * 100
+				if bar > 100 {
+					bar = 100
+				}
+				data.StageBars = append(data.StageBars, dashboardStage{
+					Stage: sh.Stage, Pct: sh.Frac * 100, BarPct: bar,
+				})
+			}
+			for _, d := range snap.Traces.TopCritical {
+				data.CritRows = append(data.CritRows, dashboardCrit{
+					ID:        d.ID,
+					Root:      d.Root,
+					WallMS:    d.WallMS,
+					Seed:      d.Seed,
+					Sources:   strings.Join(d.Sources, ", "),
+					SpanCount: d.SpanCount,
+					TopStage:  d.TopStage,
+					TopPct:    d.TopStageFrac * 100,
+				})
+			}
+			data.Waterfall, data.WaterfallID, data.WaterfallMS = m.slowestWaterfall(40)
+		}
 		for _, a := range snap.Alerts {
 			da := dashboardAlert{Alert: a, StateClass: a.State.String()}
 			var since time.Time

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/profiling"
 	"repro/internal/telemetry"
+	"repro/internal/traceanalytics"
 )
 
 // Version identifies the monitor subsystem on the wire (User-Agent of
@@ -149,6 +150,26 @@ func DefaultRules() []Rule {
 			Kind: KindThreshold, Cmp: Below, Value: 0, For: 2, Clear: 2,
 			Help: "The availability SLO's rolling error budget is spent (federated from the backend's /metricsz slo gauges).",
 		},
+		// Critical-path shift rules watch the synthetic "fleet" backend's
+		// trace_stage_share series (trace.go): the assembled traces'
+		// critical-path fraction per pipeline stage. Healthy studies spend
+		// their critical path in kernel compute; these stages growing
+		// means time is leaking into scheduling pathologies.
+		{
+			Name: "critical_path_steal_shift", Series: `trace_stage_share{stage="steal_redispatch"}`,
+			Kind: KindCI, Cmp: Above, Window: 5, Baseline: 20, RelTol: 0.10,
+			Help: "Steal/re-dispatch time is taking a growing share of assembled traces' critical paths — lease expiries are gating studies (a straggling or dying backend).",
+		},
+		{
+			Name: "critical_path_queue_shift", Series: `trace_stage_share{stage="queue_wait"}`,
+			Kind: KindCI, Cmp: Above, Window: 5, Baseline: 20, RelTol: 0.10,
+			Help: "Worker-queue wait is taking a growing share of the fleet's critical paths — backends are compute-saturated.",
+		},
+		{
+			Name: "critical_path_hedge_shift", Series: `trace_stage_share{stage="hedge_wait"}`,
+			Kind: KindCI, Cmp: Above, Window: 5, Baseline: 20, RelTol: 0.10,
+			Help: "Hedge-wait time is taking a growing share of the fleet's critical paths — primaries straggle often enough that duplicates gate completion.",
+		},
 	}
 }
 
@@ -163,6 +184,10 @@ type Monitor struct {
 	detector *Detector
 	logger   *slog.Logger
 	start    time.Time
+
+	// analytics assembles cross-backend traces from the scraper's span
+	// harvests; always on (its memory is bounded).
+	analytics *traceanalytics.Engine
 
 	// fleet is the continuous profiler, nil unless Options.ProfileEvery
 	// is set; profBusy serializes harvests, harvests counts completions.
@@ -193,14 +218,16 @@ func New(backends []string, opts Options) *Monitor {
 		rules = DefaultRules()
 	}
 	m := &Monitor{
-		opts:     opts,
-		backends: bes,
-		store:    st,
-		scraper:  newScraper(bes, opts, st, logger),
-		detector: newDetector(rules, st, logger, opts.Retention),
-		logger:   logger,
-		start:    time.Now(),
+		opts:      opts,
+		backends:  bes,
+		store:     st,
+		scraper:   newScraper(bes, opts, st, logger),
+		detector:  newDetector(rules, st, logger, opts.Retention),
+		analytics: traceanalytics.New(traceanalytics.Options{}),
+		logger:    logger,
+		start:     time.Now(),
 	}
+	m.scraper.analytics = m.analytics
 	if opts.ProfileEvery > 0 {
 		m.fleet = profiling.NewFleet(profiling.FleetOptions{
 			Backends:   bes,
@@ -224,7 +251,12 @@ func (m *Monitor) Detector() *Detector { return m.detector }
 // directly.
 func (m *Monitor) Sweep(ctx context.Context) {
 	m.scraper.scrapeAll(ctx)
-	m.detector.Evaluate(m.backends, time.Now())
+	now := time.Now()
+	m.pushTraceSeries(now)
+	// Evaluate the synthetic fleet backend too: the trace_stage_share
+	// series live there, and every other rule's warmup guard keeps it
+	// silent where its series do not exist.
+	m.detector.Evaluate(append(append([]string(nil), m.backends...), FleetBackend), now)
 	m.maybeProfile(ctx, m.sweeps.Add(1))
 }
 
@@ -378,6 +410,10 @@ type Snapshot struct {
 	// functions the whole fleet's newest harvest window charged).
 	Profiles        []profiling.BackendReport `json:"profiles,omitempty"`
 	FleetAllocDelta []profiling.Entry         `json:"fleet_alloc_delta,omitempty"`
+
+	// Traces is the assembled-trace digest (stage shares, top critical
+	// paths, RED table), present once any spans have been harvested.
+	Traces *traceanalytics.Summary `json:"traces,omitempty"`
 }
 
 // Snapshot assembles the current fleet view.
@@ -433,6 +469,9 @@ func (m *Monitor) Snapshot() Snapshot {
 	if m.fleet != nil {
 		snap.Profiles = m.fleet.Report(5)
 		snap.FleetAllocDelta = profiling.TopK(m.fleet.MergedAllocDelta(), 10)
+	}
+	if sum := m.analytics.Summary(5); sum.Stats.SpansSeen > 0 {
+		snap.Traces = &sum
 	}
 	return snap
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/traceanalytics"
 )
 
 // CellLatency is one slow measurement cell observed via a backend's
@@ -59,6 +60,10 @@ type scraper struct {
 	logger    *slog.Logger
 	onHealth  func(backend string, healthy bool)
 	sweeps    atomic.Int64
+
+	// analytics receives every harvested raw span set for cross-backend
+	// trace assembly (trace.go); always non-nil under a Monitor.
+	analytics *traceanalytics.Engine
 }
 
 // traceEvery is how many sweeps pass between /v1/traces scrapes. The
@@ -345,31 +350,30 @@ func labelsSuffix(key string) string {
 	return ""
 }
 
-// scrapeTraces reads the backend's recent spans and keeps the top-k
-// slowest measurement cells (span name "service.cell", deduplicated by
-// cell, ranked by duration).
+// scrapeTraces harvests the backend's span retention in raw form
+// (/v1/traces?format=spans — absolute timestamps and stable ids, the
+// only shape that stitches across processes), feeds it to the trace
+// assembler, and keeps the top-k slowest measurement cells (span name
+// "service.cell", deduplicated by cell, ranked by duration).
 func (sc *scraper) scrapeTraces(ctx context.Context, backend string, bst *backendState) error {
-	body, err := sc.get(ctx, backend, "/v1/traces")
+	body, err := sc.get(ctx, backend, "/v1/traces?format=spans")
 	if err != nil {
 		return err
 	}
-	var events []struct {
-		Name string            `json:"name"`
-		Dur  float64           `json:"dur"` // microseconds
-		Args map[string]string `json:"args"`
-	}
-	if err := json.Unmarshal(body, &events); err != nil {
+	var spans []telemetry.SpanData
+	if err := json.Unmarshal(body, &spans); err != nil {
 		return fmt.Errorf("monitor: %s/v1/traces: %w", backend, err)
 	}
+	sc.analytics.Ingest(backend, spans)
 	slowest := map[string]CellLatency{}
-	for _, e := range events {
-		if e.Name != "service.cell" {
+	for _, d := range spans {
+		if d.Name != "service.cell" {
 			continue
 		}
 		cell := CellLatency{
-			Benchmark: e.Args["benchmark"],
-			Processor: e.Args["processor"],
-			Ms:        e.Dur / 1e3,
+			Benchmark: d.Attr("benchmark"),
+			Processor: d.Attr("processor"),
+			Ms:        float64(d.Dur) / 1e6,
 		}
 		k := cell.Benchmark + "|" + cell.Processor
 		if prev, ok := slowest[k]; !ok || cell.Ms > prev.Ms {

@@ -41,9 +41,10 @@ const maxRequestBytes = 4 << 20
 //
 //	GET  /v1/sloz               objectives, error budgets, burn-rate alerts
 //
-// With a monitor attached (AttachMonitor), two more routes mount:
+// With a monitor attached (AttachMonitor), three more routes mount:
 //
 //	GET  /v1/alertz             fleet alerts (pending/firing/resolved), JSON
+//	GET  /v1/traceview          assembled fleet traces: critical paths, RED, search
 //	GET  /debug/dashboard       self-contained HTML fleet dashboard
 //
 // Every route runs under the observe middleware: a server span per
@@ -72,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	if s.mon != nil {
 		// Attached via AttachMonitor: the daemon's own fleet view.
 		mux.Handle("GET /v1/alertz", s.mon.AlertzHandler())
+		mux.Handle("GET /v1/traceview", s.mon.TraceviewHandler())
 		mux.Handle("GET /debug/dashboard", s.mon.DashboardHandler())
 	}
 	return s.observe(mux)
@@ -143,7 +145,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	rec.commit()
+	s.commitStudy(r.Context(), rec)
 	writeJSON(w, http.StatusOK, MeasureResponse{Seed: seed, Cells: results})
 }
 
@@ -243,8 +245,22 @@ func (s *Server) measureStream(w http.ResponseWriter, r *http.Request, seed int6
 	// run saw the channel close, so fanErr is settled: a clean fan-out
 	// means every cell measured, and the study commits.
 	if fanErr == nil {
-		rec.commit()
+		s.commitStudy(ctx, rec)
 	}
+}
+
+// commitStudy hands a completed batch to the store's ingest queue under
+// a service.ingest span, so trace analytics can attribute durable-write
+// time as its own pipeline stage. Without a store the recorder is inert
+// and no span is minted.
+func (s *Server) commitStudy(ctx context.Context, rec *studyRecorder) {
+	if s.ingest == nil {
+		rec.commit()
+		return
+	}
+	_, span := s.tracer.StartSpan(ctx, "service.ingest")
+	rec.commit()
+	span.End()
 }
 
 // experimentRegistry maps URL ids to the paper's artifact generators.

@@ -31,6 +31,8 @@ func endpointFamily(path string) string {
 		return "studies"
 	case strings.HasPrefix(path, "/v1/dataset"):
 		return "dataset"
+	case strings.HasPrefix(path, "/v1/traceview"):
+		return "traceview"
 	case strings.HasPrefix(path, "/v1/traces"):
 		return "traces"
 	case path == "/v1/sloz":
@@ -84,7 +86,7 @@ func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter 
 // daemon's log stays about its workload.
 func monitoringPlane(family string) bool {
 	switch family {
-	case "healthz", "statsz", "metricsz", "traces", "sloz", "alertz":
+	case "healthz", "statsz", "metricsz", "traces", "traceview", "sloz", "alertz":
 		return true
 	}
 	return false
@@ -169,6 +171,10 @@ func (s *Server) observe(next http.Handler) http.Handler {
 // trace-event JSON format (load the body in chrome://tracing or
 // Perfetto). ?trace=<16-hex-digit id> narrows to one trace — the
 // coordinator uses it to stitch backend spans into its own view.
+// ?format=spans switches to the raw span-record export (absolute
+// timestamps, stable 64-bit ids) that the fleet trace-analytics
+// harvester assembles across backends; Chrome's per-export rebased
+// timestamps cannot be stitched.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	var trace telemetry.TraceID
 	if tv := r.URL.Query().Get("trace"); tv != "" {
@@ -181,5 +187,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
+	if r.URL.Query().Get("format") == "spans" {
+		_ = s.tracer.WriteSpans(w, trace)
+		return
+	}
 	_ = s.tracer.WriteChromeTrace(w, trace)
 }

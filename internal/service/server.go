@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,6 +172,12 @@ func NewServer(opts Options) *Server {
 	if opts.SLO != nil {
 		cfg := *opts.SLO
 		cfg.Objectives = append([]slo.Objective(nil), cfg.Objectives...)
+		if cfg.Pinner == nil {
+			// Breach exemplars link to traces in this tracer's ring; pin
+			// them there so the links outlive ring eviction and
+			// tail-sampling drops for as long as their alerts are live.
+			cfg.Pinner = s.tracer
+		}
 		for i := range cfg.Objectives {
 			o := &cfg.Objectives[i]
 			if o.Kind == slo.KindDurability && o.Source == nil && s.ingest != nil {
@@ -222,15 +229,23 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // admitting uncached fills through the given worker-pool lane. The
 // cache holds the full harness Measurement, so one resident entry
 // serves both summary and full-detail requests. Each cell records a
-// span annotated with its cache outcome; uncached fills also feed the
-// fill-duration histogram.
+// span annotated with its cache outcome and study seed; uncached fills
+// also record a service.queue child covering the time spent waiting
+// for a worker lane (critical-path analytics split queue wait from
+// kernel compute with it), and feed the fill-duration histogram.
 func (s *Server) measureCell(ctx context.Context, seed int64, l lane, c cell) (*harness.Measurement, error) {
-	_, span := s.tracer.StartSpan(ctx, "service.cell",
+	cellCtx, span := s.tracer.StartSpan(ctx, "service.cell",
 		telemetry.String("benchmark", c.bench.Name),
-		telemetry.String("processor", c.cp.Proc.Name))
+		telemetry.String("processor", c.cp.Proc.Name),
+		telemetry.String("seed", strconv.FormatInt(seed, 10)))
 	v, outcome, err := s.cache.GetOrComputeOutcome(ctx, cellKey(seed, c), func() (any, error) {
 		fillStart := time.Now()
+		_, qspan := s.tracer.StartSpan(cellCtx, "service.queue")
 		v, err := s.pool.DoLane(ctx, l, func() (any, error) {
+			// The worker has picked this cell up: queue wait ends here.
+			// End is first-call-wins, so the safety net below is a no-op
+			// on this path.
+			qspan.End()
 			if s.opts.Hooks != nil && s.opts.Hooks.BeforeMeasure != nil {
 				if err := s.opts.Hooks.BeforeMeasure(seed, c.bench.Name, c.cp.Proc.Name); err != nil {
 					return nil, err
@@ -242,6 +257,9 @@ func (s *Server) measureCell(ctx context.Context, seed int64, l lane, c cell) (*
 			}
 			return h.MeasureUncached(c.bench, c.cp)
 		})
+		// Admission failures (queue full, draining, canceled context)
+		// never run the worker fn; close the queue span on their behalf.
+		qspan.End()
 		fillHist.Observe(time.Since(fillStart))
 		return v, err
 	})

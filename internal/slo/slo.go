@@ -86,8 +86,21 @@ type Config struct {
 	// ExemplarCap bounds retained breach exemplars per objective
 	// (default 8).
 	ExemplarCap int
+	// Pinner, when set, protects exemplar-referenced traces from ring
+	// eviction and tail-sampling drops: each breach exemplar pins its
+	// trace on capture and releases it when the exemplar is trimmed or
+	// the objective's burn alerts leave the pending/firing states — so
+	// a firing page's /v1/traces links keep resolving for as long as
+	// the page is actionable. The server wires its tracer here.
+	Pinner Pinner
 	// Now overrides the clock (tests).
 	Now func() time.Time
+}
+
+// Pinner is the trace-retention hook (telemetry.Tracer satisfies it).
+type Pinner interface {
+	Pin(telemetry.TraceID)
+	Unpin(telemetry.TraceID)
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +169,11 @@ type objective struct {
 
 	exMu      sync.Mutex
 	exemplars []BreachExemplar // newest last, bounded by ExemplarCap
+
+	// alertActive tracks whether any of this objective's burn alerts is
+	// pending or firing (engine.mu-guarded); the falling edge releases
+	// the exemplar trace pins.
+	alertActive bool
 }
 
 // BreachExemplar links one budget-burning observation to its trace.
@@ -163,6 +181,11 @@ type BreachExemplar struct {
 	TraceID string    `json:"trace_id"`
 	Seconds float64   `json:"seconds"`
 	Time    time.Time `json:"time"`
+
+	// tid/pinned track the Pinner reference so a trace is unpinned
+	// exactly once — on trim or on alert resolution, whichever first.
+	tid    telemetry.TraceID
+	pinned bool
 }
 
 // Engine tracks objectives and drives burn-rate alerts.
@@ -276,13 +299,26 @@ func (e *Engine) RecordBreach(name string, trace telemetry.TraceID, seconds floa
 }
 
 func (e *Engine) recordBreach(obj *objective, trace telemetry.TraceID, seconds float64) {
-	ex := BreachExemplar{TraceID: trace.String(), Seconds: seconds, Time: e.cfg.Now()}
+	ex := BreachExemplar{TraceID: trace.String(), Seconds: seconds, Time: e.cfg.Now(), tid: trace}
+	var unpin []telemetry.TraceID
 	obj.exMu.Lock()
+	if e.cfg.Pinner != nil {
+		e.cfg.Pinner.Pin(trace)
+		ex.pinned = true
+	}
 	obj.exemplars = append(obj.exemplars, ex)
 	if over := len(obj.exemplars) - e.cfg.ExemplarCap; over > 0 {
+		for _, old := range obj.exemplars[:over] {
+			if old.pinned {
+				unpin = append(unpin, old.tid)
+			}
+		}
 		obj.exemplars = append(obj.exemplars[:0], obj.exemplars[over:]...)
 	}
 	obj.exMu.Unlock()
+	for _, tid := range unpin {
+		e.cfg.Pinner.Unpin(tid)
+	}
 }
 
 // Advance moves the engine's clock to now: at each elapsed resolution
@@ -344,6 +380,43 @@ func (e *Engine) tickLocked(t time.Time) {
 		e.det.Push(obj.Name, SeriesSlowBurn, t, slow)
 	}
 	e.det.Evaluate(e.names, t)
+	if e.cfg.Pinner != nil {
+		e.releasePinsLocked()
+	}
+}
+
+// releasePinsLocked unpins each objective's exemplar traces on the
+// falling edge of its alert activity: once no burn alert is pending or
+// firing, the page is over and the exemplars' traces may rejoin normal
+// ring retention. The exemplars themselves stay listed — only the
+// retention guarantee lapses. Caller holds e.mu.
+func (e *Engine) releasePinsLocked() {
+	active := make(map[string]bool, len(e.names))
+	for _, a := range e.det.Alerts() {
+		if a.State == monitor.StatePending || a.State == monitor.StateFiring {
+			active[a.Backend] = true
+		}
+	}
+	for _, obj := range e.objs {
+		now := active[obj.Name]
+		was := obj.alertActive
+		obj.alertActive = now
+		if !was || now {
+			continue
+		}
+		var unpin []telemetry.TraceID
+		obj.exMu.Lock()
+		for i := range obj.exemplars {
+			if obj.exemplars[i].pinned {
+				unpin = append(unpin, obj.exemplars[i].tid)
+				obj.exemplars[i].pinned = false
+			}
+		}
+		obj.exMu.Unlock()
+		for _, tid := range unpin {
+			e.cfg.Pinner.Unpin(tid)
+		}
+	}
 }
 
 // at returns the newest cumulative snapshot at or before cutoff,

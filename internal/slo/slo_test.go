@@ -2,6 +2,7 @@ package slo
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -334,5 +335,119 @@ func TestWriteMetricsLintsAndParses(t *testing.T) {
 	}
 	if !strings.Contains(page, `slo_burn_rate{objective="measure-latency",window="fast"}`) {
 		t.Fatalf("burn gauge missing objective/window labels:\n%s", page)
+	}
+}
+
+// fakePinner records pin reference counts so the exemplar lifecycle is
+// observable without a real tracer.
+type fakePinner struct {
+	mu   sync.Mutex
+	refs map[telemetry.TraceID]int
+	pins int
+}
+
+func (p *fakePinner) Pin(id telemetry.TraceID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.refs == nil {
+		p.refs = make(map[telemetry.TraceID]int)
+	}
+	p.refs[id]++
+	p.pins++
+}
+
+func (p *fakePinner) Unpin(id telemetry.TraceID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refs[id]--
+	if p.refs[id] < 0 {
+		panic("unpin without pin")
+	}
+	if p.refs[id] == 0 {
+		delete(p.refs, id)
+	}
+}
+
+func (p *fakePinner) live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.refs)
+}
+
+// TestExemplarPinLifecycle is the regression for the dangling exemplar
+// link: every breach exemplar pins its trace, cap-trimmed exemplars
+// release theirs immediately, and once the objective's alerts resolve
+// every remaining pin is released — no leaks, no double-unpins.
+func TestExemplarPinLifecycle(t *testing.T) {
+	clk := &clock{t: time.Unix(1_754_000_000, 0)}
+	pinner := &fakePinner{}
+	cfg := testConfig(clk, latencyObjective())
+	cfg.Pinner = pinner
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Breach phase: far more breaches than the exemplar cap of 4.
+	fired := false
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 20; j++ {
+			e.ObserveLatency("measure-latency", 400*time.Millisecond, telemetry.TraceID(0xaa00+uint64(i*20+j)+1))
+		}
+		clk.step(time.Second)
+		e.Advance(clk.t)
+		if a, ok := findAlert(e.Alerts(), "measure-latency", RuleFastBurn); ok && a.State == monitor.StateFiring {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("breach phase never fired")
+	}
+	if got := pinner.live(); got != 4 {
+		t.Fatalf("%d traces pinned while firing, want exemplar cap 4", got)
+	}
+	if pinner.pins != 25*20 {
+		t.Fatalf("pins = %d, want one per breach (%d)", pinner.pins, 25*20)
+	}
+
+	// Recovery: pins are held while ANY burn alert for the objective is
+	// still pending or firing (the fast rule resolves well before the
+	// slow rule's longer windows drain), and released on the falling
+	// edge once the last one clears.
+	quiet := false
+	for i := 0; i < 200 && !quiet; i++ {
+		for j := 0; j < 20; j++ {
+			e.ObserveLatency("measure-latency", 5*time.Millisecond, 0)
+		}
+		clk.step(time.Second)
+		e.Advance(clk.t)
+		quiet = true
+		for _, a := range e.Alerts() {
+			if a.Backend == "measure-latency" && (a.State == monitor.StatePending || a.State == monitor.StateFiring) {
+				quiet = false
+			}
+		}
+	}
+	if !quiet {
+		t.Fatal("burn alerts never cleared")
+	}
+	if got := pinner.live(); got != 0 {
+		t.Fatalf("%d traces still pinned after resolution", got)
+	}
+	// The exemplars themselves stay listed for the resolved page.
+	snap := e.Snapshot(clk.t)
+	if len(snap.Objectives[0].Exemplars) == 0 {
+		t.Fatal("resolution erased the exemplar list")
+	}
+	// A fresh breach episode pins again (the falling edge resets).
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 20; j++ {
+			e.ObserveLatency("measure-latency", 400*time.Millisecond, telemetry.TraceID(0xbb00+uint64(i*20+j)+1))
+		}
+		clk.step(time.Second)
+		e.Advance(clk.t)
+	}
+	if got := pinner.live(); got == 0 {
+		t.Fatal("second breach episode pinned nothing")
 	}
 }

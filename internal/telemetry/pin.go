@@ -1,0 +1,110 @@
+package telemetry
+
+// Trace pinning. The retention ring and the tail sampler both exist to
+// forget: the ring overwrites oldest-first and an unremarkable trace
+// loses the sampling coin flip. That is correct for bulk retention and
+// wrong for any trace something else still points at — an SLO breach
+// exemplar rendered on /metricsz and /v1/alertz links to a trace id,
+// and that link must keep resolving at /v1/traces for as long as the
+// page is actionable. Pin moves a trace into per-trace pinned storage
+// that neither the ring cursor nor the sampler can touch; Unpin
+// (ref-counted, so several exemplars may share one trace) releases it.
+
+const (
+	// maxPinnedTraces bounds distinct pinned traces; Pin beyond the cap
+	// is refused (the link may then dangle, but memory stays bounded).
+	maxPinnedTraces = 64
+	// maxPinnedSpans bounds one pinned trace's span storage.
+	maxPinnedSpans = 512
+)
+
+// pinnedTrace is the out-of-ring retention for one pinned trace.
+type pinnedTrace struct {
+	refs  int
+	spans []SpanData
+	ids   map[SpanID]struct{}
+}
+
+func (pt *pinnedTrace) add(d SpanData) {
+	if len(pt.spans) >= maxPinnedSpans {
+		return
+	}
+	if _, dup := pt.ids[d.ID]; dup {
+		return
+	}
+	pt.ids[d.ID] = struct{}{}
+	pt.spans = append(pt.spans, d)
+}
+
+// Pin protects trace from ring eviction and tail-sampling drops until
+// a matching Unpin. Spans already retained in the ring and spans still
+// buffered by the tail sampler are captured immediately; spans that
+// complete later join the pinned storage directly. Pinning the same
+// trace again increments a reference count. Nil-safe.
+func (t *Tracer) Pin(trace TraceID) {
+	if t == nil || trace == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pt := t.pinned[trace]; pt != nil {
+		pt.refs++
+		return
+	}
+	if len(t.pinned) >= maxPinnedTraces {
+		return
+	}
+	if t.pinned == nil {
+		t.pinned = make(map[TraceID]*pinnedTrace)
+	}
+	pt := &pinnedTrace{refs: 1, ids: make(map[SpanID]struct{})}
+	for _, d := range t.ring {
+		if d.Trace == trace {
+			pt.add(d)
+		}
+	}
+	// Adopt the sampler's pending buffer: the trace no longer awaits a
+	// keep/drop verdict, so remove it from the pending set entirely
+	// (registerStart and sampleCommit skip pinned traces from here on).
+	if pend := t.pend[trace]; pend != nil {
+		for _, d := range pend.spans {
+			pt.add(d)
+		}
+		delete(t.pend, trace)
+		for i, id := range t.pendOrder {
+			if id == trace {
+				t.pendOrder = append(t.pendOrder[:i], t.pendOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	t.pinned[trace] = pt
+}
+
+// Unpin drops one reference; at zero the trace's pinned storage is
+// freed and its spans are forgotten. Unpinning a never-pinned trace
+// (including a Pin refused at the cap) is a no-op. Nil-safe.
+func (t *Tracer) Unpin(trace TraceID) {
+	if t == nil || trace == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pt := t.pinned[trace]
+	if pt == nil {
+		return
+	}
+	if pt.refs--; pt.refs <= 0 {
+		delete(t.pinned, trace)
+	}
+}
+
+// PinnedTraces reports how many traces are currently pinned.
+func (t *Tracer) PinnedTraces() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pinned)
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// Regression for the dangling-exemplar bug: an SLO breach exemplar
+// links to a trace id, but the retention ring overwrites oldest-first,
+// so by the time someone followed the link the trace was often gone.
+// Pinned traces must survive arbitrary ring churn.
+func TestPinSurvivesRingChurn(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartSpan(context.Background(), "breach.root")
+	_, child := tr.StartSpan(ctx, "breach.child")
+	child.End()
+	root.End()
+	trace := root.Trace()
+
+	tr.Pin(trace)
+	// Flood the ring far past its capacity.
+	for i := 0; i < 32; i++ {
+		_, s := tr.StartSpan(context.Background(), "churn")
+		s.End()
+	}
+
+	got := tr.TraceSpans(trace)
+	if len(got) != 2 {
+		t.Fatalf("pinned trace has %d spans after churn, want 2", len(got))
+	}
+	if got[0].Name != "breach.child" && got[1].Name != "breach.child" {
+		t.Fatalf("pinned spans malformed: %+v", got)
+	}
+
+	// Unpin releases the storage; the churned-out spans stay gone.
+	tr.Unpin(trace)
+	if n := len(tr.TraceSpans(trace)); n != 0 {
+		t.Fatalf("unpinned trace still resolves %d spans", n)
+	}
+	if tr.PinnedTraces() != 0 {
+		t.Fatal("pinned count nonzero after release")
+	}
+}
+
+// A pinned trace must also be immune to the tail sampler: spans
+// buffered pending a verdict are adopted at Pin time, and spans
+// completing afterward commit straight to pinned storage even when the
+// policy would drop the trace.
+func TestPinOverridesTailSampling(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetTailPolicy(&TailPolicy{SampleRate: 0}) // drop every unremarkable trace
+
+	ctx, root := tr.StartSpan(context.Background(), "slo.root")
+	_, early := tr.StartSpan(ctx, "slo.early")
+	early.End() // buffered in the pending set, verdict outstanding
+
+	tr.Pin(root.Trace())
+
+	_, late := tr.StartSpan(ctx, "slo.late")
+	late.End()
+	root.End()
+
+	got := tr.TraceSpans(root.Trace())
+	if len(got) != 3 {
+		t.Fatalf("pinned trace kept %d spans under SampleRate 0, want 3", len(got))
+	}
+	// A sibling trace without a pin is still dropped, proving the
+	// policy stayed active.
+	_, other := tr.StartSpan(context.Background(), "unpinned")
+	other.End()
+	if n := len(tr.TraceSpans(other.Trace())); n != 0 {
+		t.Fatalf("unpinned trace kept %d spans under SampleRate 0, want 0", n)
+	}
+}
+
+func TestPinRefCountsAndCap(t *testing.T) {
+	tr := NewTracer(8)
+	_, s := tr.StartSpan(context.Background(), "shared")
+	s.End()
+	trace := s.Trace()
+
+	tr.Pin(trace)
+	tr.Pin(trace) // second exemplar, same trace
+	for i := 0; i < 16; i++ {
+		_, f := tr.StartSpan(context.Background(), "filler")
+		f.End()
+	}
+	tr.Unpin(trace)
+	if len(tr.TraceSpans(trace)) != 1 {
+		t.Fatal("trace released after first Unpin despite second reference")
+	}
+	tr.Unpin(trace)
+	if len(tr.TraceSpans(trace)) != 0 {
+		t.Fatal("trace still resolves after final Unpin")
+	}
+
+	// The pin table is bounded: pins beyond the cap are refused and
+	// their Unpin is a no-op.
+	for i := 0; i < maxPinnedTraces+8; i++ {
+		_, f := tr.StartSpan(context.Background(), "capfill")
+		f.End()
+		tr.Pin(f.Trace())
+	}
+	if got := tr.PinnedTraces(); got != maxPinnedTraces {
+		t.Fatalf("pinned %d traces, cap is %d", got, maxPinnedTraces)
+	}
+	tr.Unpin(0) // zero id: no-op
+	var nilTr *Tracer
+	nilTr.Pin(1)
+	nilTr.Unpin(1)
+	if nilTr.PinnedTraces() != 0 {
+		t.Fatal("nil tracer pin accounting")
+	}
+}

@@ -297,15 +297,24 @@ func parsePromLine(line string) (promSample, error) {
 func splitExemplarText(line string) (sample, exemplar string) {
 	inQuote := false
 	for i := 0; i < len(line); i++ {
-		switch line[i] {
+		c := line[i]
+		if inQuote {
+			// Consume escape pairs whole: checking only the previous byte
+			// misreads `\\"` (escaped backslash, then a real closing
+			// quote) as an escaped quote and never leaves the string.
+			switch c {
+			case '\\':
+				i++
+			case '"':
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
 		case '"':
-			if i == 0 || line[i-1] != '\\' {
-				inQuote = !inQuote
-			}
+			inQuote = true
 		case '#':
-			if !inQuote {
-				return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:])
-			}
+			return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:])
 		}
 	}
 	return line, ""

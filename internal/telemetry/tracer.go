@@ -32,6 +32,10 @@ type Tracer struct {
 	pendOrder   []TraceID // registration order, for bounded eviction
 	tailKept    atomic.Int64
 	tailDropped atomic.Int64
+
+	// Pinned traces (pin.go) live outside the ring and the sampler so
+	// exemplar links keep resolving until their alerts clear.
+	pinned map[TraceID]*pinnedTrace
 }
 
 // DefaultSpanBuffer is the completed-span retention when NewTracer is
@@ -151,7 +155,7 @@ func (t *Tracer) start(ctx context.Context, trace TraceID, parent SpanID, name s
 	}
 	s.data.Start = s.start
 	t.mu.Lock()
-	if t.policy != nil {
+	if t.policy != nil && t.pinned[trace] == nil {
 		t.registerStart(trace)
 	}
 	t.mu.Unlock()
@@ -195,7 +199,11 @@ func (s *Span) End() {
 
 func (t *Tracer) commit(d SpanData) {
 	t.mu.Lock()
-	if t.policy != nil {
+	if pt := t.pinned[d.Trace]; pt != nil {
+		// Pinned traces bypass both the ring (whose cursor would evict
+		// them) and the sampler (whose verdict could drop them).
+		pt.add(d)
+	} else if t.policy != nil {
 		t.sampleCommit(d)
 	} else {
 		t.commitLocked(d)
@@ -215,7 +223,8 @@ func (t *Tracer) commitLocked(d SpanData) {
 	t.next = (t.next + 1) % cap(t.ring)
 }
 
-// Snapshot copies the retained spans, oldest first.
+// Snapshot copies the retained spans — the ring oldest first, then any
+// pinned spans not already present in the ring.
 func (t *Tracer) Snapshot() []SpanData {
 	if t == nil {
 		return nil
@@ -229,10 +238,28 @@ func (t *Tracer) Snapshot() []SpanData {
 	} else {
 		out = append(out, t.ring...)
 	}
+	if len(t.pinned) > 0 {
+		// Spans copied into pinned storage at Pin time may still sit in
+		// the ring; dedup by span id (process-unique).
+		seen := make(map[SpanID]struct{}, len(out))
+		for _, d := range out {
+			if t.pinned[d.Trace] != nil {
+				seen[d.ID] = struct{}{}
+			}
+		}
+		for _, pt := range t.pinned {
+			for _, d := range pt.spans {
+				if _, dup := seen[d.ID]; !dup {
+					out = append(out, d)
+				}
+			}
+		}
+	}
 	return out
 }
 
-// TraceSpans returns the retained spans of one trace, oldest first.
+// TraceSpans returns the retained spans of one trace, oldest first
+// (pinned spans, when present, follow the ring's).
 func (t *Tracer) TraceSpans(trace TraceID) []SpanData {
 	all := t.Snapshot()
 	out := all[:0]

@@ -1,0 +1,333 @@
+package traceanalytics
+
+// Trace assembly and critical-path attribution.
+//
+// Spans harvested from several processes share a trace id but arrive
+// as flat fragments: the coordinator's scheduler spans from one
+// tracer, each backend's http/cell spans from its own. assemble
+// stitches them into one tree via parent ids, treats spans whose
+// parent never arrived as roots under a virtual root spanning the
+// whole trace extent, and walks the tree backward from the end picking
+// at every step the latest-ending overlapping child. The emitted
+// segments partition [start, end] exactly — every nanosecond of wall
+// time is attributed to exactly one span's self time — so per-stage
+// self-times sum to the trace wall time by construction, which is the
+// invariant TestCriticalPathUnderChaos checks to 1%.
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Span is one harvested span plus the backend that reported it.
+type Span struct {
+	telemetry.SpanData
+	Source string `json:"source"`
+}
+
+// SpanNode is one span in an assembled waterfall, flattened pre-order.
+type SpanNode struct {
+	Name          string           `json:"name"`
+	ID            string           `json:"span_id"`
+	Parent        string           `json:"parent_id,omitempty"`
+	Source        string           `json:"source"`
+	Stage         string           `json:"stage"`
+	Depth         int              `json:"depth"`
+	StartOffsetMS float64          `json:"start_offset_ms"`
+	DurMS         float64          `json:"duration_ms"`
+	SelfCritMS    float64          `json:"self_critical_ms"`
+	OnCritical    bool             `json:"on_critical_path"`
+	Attrs         []telemetry.Attr `json:"attrs,omitempty"`
+}
+
+// Segment is one critical-path interval attributed to a span's self
+// time (or, with an empty span id, to an assembly gap no span covers).
+type Segment struct {
+	Span     string  `json:"span_id,omitempty"`
+	Name     string  `json:"name"`
+	Source   string  `json:"source,omitempty"`
+	Stage    string  `json:"stage"`
+	OffsetMS float64 `json:"offset_ms"`
+	DurMS    float64 `json:"duration_ms"`
+}
+
+// StageShare is one stage's slice of a critical path.
+type StageShare struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+	Frac  float64 `json:"frac"`
+}
+
+// Trace is an assembled cross-process trace with its critical path.
+type Trace struct {
+	ID        string       `json:"trace_id"`
+	Root      string       `json:"root"`
+	Start     time.Time    `json:"start"`
+	WallMS    float64      `json:"wall_ms"`
+	Seed      string       `json:"seed,omitempty"`
+	Sources   []string     `json:"sources"`
+	SpanCount int          `json:"span_count"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Spans     []SpanNode   `json:"spans"`
+	Critical  []Segment    `json:"critical_path"`
+	Stages    []StageShare `json:"stages"`
+
+	id   telemetry.TraceID
+	wall time.Duration
+	// stageNS mirrors Stages keyed by name, for fleet aggregation.
+	stageNS map[string]int64
+}
+
+type asmNode struct {
+	span     Span
+	start    time.Time
+	end      time.Time
+	children []int
+	selfNS   int64
+	critical bool
+}
+
+type asmState struct {
+	nodes    []asmNode
+	segments []Segment
+	stageNS  map[string]int64
+	origin   time.Time
+}
+
+func minT(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+func maxT(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+// assemble builds the tree and critical path for one trace's spans.
+func assemble(id telemetry.TraceID, spans []Span, truncated bool) *Trace {
+	if len(spans) == 0 {
+		return nil
+	}
+	a := &asmState{
+		nodes:   make([]asmNode, len(spans)),
+		stageNS: make(map[string]int64, 9),
+	}
+	byID := make(map[telemetry.SpanID]int, len(spans))
+	for i, s := range spans {
+		a.nodes[i] = asmNode{span: s, start: s.Start, end: s.Start.Add(s.Dur)}
+		byID[s.SpanData.ID] = i
+	}
+	var roots []int
+	for i, s := range spans {
+		if p, ok := byID[s.SpanData.Parent]; ok && s.SpanData.Parent != 0 && p != i {
+			a.nodes[p].children = append(a.nodes[p].children, i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	sortByStart := func(idx []int) {
+		sort.SliceStable(idx, func(x, y int) bool {
+			nx, ny := &a.nodes[idx[x]], &a.nodes[idx[y]]
+			if !nx.start.Equal(ny.start) {
+				return nx.start.Before(ny.start)
+			}
+			return nx.span.SpanData.ID < ny.span.SpanData.ID
+		})
+	}
+	sortByStart(roots)
+	for i := range a.nodes {
+		sortByStart(a.nodes[i].children)
+	}
+
+	// Trace extent: the union of every span, not just the first root —
+	// partial assemblies (coordinator unharvested, clock skew) must
+	// still partition their full observed window.
+	lo, hi := a.nodes[0].start, a.nodes[0].end
+	for _, n := range a.nodes[1:] {
+		lo, hi = minT(lo, n.start), maxT(hi, n.end)
+	}
+	if !hi.After(lo) {
+		hi = lo.Add(time.Nanosecond)
+	}
+	a.origin = lo
+	a.walk(roots, -1, lo, hi)
+	// The backward walk emits segments end-first; present them in
+	// timeline order.
+	sort.SliceStable(a.segments, func(i, j int) bool {
+		return a.segments[i].OffsetMS < a.segments[j].OffsetMS
+	})
+
+	tr := &Trace{
+		ID:        id.String(),
+		Start:     lo,
+		WallMS:    float64(hi.Sub(lo)) / 1e6,
+		SpanCount: len(spans),
+		Truncated: truncated,
+		Critical:  a.segments,
+		id:        id,
+		wall:      hi.Sub(lo),
+		stageNS:   a.stageNS,
+	}
+	if len(roots) > 0 {
+		tr.Root = a.nodes[roots[0]].span.Name
+	}
+	srcSet := map[string]struct{}{}
+	for i := range a.nodes {
+		n := &a.nodes[i]
+		if _, ok := srcSet[n.span.Source]; !ok {
+			srcSet[n.span.Source] = struct{}{}
+			tr.Sources = append(tr.Sources, n.span.Source)
+		}
+		if tr.Seed == "" {
+			if v := n.span.Attr("seed"); v != "" {
+				tr.Seed = v
+			}
+		}
+	}
+	sort.Strings(tr.Sources)
+	var flatten func(idx, depth int)
+	flatten = func(idx, depth int) {
+		n := &a.nodes[idx]
+		tr.Spans = append(tr.Spans, SpanNode{
+			Name:          n.span.Name,
+			ID:            n.span.SpanData.ID.String(),
+			Parent:        parentString(n.span.SpanData.Parent),
+			Source:        n.span.Source,
+			Stage:         StageOf(n.span),
+			Depth:         depth,
+			StartOffsetMS: float64(n.start.Sub(lo)) / 1e6,
+			DurMS:         float64(n.span.Dur) / 1e6,
+			SelfCritMS:    float64(n.selfNS) / 1e6,
+			OnCritical:    n.critical,
+			Attrs:         n.span.Attrs,
+		})
+		for _, c := range n.children {
+			flatten(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		flatten(r, 0)
+	}
+	for _, st := range Stages() {
+		ns := a.stageNS[st]
+		if ns == 0 {
+			continue
+		}
+		tr.Stages = append(tr.Stages, StageShare{
+			Stage: st,
+			MS:    float64(ns) / 1e6,
+			Frac:  float64(ns) / float64(tr.wall),
+		})
+	}
+	sort.SliceStable(tr.Stages, func(i, j int) bool { return tr.Stages[i].MS > tr.Stages[j].MS })
+	return tr
+}
+
+func parentString(p telemetry.SpanID) string {
+	if p == 0 {
+		return ""
+	}
+	return p.String()
+}
+
+// walk attributes [from, to) on the critical path. owner is the node
+// whose self time absorbs intervals no child covers (-1 = the virtual
+// root: gaps between orphan roots). The backward scan picks, at every
+// point, the child whose clamped interval ends latest — the span whose
+// completion gated that moment — recurses into it, then jumps to its
+// start. Each child is consumed at most once, so the recursion emits
+// at most one segment per span plus one per parent gap.
+func (a *asmState) walk(children []int, owner int, from, to time.Time) {
+	cur := to
+	for cur.After(from) {
+		best := -1
+		var bs, be time.Time
+		for _, ci := range children {
+			c := &a.nodes[ci]
+			cs, ce := maxT(c.start, from), minT(c.end, cur)
+			if !ce.After(cs) {
+				continue
+			}
+			if best == -1 || ce.After(be) || (ce.Equal(be) && cs.Before(bs)) {
+				best, bs, be = ci, cs, ce
+			}
+		}
+		if best == -1 {
+			a.emit(owner, from, cur)
+			return
+		}
+		if be.Before(cur) {
+			a.emit(owner, be, cur)
+		}
+		a.walk(a.nodes[best].children, best, bs, be)
+		cur = bs
+	}
+}
+
+// emit records one self-time segment for owner (or the virtual root).
+func (a *asmState) emit(owner int, from, to time.Time) {
+	dur := to.Sub(from)
+	if dur <= 0 {
+		return
+	}
+	seg := Segment{
+		Name:     "(gap)",
+		Stage:    StageOther,
+		OffsetMS: float64(from.Sub(a.origin)) / 1e6,
+		DurMS:    float64(dur) / 1e6,
+	}
+	stage := StageOther
+	if owner >= 0 {
+		n := &a.nodes[owner]
+		stage = StageOf(n.span)
+		seg.Span = n.span.SpanData.ID.String()
+		seg.Name = n.span.Name
+		seg.Source = n.span.Source
+		seg.Stage = stage
+		n.selfNS += int64(dur)
+		n.critical = true
+	}
+	a.stageNS[stage] += int64(dur)
+	a.segments = append(a.segments, seg)
+}
+
+// Digest is the list-view form of an assembled trace: everything but
+// the per-span waterfall.
+type Digest struct {
+	ID           string       `json:"trace_id"`
+	Root         string       `json:"root"`
+	Start        time.Time    `json:"start"`
+	WallMS       float64      `json:"wall_ms"`
+	Seed         string       `json:"seed,omitempty"`
+	Sources      []string     `json:"sources"`
+	SpanCount    int          `json:"span_count"`
+	TopStage     string       `json:"top_stage,omitempty"`
+	TopStageFrac float64      `json:"top_stage_frac,omitempty"`
+	Stages       []StageShare `json:"stages,omitempty"`
+}
+
+// Digest summarizes the trace for search results and top-N panels.
+func (t *Trace) Digest() Digest {
+	d := Digest{
+		ID:        t.ID,
+		Root:      t.Root,
+		Start:     t.Start,
+		WallMS:    t.WallMS,
+		Seed:      t.Seed,
+		Sources:   t.Sources,
+		SpanCount: t.SpanCount,
+		Stages:    t.Stages,
+	}
+	if len(t.Stages) > 0 {
+		d.TopStage = t.Stages[0].Stage
+		d.TopStageFrac = t.Stages[0].Frac
+	}
+	return d
+}

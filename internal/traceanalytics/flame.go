@@ -1,0 +1,63 @@
+package traceanalytics
+
+// Flame-style hierarchy: retained traces merged by span-name path.
+// Two study runs produce structurally identical trees (measure →
+// cell → queue …), so merging by name collapses thousands of spans
+// into a handful of nodes whose totals show where fleet time goes.
+
+import "sort"
+
+// FlameNode is one merged name-path with its aggregate times.
+type FlameNode struct {
+	Name     string       `json:"name"`
+	Count    int64        `json:"count"`
+	TotalMS  float64      `json:"total_ms"`
+	SelfMS   float64      `json:"self_ms"`
+	Children []*FlameNode `json:"children,omitempty"`
+}
+
+func (n *FlameNode) child(name string) *FlameNode {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	c := &FlameNode{Name: name}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+const maxFlameDepth = 12
+
+// mergeTrace folds one assembled trace into the root. The waterfall is
+// pre-order with depths, so a depth-indexed stack recovers the path.
+func (n *FlameNode) mergeTrace(t *Trace) {
+	stack := make([]*FlameNode, 1, 8)
+	stack[0] = n
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		depth := sp.Depth + 1 // stack[0] is the root
+		if depth > maxFlameDepth {
+			continue
+		}
+		if depth > len(stack) {
+			// Child of a skipped ancestor; clamp to the deepest merged.
+			depth = len(stack)
+		}
+		parent := stack[depth-1]
+		node := parent.child(sp.Name)
+		node.Count++
+		node.TotalMS += sp.DurMS
+		node.SelfMS += sp.SelfCritMS
+		stack = append(stack[:depth], node)
+	}
+}
+
+func (n *FlameNode) sortDesc() {
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		return n.Children[i].TotalMS > n.Children[j].TotalMS
+	})
+	for _, c := range n.Children {
+		c.sortDesc()
+	}
+}
